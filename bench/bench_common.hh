@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared scaffolding for the figure/table reproduction benches.
+ */
+
+#ifndef SVR_BENCH_BENCH_COMMON_HH
+#define SVR_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/experiment.hh"
+#include "workloads/suites.hh"
+
+namespace svr::bench
+{
+
+/** Standard header identifying the reproduced figure/table. */
+inline void
+banner(const char *id, const char *caption)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", id, caption);
+    std::printf("==============================================================\n");
+}
+
+/** The paper's main comparison set: InO, IMP, OoO, SVR8..SVR128. */
+inline std::vector<SimConfig>
+paperConfigs(bool all_widths = true)
+{
+    std::vector<SimConfig> configs = {presets::inorder(),
+                                      presets::impCore(),
+                                      presets::outOfOrder()};
+    if (all_widths) {
+        for (unsigned n : {8u, 16u, 32u, 64u, 128u})
+            configs.push_back(presets::svrCore(n));
+    } else {
+        configs.push_back(presets::svrCore(16));
+        configs.push_back(presets::svrCore(64));
+    }
+    return configs;
+}
+
+inline std::vector<std::string>
+labelsOf(const std::vector<SimConfig> &configs)
+{
+    std::vector<std::string> labels;
+    for (const auto &c : configs)
+        labels.push_back(c.label);
+    return labels;
+}
+
+} // namespace svr::bench
+
+#endif // SVR_BENCH_BENCH_COMMON_HH

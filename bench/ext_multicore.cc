@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Extension experiment (paper section VI-E, closing observation):
+ * "SVR across multiple cores simultaneously would give significant
+ * benefit" because a single SVR core does not saturate memory
+ * bandwidth. We model a k-core CMP with statically partitioned
+ * channel bandwidth (each core sees BW/k) and report per-core and
+ * aggregate throughput for the in-order baseline and SVR-16/64.
+ */
+
+#include "bench_common.hh"
+#include "common/stats.hh"
+
+using namespace svr;
+using namespace svr::bench;
+
+int
+main()
+{
+    setInformEnabled(true);
+    banner("Extension", "multicore scaling under partitioned bandwidth");
+
+    const auto workloads = quickSuite();
+    const double total_bw = 50.0;
+
+    std::printf("\n%-6s %-8s %14s %16s\n", "cores", "machine",
+                "per-core IPC", "aggregate IPC");
+    for (unsigned cores : {1u, 2u, 4u, 8u}) {
+        for (const char *machine : {"InO", "SVR16", "SVR64"}) {
+            SimConfig c = machine == std::string("InO")
+                              ? presets::inorder()
+                              : presets::svrCore(
+                                    machine == std::string("SVR16") ? 16
+                                                                    : 64);
+            c.mem.dram.bandwidthGiBps = total_bw / cores;
+            std::vector<double> ipcs;
+            for (const auto &w : workloads)
+                ipcs.push_back(simulate(c, w).ipc());
+            const double per_core = harmonicMean(ipcs);
+            std::printf("%-6u %-8s %14.3f %16.3f\n", cores, machine,
+                        per_core, per_core * cores);
+        }
+    }
+
+    std::printf("\nexpected shape: aggregate SVR throughput keeps "
+                "growing with core count\nuntil the partitioned "
+                "channel becomes the bottleneck; the in-order\n"
+                "baseline scales almost linearly (it never pressures "
+                "the channel).\n");
+    return 0;
+}

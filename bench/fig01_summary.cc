@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Figure 1 reproduction: harmonic-mean speedup (normalized IPC) and
+ * normalized whole-system energy across InO, IMP, OoO, and SVR with
+ * vector lengths 8..128, over the full graph + HPC-DB suite.
+ */
+
+#include "bench_common.hh"
+
+using namespace svr;
+using namespace svr::bench;
+
+int
+main()
+{
+    setInformEnabled(true);
+    banner("Figure 1", "mean speedup and normalized energy vs in-order");
+
+    const auto configs = paperConfigs(true);
+    const auto matrix = runMatrix(fullSuite(), configs);
+    const auto speedups = meanSpeedup(matrix, 0);
+    const auto energies = meanEnergyPerInstr(matrix);
+
+    std::printf("\n%-8s %14s %18s\n", "config", "norm. IPC",
+                "norm. energy");
+    for (std::size_t c = 0; c < configs.size(); c++) {
+        std::printf("%-8s %13.2fx %17.3f\n", configs[c].label.c_str(),
+                    speedups[c], energies[c] / energies[0]);
+    }
+
+    std::printf("\npaper:  SVR16 ~3.2x, SVR128 ~4.3x, OoO ~2.5x, "
+                "IMP ~2.3x vs InO;\n"
+                "        SVR halves system energy vs both InO and OoO.\n");
+    return 0;
+}

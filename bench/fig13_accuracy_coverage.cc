@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Figure 13 reproduction:
+ *  (a) prefetch accuracy — fraction of prefetched lines demanded
+ *      before eviction from the LLC — for IMP, SVR16/SVR64 with and
+ *      without loop-bound prediction (Maxlength);
+ *  (b) coverage — where DRAM-bound loads originate (demand data,
+ *      instruction fetch, prefetcher), normalized to the in-order
+ *      baseline's demand traffic.
+ */
+
+#include <map>
+
+#include "bench_common.hh"
+
+using namespace svr;
+using namespace svr::bench;
+
+namespace
+{
+
+SimConfig
+svrMaxlength(unsigned n)
+{
+    SimConfig c = presets::svrCore(n);
+    c.label = "SVR" + std::to_string(n) + "-Max";
+    c.svr.loopBound = LoopBoundMode::Maxlength;
+    return c;
+}
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(true);
+    banner("Figure 13", "prefetch accuracy and coverage");
+
+    const std::vector<SimConfig> configs = {
+        presets::inorder(),   presets::impCore(),  svrMaxlength(16),
+        presets::svrCore(16), svrMaxlength(64),    presets::svrCore(64),
+    };
+
+    // Group as the paper does.
+    std::map<std::string, std::vector<WorkloadSpec>> groups;
+    for (const auto &w : graphSuite())
+        groups[w.name.substr(0, w.name.find('_'))].push_back(w);
+    for (const auto &w : hpcdbSuite())
+        groups["HPC-DB"].push_back(w);
+
+    std::printf("\n(a) accuracy: prefetched lines used before LLC "
+                "eviction\n");
+    std::printf("%-8s %10s %12s %10s %12s %10s\n", "group", "IMP",
+                "SVR16-Max", "SVR16", "SVR64-Max", "SVR64");
+
+    std::map<std::string, std::map<std::string, SimResult>> results;
+    for (const auto &[group, workloads] : groups) {
+        std::map<std::string, double> acc;
+        std::map<std::string, int> cnt;
+        for (const auto &w : workloads) {
+            for (const auto &c : configs) {
+                const SimResult r = simulate(c, w);
+                results[group + "/" + w.name][c.label] = r;
+                const double a = c.core == CoreType::InOrderImp
+                                     ? r.impAccuracyLlc
+                                     : r.svrAccuracyLlc;
+                if (c.core != CoreType::InOrder) {
+                    acc[c.label] += a;
+                    cnt[c.label]++;
+                }
+            }
+        }
+        std::printf("%-8s %9.1f%% %11.1f%% %9.1f%% %11.1f%% %9.1f%%\n",
+                    group.c_str(), 100.0 * acc["IMP"] / cnt["IMP"],
+                    100.0 * acc["SVR16-Max"] / cnt["SVR16-Max"],
+                    100.0 * acc["SVR16"] / cnt["SVR16"],
+                    100.0 * acc["SVR64-Max"] / cnt["SVR64-Max"],
+                    100.0 * acc["SVR64"] / cnt["SVR64"]);
+    }
+
+    std::printf("\n(b) coverage: DRAM line fills by origin, normalized "
+                "to the in-order\n    baseline's total demand traffic "
+                "(>100%% = overcoverage)\n");
+    std::printf("%-10s %-10s %10s %10s %10s %10s\n", "group", "config",
+                "demand", "ifetch", "prefetch", "total");
+    for (const auto &[group, workloads] : groups) {
+        for (const char *label : {"InO", "IMP", "SVR16", "SVR64"}) {
+            double demand = 0, ifetch = 0, pref = 0, base = 0;
+            for (const auto &w : workloads) {
+                const SimResult &r = results[group + "/" + w.name][label];
+                const SimResult &b =
+                    results[group + "/" + w.name]["InO"];
+                const double norm =
+                    static_cast<double>(b.traffic.demandData +
+                                        b.traffic.demandIfetch) +
+                    1e-9;
+                demand += r.traffic.demandData / norm;
+                ifetch += r.traffic.demandIfetch / norm;
+                pref += (r.traffic.prefStride + r.traffic.prefSvr +
+                         r.traffic.prefImp) /
+                        norm;
+                base += 1.0;
+            }
+            std::printf("%-10s %-10s %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n",
+                        group.c_str(), label, 100.0 * demand / base,
+                        100.0 * ifetch / base, 100.0 * pref / base,
+                        100.0 * (demand + ifetch + pref) / base);
+        }
+    }
+
+    std::printf("\npaper shape: SVR (tournament) most accurate; SVR64 "
+                "slightly below SVR16;\nMaxlength below both; IMP "
+                "consistently least accurate (overfetches past\ninner-"
+                "loop bounds, up to +20%% DRAM traffic).\n");
+    return 0;
+}

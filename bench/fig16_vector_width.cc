@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 16 reproduction: impact of the compute vector width (scalars
+ * per SVU per cycle, 1..8) on SVR-16 and SVR-64. The paper finds
+ * performance is almost identical: runahead is memory-bound, so
+ * scalar execution suffices.
+ */
+
+#include "bench_common.hh"
+#include "common/stats.hh"
+
+using namespace svr;
+using namespace svr::bench;
+
+int
+main()
+{
+    setInformEnabled(true);
+    banner("Figure 16", "scalars per vector unit (execute width)");
+
+    const auto workloads = quickSuite();
+
+    std::printf("\n%-10s %12s %12s\n", "SVU width", "SVR16", "SVR64");
+    std::vector<double> base_ipc;
+    for (const auto &w : workloads)
+        base_ipc.push_back(simulate(presets::inorder(), w).ipc());
+
+    for (unsigned width : {1u, 2u, 4u, 8u}) {
+        double speedup[2];
+        int idx = 0;
+        for (unsigned n : {16u, 64u}) {
+            SimConfig c = presets::svrCore(n);
+            c.svr.svuWidth = width;
+            std::vector<double> s;
+            for (std::size_t i = 0; i < workloads.size(); i++)
+                s.push_back(simulate(c, workloads[i]).ipc() / base_ipc[i]);
+            speedup[idx++] = harmonicMean(s);
+        }
+        std::printf("%-10u %11.2fx %11.2fx\n", width, speedup[0],
+                    speedup[1]);
+    }
+
+    std::printf("\npaper: performance is almost identical from width 1 "
+                "to 8 — piggyback\nrunahead saturates the memory system, "
+                "not the functional units.\n");
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: simulator throughput (simulated
+ * instructions per second) for each core model, plus the costs of the
+ * hottest primitives (functional step, cache lookup, SVR round).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.hh"
+#include "core/executor.hh"
+#include "core/inorder_core.hh"
+#include "core/ooo_core.hh"
+#include "mem/memory_system.hh"
+#include "sim/simulator.hh"
+#include "svr/svr_engine.hh"
+#include "workloads/hpcdb_kernels.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace svr;
+
+WorkloadInstance
+benchWorkload()
+{
+    HpcDbSizes s;
+    s.camelIndex = 1 << 18;
+    s.camelTable = 1 << 19;
+    return makeCamel(s);
+}
+
+void
+BM_FunctionalExecutor(benchmark::State &state)
+{
+    setInformEnabled(false);
+    const WorkloadInstance w = benchWorkload();
+    Executor exec(*w.program, *w.mem);
+    for (auto _ : state) {
+        if (exec.halted())
+            exec.restart();
+        benchmark::DoNotOptimize(exec.step());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FunctionalExecutor);
+
+void
+BM_InOrderTiming(benchmark::State &state)
+{
+    setInformEnabled(false);
+    for (auto _ : state) {
+        state.PauseTiming();
+        const WorkloadInstance w = benchWorkload();
+        MemorySystem mem(MemParams{});
+        Executor exec(*w.program, *w.mem);
+        InOrderCore core(InOrderParams{}, mem);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(core.run(exec, 100000));
+    }
+    state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_InOrderTiming)->Unit(benchmark::kMillisecond);
+
+void
+BM_OoOTiming(benchmark::State &state)
+{
+    setInformEnabled(false);
+    for (auto _ : state) {
+        state.PauseTiming();
+        const WorkloadInstance w = benchWorkload();
+        MemorySystem mem(MemParams{});
+        Executor exec(*w.program, *w.mem);
+        OoOCore core(OoOParams{}, mem);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(core.run(exec, 100000));
+    }
+    state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_OoOTiming)->Unit(benchmark::kMillisecond);
+
+void
+BM_SvrTiming(benchmark::State &state)
+{
+    setInformEnabled(false);
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        const WorkloadInstance w = benchWorkload();
+        MemorySystem mem(MemParams{});
+        Executor exec(*w.program, *w.mem);
+        SvrParams sp;
+        sp.vectorLength = n;
+        SvrEngine engine(sp, mem, exec);
+        InOrderCore core(InOrderParams{}, mem);
+        core.setRunaheadEngine(&engine);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(core.run(exec, 100000));
+    }
+    state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_SvrTiming)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void
+BM_CacheLookup(benchmark::State &state)
+{
+    Cache cache(CacheParams{"bench", 64 * 1024, 4, 3, 16});
+    // Fill some lines.
+    for (Addr a = 0; a < 64 * 1024; a += 64)
+        cache.insert(a, PrefetchOrigin::None, false);
+    Addr a = 0;
+    for (auto _ : state) {
+        bool first = false;
+        PrefetchOrigin origin;
+        benchmark::DoNotOptimize(cache.lookup(a, true, first, origin));
+        a = (a + 64) & (64 * 1024 - 1);
+    }
+}
+BENCHMARK(BM_CacheLookup);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Table II reproduction: SVR's hardware overhead in bits, per
+ * structure, as a function of the vector length N (K = 8 SVs).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "svr/hardware_budget.hh"
+
+using namespace svr;
+using namespace svr::bench;
+
+int
+main()
+{
+    banner("Table II", "SVR hardware overhead (bits)");
+
+    const HardwareBudget b = computeHardwareBudget(16, 8);
+    std::printf("\nSVR-16, K=8 (the paper's default design point):\n");
+    std::printf("  %-28s %8llu bits\n", "stride detector (32 entries)",
+                static_cast<unsigned long long>(b.strideDetectorBits));
+    std::printf("  %-28s %8llu bits\n", "taint tracker (32 arch regs)",
+                static_cast<unsigned long long>(b.taintTrackerBits));
+    std::printf("  %-28s %8llu bits\n", "HSLR (PC + mask)",
+                static_cast<unsigned long long>(b.hslrBits));
+    std::printf("  %-28s %8llu bits\n", "SRF (K x N x 64b)",
+                static_cast<unsigned long long>(b.srfBits));
+    std::printf("  %-28s %8llu bits\n", "last compare register",
+                static_cast<unsigned long long>(b.lastCompareBits));
+    std::printf("  %-28s %8llu bits\n", "loop-bound detector (8)",
+                static_cast<unsigned long long>(b.loopBoundDetectorBits));
+    std::printf("  %-28s %8llu bits\n", "scoreboard return counters",
+                static_cast<unsigned long long>(b.scoreboardBits));
+    std::printf("  %-28s %8llu bits\n", "L1 prefetch tags",
+                static_cast<unsigned long long>(b.l1PrefetchTagBits));
+    std::printf("  %-28s %8llu bits = %.2f KiB   (paper: 17738 bits = "
+                "2.17 KiB)\n",
+                "total", static_cast<unsigned long long>(b.totalBits()),
+                b.totalKiB());
+
+    std::printf("\nscaling with vector length (K = 8):\n");
+    std::printf("  %-6s %12s %10s\n", "N", "total bits", "KiB");
+    for (unsigned n : {8u, 16u, 32u, 64u, 128u}) {
+        const HardwareBudget bn = computeHardwareBudget(n, 8);
+        std::printf("  %-6u %12llu %10.2f\n", n,
+                    static_cast<unsigned long long>(bn.totalBits()),
+                    bn.totalKiB());
+    }
+    std::printf("\npaper: N=16 -> ~2 KiB; N=128 -> ~9 KiB (SRF grows "
+                "linearly).\n");
+    return 0;
+}

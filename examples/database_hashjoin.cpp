@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Database probe example: hash-join probes with 2-entry and 8-entry
+ * buckets. Shows two things the paper highlights:
+ *  - IMP cannot learn the multiplicative-hash access pattern at all;
+ *  - SVR's divergence masking limits its benefit as bucket scans get
+ *    longer (HJ8 shows much less speedup than HJ2).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/simulator.hh"
+#include "workloads/hpcdb_kernels.hh"
+
+using namespace svr;
+
+int
+main()
+{
+    setInformEnabled(false);
+
+    const std::vector<SimConfig> configs = {
+        presets::inorder(),
+        presets::impCore(),
+        presets::outOfOrder(),
+        presets::svrCore(16),
+    };
+
+    for (unsigned bucket : {2u, 8u}) {
+        std::printf("== hash join probe, %u-entry buckets ==\n", bucket);
+        std::printf("%-8s %8s %8s %10s %16s\n", "machine", "IPC", "CPI",
+                    "speedup", "IMP prefetches");
+        double base = 0.0;
+        for (const auto &config : configs) {
+            const SimResult r =
+                simulate(config, makeHashJoin(bucket));
+            if (config.label == "InO")
+                base = r.ipc();
+            std::printf("%-8s %8.3f %8.2f %9.2fx %16llu\n",
+                        config.label.c_str(), r.ipc(), r.cpi(),
+                        base > 0 ? r.ipc() / base : 1.0,
+                        static_cast<unsigned long long>(
+                            r.prefIssued[static_cast<unsigned>(
+                                PrefetchOrigin::Imp)]));
+        }
+        std::printf("\n");
+    }
+    std::printf("The hash computation breaks IMP's affine pattern\n"
+                "matching; SVR taints straight through the multiply.\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Graph analytics at the edge: runs the GAP PageRank and BFS kernels
+ * on a Kronecker graph across the paper's four machines (in-order,
+ * in-order+IMP, out-of-order, SVR-16) and prints per-machine CPI,
+ * speedup, DRAM traffic, and energy — the scenario from the paper's
+ * introduction (privacy-preserving analytics on energy-efficient
+ * in-order cores).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/simulator.hh"
+#include "workloads/gap_kernels.hh"
+#include "workloads/suites.hh"
+
+using namespace svr;
+
+namespace
+{
+
+void
+runKernel(const char *title, const WorkloadSpec &spec)
+{
+    const std::vector<SimConfig> configs = {
+        presets::inorder(),
+        presets::impCore(),
+        presets::outOfOrder(),
+        presets::svrCore(16),
+    };
+
+    std::printf("== %s ==\n", title);
+    std::printf("%-8s %8s %8s %10s %12s %14s\n", "machine", "IPC", "CPI",
+                "speedup", "DRAM lines", "energy nJ/in");
+    double base = 0.0;
+    for (const auto &config : configs) {
+        const SimResult r = simulate(config, spec);
+        if (config.label == "InO")
+            base = r.ipc();
+        std::printf("%-8s %8.3f %8.2f %9.2fx %12llu %14.2f\n",
+                    config.label.c_str(), r.ipc(), r.cpi(),
+                    base > 0 ? r.ipc() / base : 1.0,
+                    static_cast<unsigned long long>(r.dramTransfers),
+                    r.energyPerInstr());
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+    runKernel("PageRank on Kronecker (PR_KR)", findWorkload("PR_KR"));
+    runKernel("Breadth-First Search on Kronecker (BFS_KR)",
+              findWorkload("BFS_KR"));
+    runKernel("Connected Components on Twitter-like (CC_TW)",
+              findWorkload("CC_TW"));
+    std::printf("SVR reaches out-of-order-class performance on these\n"
+                "irregular kernels from an in-order pipeline with ~2 KiB\n"
+                "of extra state.\n");
+    return 0;
+}

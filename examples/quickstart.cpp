@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Quickstart: build a tiny stride-indirect workload with the public
+ * API, run it on the three machines the paper compares (in-order,
+ * out-of-order, SVR), and print what SVR buys you.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+using namespace svr;
+
+namespace
+{
+
+/**
+ * The paper's motivating pattern (Listing 1 boiled down): a striding
+ * index load feeding a dependent irregular load,
+ *   for (i = 0; i < N; i++) sum += table[index[i]];
+ * with `table` far larger than the L2 so every indirect access is a
+ * DRAM miss on the baseline.
+ */
+WorkloadInstance
+makeStrideIndirect()
+{
+    auto mem = std::make_shared<FunctionalMemory>();
+    Rng rng(42);
+
+    const std::uint32_t num_indices = 1 << 20;
+    const std::uint32_t table_entries = 1 << 21; // 16 MiB of 8 B entries
+
+    std::vector<std::uint32_t> index(num_indices);
+    for (auto &v : index)
+        v = static_cast<std::uint32_t>(rng.nextBounded(table_entries));
+    const Addr index_base = layoutArray32(*mem, index);
+    const Addr table_base = layoutZeros(*mem, table_entries, 8);
+
+    ProgramBuilder b("quickstart");
+    b.li(5, table_base);
+    b.li(12, 0); // sum
+    b.label("top");
+    b.li(1, index_base);
+    b.li(2, index_base + static_cast<Addr>(num_indices) * 4);
+    b.label("loop");
+    b.lw(6, 1, 0);    // idx = index[i]   <- striding load (SVR trigger)
+    b.slli(7, 6, 3);
+    b.add(7, 5, 7);
+    b.ld(8, 7, 0);    // table[idx]       <- dependent irregular load
+    b.add(12, 12, 8);
+    b.addi(1, 1, 4);
+    b.cmp(1, 2);
+    b.blt("loop");
+    b.jmp("top");
+
+    WorkloadInstance w;
+    w.name = "stride-indirect";
+    w.mem = mem;
+    w.program = std::make_shared<Program>(b.build());
+    return w;
+}
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+
+    const SimConfig configs[] = {
+        presets::inorder(),
+        presets::outOfOrder(),
+        presets::svrCore(16),
+        presets::svrCore(64),
+    };
+
+    std::printf("workload: stride-indirect (sum += table[index[i]])\n\n");
+    std::printf("%-8s %10s %10s %12s %14s\n", "machine", "IPC", "CPI",
+                "DRAM-stall%", "energy nJ/inst");
+
+    double base_ipc = 0.0;
+    for (const auto &config : configs) {
+        const SimResult r = simulate(config, makeStrideIndirect());
+        if (config.label == "InO")
+            base_ipc = r.ipc();
+        const double dram_pct =
+            100.0 * static_cast<double>(r.core.stackDram) /
+            static_cast<double>(r.core.cycles);
+        std::printf("%-8s %10.3f %10.2f %11.1f%% %14.2f",
+                    config.label.c_str(), r.ipc(), r.cpi(), dram_pct,
+                    r.energyPerInstr());
+        if (config.label != "InO" && base_ipc > 0)
+            std::printf("   (%.2fx vs InO)", r.ipc() / base_ipc);
+        std::printf("\n");
+    }
+    std::printf("\nSVR hides the dependent-miss latency by issuing many "
+                "independent\nfuture iterations' loads from a simple "
+                "in-order pipeline.\n");
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * gem5-style status/error reporting: panic() for simulator bugs, fatal()
+ * for user/configuration errors, warn()/inform() for status messages.
+ */
+
+#ifndef SVR_COMMON_LOGGING_HH
+#define SVR_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace svr
+{
+
+/**
+ * Abort the simulation because of an internal simulator bug.
+ * Never returns.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Exit the simulation because of a user error (bad configuration,
+ * invalid arguments). Never returns.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a condition that may indicate incorrect behaviour. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it). */
+void setInformEnabled(bool enabled);
+
+} // namespace svr
+
+#endif // SVR_COMMON_LOGGING_HH

@@ -1,0 +1,88 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace svr
+{
+
+namespace
+{
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s)
+        word = splitMix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const std::uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::nextBounded called with bound 0");
+    // Simple modulo; bias is negligible for our bounds (<< 2^64).
+    return next() % bound;
+}
+
+double
+Rng::nextDouble()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Rng::nextPowerLaw(std::uint64_t max, double alpha)
+{
+    // Inverse-transform sampling of a continuous power law on [1, max],
+    // rounded down to an integer.
+    const double u = nextDouble();
+    const double one_minus_a = 1.0 - alpha;
+    const double max_d = static_cast<double>(max);
+    double x;
+    if (std::abs(one_minus_a) < 1e-9) {
+        x = std::exp(u * std::log(max_d));
+    } else {
+        const double hi = std::pow(max_d, one_minus_a);
+        x = std::pow(1.0 + u * (hi - 1.0), 1.0 / one_minus_a);
+    }
+    auto k = static_cast<std::uint64_t>(x);
+    if (k < 1)
+        k = 1;
+    if (k > max)
+        k = max;
+    return k;
+}
+
+} // namespace svr

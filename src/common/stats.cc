@@ -1,0 +1,126 @@
+#include "common/stats.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace svr
+{
+
+double
+harmonicMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double denom = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            panic("harmonicMean requires positive values (got %f)", v);
+        denom += 1.0 / v;
+    }
+    return values.size() / denom;
+}
+
+double
+arithmeticMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / values.size();
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            panic("geometricMean requires positive values (got %f)", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / values.size());
+}
+
+Histogram::Histogram(unsigned num_buckets, std::uint64_t bucket_width)
+    : buckets(num_buckets, 0), width(bucket_width)
+{
+    if (num_buckets == 0 || bucket_width == 0)
+        panic("Histogram requires nonzero bucket count and width");
+}
+
+void
+Histogram::sample(std::uint64_t value)
+{
+    std::uint64_t idx = value / width;
+    if (idx >= buckets.size())
+        idx = buckets.size() - 1;
+    buckets[idx]++;
+    total++;
+    sum += static_cast<double>(value);
+}
+
+double
+Histogram::mean() const
+{
+    return total == 0 ? 0.0 : sum / static_cast<double>(total);
+}
+
+std::uint64_t
+Histogram::bucketCount(unsigned idx) const
+{
+    if (idx >= buckets.size())
+        panic("Histogram bucket index %u out of range", idx);
+    return buckets[idx];
+}
+
+void
+Ewma::update(std::uint64_t sample)
+{
+    if (samples == 0) {
+        avg = sample;
+    } else {
+        avg = avg - (avg >> shift) + (sample >> shift);
+    }
+    samples++;
+}
+
+void
+Ewma::reset()
+{
+    avg = 0;
+    samples = 0;
+}
+
+SatCounter::SatCounter(unsigned bits, unsigned initial)
+    : maxVal((1u << bits) - 1), val(initial > maxVal ? maxVal : initial)
+{
+    if (bits == 0 || bits > 16)
+        panic("SatCounter width %u unsupported", bits);
+}
+
+void
+SatCounter::increment()
+{
+    if (val < maxVal)
+        val++;
+}
+
+void
+SatCounter::decrement()
+{
+    if (val > 0)
+        val--;
+}
+
+void
+SatCounter::set(unsigned v)
+{
+    val = v > maxVal ? maxVal : v;
+}
+
+} // namespace svr

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Lightweight statistics helpers: named counters, means, histograms.
+ */
+
+#ifndef SVR_COMMON_STATS_HH
+#define SVR_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace svr
+{
+
+/** Harmonic mean of a set of positive values (0 if empty). */
+double harmonicMean(const std::vector<double> &values);
+
+/** Arithmetic mean (0 if empty). */
+double arithmeticMean(const std::vector<double> &values);
+
+/** Geometric mean of positive values (0 if empty). */
+double geometricMean(const std::vector<double> &values);
+
+/**
+ * Fixed-bucket histogram over unsigned samples.
+ *
+ * Used for degree distributions, burst lengths, and test assertions on
+ * distribution shape.
+ */
+class Histogram
+{
+  public:
+    /** @param num_buckets number of buckets; @param bucket_width width. */
+    Histogram(unsigned num_buckets, std::uint64_t bucket_width);
+
+    /** Record one sample (clamped into the last bucket). */
+    void sample(std::uint64_t value);
+
+    /** Samples recorded so far. */
+    std::uint64_t count() const { return total; }
+
+    /** Mean of recorded samples. */
+    double mean() const;
+
+    /** Count in bucket @p idx. */
+    std::uint64_t bucketCount(unsigned idx) const;
+
+    /** Number of buckets. */
+    unsigned numBuckets() const { return buckets.size(); }
+
+  private:
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t width;
+    std::uint64_t total = 0;
+    double sum = 0.0;
+};
+
+/**
+ * Exponentially weighted moving average with power-of-two weighting,
+ * matching the paper's update rule: new = 7*old/8 + sample/8
+ * (for shift = 3). Stored in fixed point to mirror a hardware counter.
+ */
+class Ewma
+{
+  public:
+    /** @param shift weighting shift (3 gives the paper's 7/8-1/8 mix). */
+    explicit Ewma(unsigned shift = 3) : shift(shift) {}
+
+    /** Fold one sample into the average. */
+    void update(std::uint64_t sample);
+
+    /** Current average (integer, as a hardware register would hold). */
+    std::uint64_t value() const { return avg; }
+
+    /** True once at least one sample has been folded in. */
+    bool trained() const { return samples > 0; }
+
+    /** Reset to untrained state. */
+    void reset();
+
+  private:
+    unsigned shift;
+    std::uint64_t avg = 0;
+    std::uint64_t samples = 0;
+};
+
+/** 2-bit (or n-bit) saturating counter, as used all over the paper. */
+class SatCounter
+{
+  public:
+    /** @param bits counter width; @param initial initial value. */
+    explicit SatCounter(unsigned bits = 2, unsigned initial = 0);
+
+    /** Increment, saturating at the maximum. */
+    void increment();
+
+    /** Decrement, saturating at zero. */
+    void decrement();
+
+    /** Raw value. */
+    unsigned value() const { return val; }
+
+    /** Set raw value (clamped). */
+    void set(unsigned v);
+
+    /** True when the most significant bit is set. */
+    bool isSet() const { return val >= (maxVal + 1) / 2; }
+
+    /** True when saturated at the maximum. */
+    bool isMax() const { return val == maxVal; }
+
+    /** Maximum representable value. */
+    unsigned max() const { return maxVal; }
+
+  private:
+    unsigned maxVal;
+    unsigned val;
+};
+
+} // namespace svr
+
+#endif // SVR_COMMON_STATS_HH

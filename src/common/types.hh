@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef SVR_COMMON_TYPES_HH
+#define SVR_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace svr
+{
+
+/** Virtual (and, in this simulator, physical) byte address. */
+using Addr = std::uint64_t;
+
+/** Simulation time measured in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Architectural register value (64-bit integer lane). */
+using RegVal = std::uint64_t;
+
+/** Architectural register identifier (x0..x31, plus FLAGS). */
+using RegId = std::uint8_t;
+
+/** Dynamic-instruction sequence number. */
+using SeqNum = std::uint64_t;
+
+/** Number of general-purpose architectural registers. */
+inline constexpr unsigned numArchRegs = 32;
+
+/** Pseudo-register id used for the condition-flags register. */
+inline constexpr RegId flagsReg = 32;
+
+/** Total register ids tracked by taint/scoreboard structures. */
+inline constexpr unsigned numTrackedRegs = numArchRegs + 1;
+
+/** Sentinel for "no register operand". */
+inline constexpr RegId invalidReg = 0xff;
+
+/** Cache line size in bytes (Table III: 64 B everywhere). */
+inline constexpr unsigned cacheLineBytes = 64;
+
+/** Returns the cache-line-aligned address containing @p a. */
+constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(cacheLineBytes - 1);
+}
+
+/** Page size used by the address-translation model. */
+inline constexpr unsigned pageBytes = 4096;
+
+/** Returns the page-aligned address containing @p a. */
+constexpr Addr
+pageAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(pageBytes - 1);
+}
+
+} // namespace svr
+
+#endif // SVR_COMMON_TYPES_HH

@@ -1,0 +1,98 @@
+#include "core/branch_predictor.hh"
+
+#include "common/logging.hh"
+
+namespace svr
+{
+
+namespace
+{
+void
+trainCounter(std::uint8_t &ctr, bool up)
+{
+    if (up) {
+        if (ctr < 3)
+            ctr++;
+    } else {
+        if (ctr > 0)
+            ctr--;
+    }
+}
+} // namespace
+
+BranchPredictor::BranchPredictor(const BranchPredictorParams &params)
+    : p(params)
+{
+    if ((p.localHistoryEntries & (p.localHistoryEntries - 1)) != 0)
+        fatal("BranchPredictor: local entries must be a power of two");
+    localHistory.assign(p.localHistoryEntries, 0);
+    localCounters.assign(1u << p.localHistoryBits, 1);
+    globalCounters.assign(1u << p.globalHistoryBits, 1);
+    chooser.assign(1u << p.globalHistoryBits, 2);
+}
+
+unsigned
+BranchPredictor::localIndex(Addr pc) const
+{
+    return static_cast<unsigned>((pc >> 2) & (p.localHistoryEntries - 1));
+}
+
+unsigned
+BranchPredictor::globalIndex(Addr pc) const
+{
+    const unsigned mask = (1u << p.globalHistoryBits) - 1;
+    return static_cast<unsigned>(((pc >> 2) ^ globalHistory) & mask);
+}
+
+bool
+BranchPredictor::predict(Addr pc) const
+{
+    const std::uint16_t hist =
+        localHistory[localIndex(pc)] & ((1u << p.localHistoryBits) - 1);
+    const bool local_pred = localCounters[hist] >= 2;
+    const bool global_pred = globalCounters[globalIndex(pc)] >= 2;
+    const bool use_global = chooser[globalIndex(pc)] >= 2;
+    return use_global ? global_pred : local_pred;
+}
+
+bool
+BranchPredictor::update(Addr pc, bool taken)
+{
+    lookups++;
+    const unsigned li = localIndex(pc);
+    const std::uint16_t hist =
+        localHistory[li] & ((1u << p.localHistoryBits) - 1);
+    const unsigned gi = globalIndex(pc);
+
+    const bool local_pred = localCounters[hist] >= 2;
+    const bool global_pred = globalCounters[gi] >= 2;
+    const bool use_global = chooser[gi] >= 2;
+    const bool prediction = use_global ? global_pred : local_pred;
+    const bool mispredicted = prediction != taken;
+    if (mispredicted)
+        mispredicts++;
+
+    // Train the chooser toward whichever component was right.
+    if (local_pred != global_pred)
+        trainCounter(chooser[gi], global_pred == taken);
+    trainCounter(localCounters[hist], taken);
+    trainCounter(globalCounters[gi], taken);
+
+    localHistory[li] = static_cast<std::uint16_t>((hist << 1) | taken);
+    globalHistory = ((globalHistory << 1) | (taken ? 1 : 0)) &
+                    ((1u << p.globalHistoryBits) - 1);
+    return mispredicted;
+}
+
+void
+BranchPredictor::reset()
+{
+    std::fill(localHistory.begin(), localHistory.end(), 0);
+    std::fill(localCounters.begin(), localCounters.end(), 1);
+    std::fill(globalCounters.begin(), globalCounters.end(), 1);
+    std::fill(chooser.begin(), chooser.end(), 2);
+    globalHistory = 0;
+    lookups = mispredicts = 0;
+}
+
+} // namespace svr

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Hybrid local/global (tournament) conditional-branch predictor with a
+ * 10-cycle misprediction penalty (Table III).
+ */
+
+#ifndef SVR_CORE_BRANCH_PREDICTOR_HH
+#define SVR_CORE_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace svr
+{
+
+/** Branch predictor parameters. */
+struct BranchPredictorParams
+{
+    unsigned localHistoryEntries = 1024;
+    unsigned localHistoryBits = 10;
+    unsigned globalHistoryBits = 12;
+    unsigned mispredictPenalty = 10;
+};
+
+/**
+ * Tournament predictor: a local-history two-level predictor and a
+ * gshare global predictor, with a per-PC chooser.
+ */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BranchPredictorParams &params);
+
+    /** Predict the direction of the conditional branch at @p pc. */
+    bool predict(Addr pc) const;
+
+    /** Train with the actual outcome; returns true on mispredict. */
+    bool update(Addr pc, bool taken);
+
+    /** Misprediction penalty in cycles. */
+    unsigned penalty() const { return p.mispredictPenalty; }
+
+    /** Reset all tables. */
+    void reset();
+
+    std::uint64_t lookups = 0;
+    std::uint64_t mispredicts = 0;
+
+  private:
+    unsigned localIndex(Addr pc) const;
+    unsigned globalIndex(Addr pc) const;
+
+    BranchPredictorParams p;
+    std::vector<std::uint16_t> localHistory;
+    std::vector<std::uint8_t> localCounters;  //!< 2-bit
+    std::vector<std::uint8_t> globalCounters; //!< 2-bit
+    std::vector<std::uint8_t> chooser;        //!< 2-bit; >=2 prefers global
+    std::uint32_t globalHistory = 0;
+};
+
+} // namespace svr
+
+#endif // SVR_CORE_BRANCH_PREDICTOR_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Per-run core statistics, including the CPI-stack attribution used by
+ * Figure 3 and the event counts consumed by the energy model.
+ */
+
+#ifndef SVR_CORE_CORE_STATS_HH
+#define SVR_CORE_CORE_STATS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace svr
+{
+
+/** Statistics produced by one timing-simulation run. */
+struct CoreStats
+{
+    std::uint64_t instructions = 0; //!< committed program instructions
+    Cycle cycles = 0;               //!< total cycles
+
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t branchMispredicts = 0;
+
+    /** Transient scalar operations executed by SVR's SVU. */
+    std::uint64_t transientScalars = 0;
+    /** SVR prefetch memory accesses issued by transient lanes. */
+    std::uint64_t svrPrefetches = 0;
+    /** Rounds of piggyback runahead mode entered. */
+    std::uint64_t svrRounds = 0;
+
+    // CPI-stack attribution (cycles).
+    Cycle stackL2 = 0;     //!< stalled on a value from the L2
+    Cycle stackDram = 0;   //!< stalled on a value from DRAM
+    Cycle stackBranch = 0; //!< branch misprediction / redirect
+    Cycle stackSvu = 0;    //!< SVU lockstep issue blocking
+    Cycle stackOther = 0;  //!< fetch misses, TLB, structural
+
+    /** Base (non-stall) component: whatever is left. */
+    Cycle
+    stackBase() const
+    {
+        const Cycle stalls =
+            stackL2 + stackDram + stackBranch + stackSvu + stackOther;
+        return cycles > stalls ? cycles - stalls : 0;
+    }
+
+    double
+    cpi() const
+    {
+        return instructions == 0
+                   ? 0.0
+                   : static_cast<double>(cycles) /
+                         static_cast<double>(instructions);
+    }
+
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(instructions) /
+                                 static_cast<double>(cycles);
+    }
+};
+
+} // namespace svr
+
+#endif // SVR_CORE_CORE_STATS_HH

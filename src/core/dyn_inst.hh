@@ -1,0 +1,37 @@
+/**
+ * @file
+ * A dynamic instruction: one executed instance of a static instruction
+ * with all operand values, the effective address, and the branch
+ * outcome resolved functionally. Timing models replay these.
+ */
+
+#ifndef SVR_CORE_DYN_INST_HH
+#define SVR_CORE_DYN_INST_HH
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace svr
+{
+
+/** One dynamic instruction produced by the Executor. */
+struct DynInst
+{
+    SeqNum seq = 0;               //!< dynamic sequence number
+    Addr pc = 0;                  //!< synthetic PC
+    std::uint32_t index = 0;      //!< static instruction index
+    const Instruction *si = nullptr;
+
+    RegVal src1 = 0;              //!< value of rs1 at execution
+    RegVal src2 = 0;              //!< value of rs2 at execution
+    RegVal result = 0;            //!< value written to rd (if any)
+
+    Addr addr = 0;                //!< effective address for memory ops
+    bool taken = false;           //!< branch outcome
+    Addr targetPc = 0;            //!< branch target PC if taken
+    Flags flagsOut;               //!< flags produced by a compare
+};
+
+} // namespace svr
+
+#endif // SVR_CORE_DYN_INST_HH

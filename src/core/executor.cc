@@ -1,0 +1,119 @@
+#include "core/executor.hh"
+
+#include "common/logging.hh"
+
+namespace svr
+{
+
+Executor::Executor(const Program &program, FunctionalMemory &memory)
+    : prog(program), mem(memory)
+{
+}
+
+RegVal
+Executor::readReg(RegId r) const
+{
+    if (r >= numArchRegs)
+        panic("Executor::readReg: bad register %u", r);
+    return r == 0 ? 0 : regs[r];
+}
+
+void
+Executor::writeReg(RegId r, RegVal value)
+{
+    if (r >= numArchRegs)
+        panic("Executor::writeReg: bad register %u", r);
+    if (r != 0)
+        regs[r] = value;
+}
+
+void
+Executor::restart()
+{
+    regs.fill(0);
+    flagState = Flags{};
+    pcIdx = 0;
+    isHalted = false;
+    seq = 0;
+}
+
+DynInst
+Executor::step()
+{
+    if (isHalted)
+        panic("Executor::step called while halted (program '%s')",
+              prog.name().c_str());
+
+    const Instruction &inst = prog.at(pcIdx);
+    DynInst dyn;
+    dyn.seq = seq++;
+    dyn.pc = Program::pcOf(pcIdx);
+    dyn.index = static_cast<std::uint32_t>(pcIdx);
+    dyn.si = &inst;
+    dyn.src1 = inst.rs1 != invalidReg && inst.rs1 < numArchRegs
+                   ? readReg(inst.rs1)
+                   : 0;
+    dyn.src2 = inst.rs2 != invalidReg && inst.rs2 < numArchRegs
+                   ? readReg(inst.rs2)
+                   : 0;
+
+    std::size_t next_pc = pcIdx + 1;
+
+    switch (inst.op) {
+      case Opcode::Halt:
+        isHalted = true;
+        break;
+      case Opcode::Jmp:
+        dyn.taken = true;
+        next_pc = static_cast<std::size_t>(inst.imm);
+        dyn.targetPc = Program::pcOf(next_pc);
+        break;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Bltu:
+      case Opcode::Bgeu:
+        dyn.taken = evalCond(inst.op, flagState);
+        if (dyn.taken) {
+            next_pc = static_cast<std::size_t>(inst.imm);
+            dyn.targetPc = Program::pcOf(next_pc);
+        }
+        break;
+      case Opcode::Cmp:
+      case Opcode::Cmpi:
+      case Opcode::Fcmp:
+        flagState = evalCompare(inst, dyn.src1, dyn.src2);
+        dyn.flagsOut = flagState;
+        break;
+      case Opcode::Ld:
+      case Opcode::Lw:
+      case Opcode::Lh:
+      case Opcode::Lb:
+        dyn.addr = dyn.src1 + static_cast<Addr>(inst.imm);
+        dyn.result = mem.read(dyn.addr, inst.memBytes());
+        writeReg(inst.rd, dyn.result);
+        break;
+      case Opcode::Sd:
+      case Opcode::Sw:
+      case Opcode::Sh:
+      case Opcode::Sb:
+        dyn.addr = dyn.src1 + static_cast<Addr>(inst.imm);
+        mem.write(dyn.addr, dyn.src2, inst.memBytes());
+        break;
+      case Opcode::Nop:
+        break;
+      default:
+        // All remaining opcodes are register-writing ALU/FP ops.
+        dyn.result = evalAlu(inst, dyn.src1, dyn.src2);
+        writeReg(inst.rd, dyn.result);
+        break;
+    }
+
+    pcIdx = next_pc;
+    if (!isHalted && pcIdx >= prog.size())
+        isHalted = true;
+    return dyn;
+}
+
+} // namespace svr

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Functional interpreter: executes the program over functional memory,
+ * producing the dynamic instruction stream the timing models replay.
+ */
+
+#ifndef SVR_CORE_EXECUTOR_HH
+#define SVR_CORE_EXECUTOR_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "core/dyn_inst.hh"
+#include "isa/program.hh"
+#include "mem/functional_memory.hh"
+
+namespace svr
+{
+
+/**
+ * Architectural state + interpreter. The timing model calls step() to
+ * obtain the next dynamic instruction; values/addresses/outcomes are
+ * resolved immediately (functional-first execution, as in Sniper).
+ *
+ * SVR's loop-bound scavenging reads live architectural registers via
+ * readReg(), exactly as the hardware reads the physical register file.
+ */
+class Executor
+{
+  public:
+    Executor(const Program &program, FunctionalMemory &memory);
+
+    /** Execute the next instruction; undefined when halted(). */
+    DynInst step();
+
+    /** True once a Halt has executed or the PC ran off the program. */
+    bool halted() const { return isHalted; }
+
+    /** Dynamic instruction count so far. */
+    SeqNum instructionsExecuted() const { return seq; }
+
+    /** Read architectural register @p r (x0 reads as zero). */
+    RegVal readReg(RegId r) const;
+
+    /** Write architectural register @p r (x0 writes are ignored). */
+    void writeReg(RegId r, RegVal value);
+
+    /** Current flags register. */
+    const Flags &flags() const { return flagState; }
+
+    /** Current PC as a static instruction index. */
+    std::size_t pcIndex() const { return pcIdx; }
+
+    /** The program being executed. */
+    const Program &program() const { return prog; }
+
+    /** The functional memory backing this execution. */
+    FunctionalMemory &memory() { return mem; }
+
+    /** Restart from instruction 0 with zeroed registers. */
+    void restart();
+
+  private:
+    const Program &prog;
+    FunctionalMemory &mem;
+    std::array<RegVal, numArchRegs> regs{};
+    Flags flagState;
+    std::size_t pcIdx = 0;
+    bool isHalted = false;
+    SeqNum seq = 0;
+};
+
+} // namespace svr
+
+#endif // SVR_CORE_EXECUTOR_HH

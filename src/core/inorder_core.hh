@@ -1,0 +1,66 @@
+/**
+ * @file
+ * 3-wide stall-on-use in-order core modelled after the Arm Cortex-A510
+ * (Table III): scoreboard issue, no load/store queues, hybrid branch
+ * predictor, and an optional piggyback-runahead (SVR) engine.
+ */
+
+#ifndef SVR_CORE_INORDER_CORE_HH
+#define SVR_CORE_INORDER_CORE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "core/branch_predictor.hh"
+#include "core/core_stats.hh"
+#include "core/executor.hh"
+#include "core/runahead_iface.hh"
+#include "mem/memory_system.hh"
+
+namespace svr
+{
+
+/** In-order core parameters (Table III defaults). */
+struct InOrderParams
+{
+    unsigned width = 3;             //!< dispatch/commit width
+    unsigned scoreboardEntries = 32;
+    BranchPredictorParams bpred;
+};
+
+/**
+ * Timing model of a stall-on-use in-order superscalar.
+ *
+ * The model tracks per-register ready cycles: an instruction issues at
+ * the earliest cycle >= the previous instruction's issue cycle (strict
+ * program order) at which all its sources are ready and an issue slot
+ * is free. Loads do not stall the pipeline until their value is used
+ * (stall-on-use); concurrent misses are bounded by the L1 MSHRs.
+ */
+class InOrderCore
+{
+  public:
+    InOrderCore(const InOrderParams &params, MemorySystem &memory);
+
+    /** Attach a piggyback-runahead engine (nullptr to detach). */
+    void setRunaheadEngine(RunaheadEngine *engine) { runahead = engine; }
+
+    /**
+     * Run the timing simulation until @p max_instrs program
+     * instructions have committed or the program halts.
+     */
+    CoreStats run(Executor &exec, std::uint64_t max_instrs);
+
+    const BranchPredictor &branchPredictor() const { return bpred; }
+
+  private:
+    InOrderParams p;
+    MemorySystem &mem;
+    BranchPredictor bpred;
+    RunaheadEngine *runahead = nullptr;
+};
+
+} // namespace svr
+
+#endif // SVR_CORE_INORDER_CORE_HH

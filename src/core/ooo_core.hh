@@ -1,0 +1,56 @@
+/**
+ * @file
+ * 3-wide out-of-order core matched to the in-order core's in-flight
+ * capacity (Table III: ROB 32, reservation stations 32, LSQ 16).
+ */
+
+#ifndef SVR_CORE_OOO_CORE_HH
+#define SVR_CORE_OOO_CORE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "core/branch_predictor.hh"
+#include "core/core_stats.hh"
+#include "core/executor.hh"
+#include "mem/memory_system.hh"
+
+namespace svr
+{
+
+/** Out-of-order core parameters (Table III defaults). */
+struct OoOParams
+{
+    unsigned width = 3;   //!< dispatch/commit width
+    unsigned robSize = 32;
+    unsigned rsSize = 32;
+    unsigned lsqSize = 16;
+    BranchPredictorParams bpred;
+};
+
+/**
+ * Window-based out-of-order timing model: instructions dispatch in
+ * program order limited by ROB/RS/LSQ occupancy and width, issue when
+ * their operands are ready (dataflow), and commit in order. Memory
+ * level parallelism emerges from the window, exactly the mechanism the
+ * paper contrasts SVR against.
+ */
+class OoOCore
+{
+  public:
+    OoOCore(const OoOParams &params, MemorySystem &memory);
+
+    /** Run until @p max_instrs commit or the program halts. */
+    CoreStats run(Executor &exec, std::uint64_t max_instrs);
+
+    const BranchPredictor &branchPredictor() const { return bpred; }
+
+  private:
+    OoOParams p;
+    MemorySystem &mem;
+    BranchPredictor bpred;
+};
+
+} // namespace svr
+
+#endif // SVR_CORE_OOO_CORE_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Interface between the in-order core and a piggyback-runahead engine.
+ * The core notifies the engine of every issued instruction; the engine
+ * may generate transient scalar-vector copies and reports how long the
+ * SVU occupies the issue path (lockstep coupling).
+ */
+
+#ifndef SVR_CORE_RUNAHEAD_IFACE_HH
+#define SVR_CORE_RUNAHEAD_IFACE_HH
+
+#include "common/types.hh"
+#include "core/dyn_inst.hh"
+
+namespace svr
+{
+
+/** Abstract piggyback-runahead engine (implemented by svr::SvrEngine). */
+class RunaheadEngine
+{
+  public:
+    virtual ~RunaheadEngine() = default;
+
+    /**
+     * Observe one issued program instruction.
+     * @param dyn         the dynamic instruction
+     * @param issue_cycle cycle the core issued it
+     * @return earliest cycle the *next* program instruction may issue
+     *         (>= issue_cycle; larger when the SVU blocks issue while
+     *         creating scalar copies).
+     */
+    virtual Cycle onIssue(const DynInst &dyn, Cycle issue_cycle) = 0;
+
+    /** Reset for a new run. */
+    virtual void reset() = 0;
+
+    /** Transient scalar operations executed so far. */
+    virtual std::uint64_t transientScalars() const = 0;
+
+    /** Transient prefetch memory accesses issued so far. */
+    virtual std::uint64_t prefetchesIssued() const = 0;
+
+    /** Rounds of piggyback runahead mode entered so far. */
+    virtual std::uint64_t runaheadRounds() const = 0;
+};
+
+} // namespace svr
+
+#endif // SVR_CORE_RUNAHEAD_IFACE_HH

@@ -1,0 +1,58 @@
+#include "energy/energy_model.hh"
+
+#include "common/logging.hh"
+
+namespace svr
+{
+
+double
+EnergyBreakdown::perInstrNJ(std::uint64_t instructions) const
+{
+    return instructions == 0
+               ? 0.0
+               : totalNJ() / static_cast<double>(instructions);
+}
+
+double
+EnergyBreakdown::corePowerW(Cycle cycles, double freq_ghz) const
+{
+    if (cycles == 0)
+        return 0.0;
+    const double seconds = static_cast<double>(cycles) / (freq_ghz * 1e9);
+    const double core_nj =
+        coreStatic + coreDynamic + svrDynamic + svrStatic;
+    return core_nj * 1e-9 / seconds;
+}
+
+EnergyBreakdown
+computeEnergy(CoreKind kind, bool svr_on, const CoreStats &stats,
+              const MemEnergyEvents &memEvents, const EnergyParams &params)
+{
+    EnergyBreakdown e;
+    const double seconds =
+        static_cast<double>(stats.cycles) / (params.freqGHz * 1e9);
+
+    const double static_w = kind == CoreKind::InOrder
+                                ? params.inorderStaticW
+                                : params.oooStaticW;
+    const double instr_nj = kind == CoreKind::InOrder
+                                ? params.inorderInstrNJ
+                                : params.oooInstrNJ;
+
+    e.coreStatic = static_w * seconds * 1e9;
+    e.coreDynamic = instr_nj * static_cast<double>(stats.instructions);
+    if (svr_on) {
+        e.svrStatic = params.svrStaticW * seconds * 1e9;
+        e.svrDynamic =
+            params.svrScalarNJ * static_cast<double>(stats.transientScalars);
+    }
+    e.cacheDynamic =
+        params.l1AccessNJ * static_cast<double>(memEvents.l1Accesses) +
+        params.l2AccessNJ * static_cast<double>(memEvents.l2Accesses);
+    e.dramStatic = params.dramStaticW * seconds * 1e9;
+    e.dramDynamic =
+        params.dramLineNJ * static_cast<double>(memEvents.dramTransfers);
+    return e;
+}
+
+} // namespace svr

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * McPAT-style event-based energy model (paper section V uses McPAT
+ * v1.0 at 22 nm). Whole-system energy = core static power x runtime
+ * + per-event dynamic energies (instructions, cache accesses, DRAM
+ * transfers) + DRAM background power. Coefficients are calibrated so
+ * the averages match the paper's reported 0.12 W (in-order) and
+ * 1.01 W (out-of-order) core powers on these workloads.
+ */
+
+#ifndef SVR_ENERGY_ENERGY_MODEL_HH
+#define SVR_ENERGY_ENERGY_MODEL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "core/core_stats.hh"
+
+namespace svr
+{
+
+/** Which core the energy coefficients describe. */
+enum class CoreKind : std::uint8_t { InOrder, OutOfOrder };
+
+/** Energy/power coefficients (22 nm-ish defaults). */
+struct EnergyParams
+{
+    double freqGHz = 2.0;
+
+    // Core static power [W].
+    double inorderStaticW = 0.075;
+    double oooStaticW = 0.55;
+    double svrStaticW = 0.004; //!< ~2 KiB of extra SRAM + SVU logic
+
+    // Core dynamic energy per committed instruction [nJ].
+    double inorderInstrNJ = 0.045;
+    double oooInstrNJ = 0.42;
+    /** Transient SVR scalar (issue+execute only, no fetch/decode). */
+    double svrScalarNJ = 0.022;
+
+    // Cache dynamic energy per access [nJ].
+    double l1AccessNJ = 0.012;
+    double l2AccessNJ = 0.06;
+
+    // DRAM.
+    double dramStaticW = 0.50;   //!< background/refresh for the device
+    double dramLineNJ = 18.0;    //!< per 64 B transfer incl. I/O
+};
+
+/** Memory-side event counts feeding the model. */
+struct MemEnergyEvents
+{
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t dramTransfers = 0;
+};
+
+/** Energy breakdown for one run [nJ]. */
+struct EnergyBreakdown
+{
+    double coreStatic = 0.0;
+    double coreDynamic = 0.0;
+    double svrDynamic = 0.0;
+    double svrStatic = 0.0;
+    double cacheDynamic = 0.0;
+    double dramStatic = 0.0;
+    double dramDynamic = 0.0;
+
+    double
+    totalNJ() const
+    {
+        return coreStatic + coreDynamic + svrDynamic + svrStatic +
+               cacheDynamic + dramStatic + dramDynamic;
+    }
+
+    /** Whole-system energy per committed instruction [nJ]. */
+    double perInstrNJ(std::uint64_t instructions) const;
+
+    /** Average core power over the run [W] (excl. DRAM). */
+    double corePowerW(Cycle cycles, double freq_ghz) const;
+};
+
+/**
+ * Compute the run's energy.
+ * @param kind      core type (selects static/dynamic coefficients)
+ * @param svr_on    SVR structures present (adds their static power)
+ * @param stats     core statistics (cycles, instructions, scalars)
+ * @param memEvents cache/DRAM event counts
+ * @param params    coefficients
+ */
+EnergyBreakdown computeEnergy(CoreKind kind, bool svr_on,
+                              const CoreStats &stats,
+                              const MemEnergyEvents &memEvents,
+                              const EnergyParams &params = {});
+
+} // namespace svr
+
+#endif // SVR_ENERGY_ENERGY_MODEL_HH

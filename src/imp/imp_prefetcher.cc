@@ -1,0 +1,213 @@
+#include "imp/imp_prefetcher.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace svr
+{
+
+ImpPrefetcher::ImpPrefetcher(const ImpParams &params,
+                             FunctionalMemory &memory)
+    : p(params), mem(memory)
+{
+    if (p.streamEntries == 0 || p.patternEntries == 0 ||
+        p.candidateEntries == 0) {
+        fatal("ImpPrefetcher: table sizes must be nonzero");
+    }
+    streams.resize(p.streamEntries);
+    candidates.resize(p.candidateEntries);
+    patterns.resize(p.patternEntries);
+}
+
+ImpPrefetcher::StreamEntry *
+ImpPrefetcher::findStream(Addr pc)
+{
+    for (auto &s : streams) {
+        if (s.valid && s.pc == pc)
+            return &s;
+    }
+    return nullptr;
+}
+
+unsigned
+ImpPrefetcher::indexBytes(const StreamEntry &s) const
+{
+    const std::int64_t m = std::llabs(s.stride);
+    if (m == 1 || m == 2 || m == 4 || m == 8)
+        return static_cast<unsigned>(m);
+    return 8;
+}
+
+ImpPrefetcher::StreamEntry &
+ImpPrefetcher::trainStream(Addr pc, Addr addr)
+{
+    StreamEntry *entry = nullptr;
+    StreamEntry *victim = &streams[0];
+    for (auto &s : streams) {
+        if (s.valid && s.pc == pc) {
+            entry = &s;
+            break;
+        }
+        if (!s.valid || s.lastUse < victim->lastUse)
+            victim = &s;
+    }
+    if (!entry) {
+        *victim = StreamEntry{};
+        victim->pc = pc;
+        victim->valid = true;
+        victim->prevAddr = addr;
+        victim->lastUse = ++useClock;
+        return *victim;
+    }
+    entry->lastUse = ++useClock;
+    const auto delta = static_cast<std::int64_t>(addr) -
+                       static_cast<std::int64_t>(entry->prevAddr);
+    if (delta == entry->stride && delta != 0) {
+        if (entry->confidence < 3)
+            entry->confidence++;
+    } else {
+        if (entry->confidence > 0)
+            entry->confidence--;
+        if (entry->confidence == 0)
+            entry->stride = delta;
+    }
+    entry->prevAddr = addr;
+    return *entry;
+}
+
+void
+ImpPrefetcher::learnPattern(Addr indirect_pc, Addr miss_addr)
+{
+    // Pair the miss with each confident index stream's most recent
+    // value: if base = miss - (value << shift) repeats, we found an
+    // affine indirect pattern.
+    for (auto &s : streams) {
+        if (!s.valid || !s.hasValue || s.confidence < p.streamConfidence)
+            continue;
+        if (s.pc == indirect_pc)
+            continue;
+        for (unsigned shift : p.shifts) {
+            const Addr base = miss_addr - (s.lastValue << shift);
+            // Find or allocate the candidate slot for this
+            // (indirect, index) pair.
+            Candidate *cand = nullptr;
+            Candidate *victim = &candidates[0];
+            for (auto &c : candidates) {
+                if (c.valid && c.indirectPc == indirect_pc &&
+                    c.indexPc == s.pc && c.shift == shift) {
+                    cand = &c;
+                    break;
+                }
+                if (!c.valid || c.lastUse < victim->lastUse)
+                    victim = &c;
+            }
+            if (!cand) {
+                *victim = Candidate{};
+                victim->indirectPc = indirect_pc;
+                victim->indexPc = s.pc;
+                victim->valid = true;
+                victim->base = base;
+                victim->shift = shift;
+                victim->hits = 0;
+                victim->lastUse = ++useClock;
+                continue;
+            }
+            cand->lastUse = ++useClock;
+            if (cand->base == base) {
+                cand->hits++;
+                if (cand->hits >= p.patternConfidence) {
+                    // Promote to a confirmed pattern.
+                    Pattern *slot = nullptr;
+                    Pattern *pv = &patterns[0];
+                    for (auto &pat : patterns) {
+                        if (pat.valid && pat.indexPc == s.pc &&
+                            pat.base == base && pat.shift == shift) {
+                            slot = &pat;
+                            break;
+                        }
+                        if (!pat.valid || pat.lastUse < pv->lastUse)
+                            pv = &pat;
+                    }
+                    if (!slot) {
+                        *pv = Pattern{};
+                        pv->indexPc = s.pc;
+                        pv->valid = true;
+                        pv->base = base;
+                        pv->shift = shift;
+                        pv->confidence = p.patternConfidence;
+                        pv->lastUse = ++useClock;
+                        st.patternsLearned++;
+                    } else {
+                        slot->lastUse = ++useClock;
+                        if (slot->confidence < 3)
+                            slot->confidence++;
+                    }
+                }
+            } else {
+                if (cand->hits > 0)
+                    cand->hits--;
+                else
+                    cand->base = base;
+            }
+        }
+    }
+}
+
+ImpPrefetcher::Pattern *
+ImpPrefetcher::findPattern(Addr index_pc)
+{
+    Pattern *best = nullptr;
+    for (auto &pat : patterns) {
+        if (pat.valid && pat.indexPc == index_pc &&
+            pat.confidence >= p.patternConfidence) {
+            if (!best || pat.lastUse > best->lastUse)
+                best = &pat;
+        }
+    }
+    return best;
+}
+
+void
+ImpPrefetcher::observeLoad(Addr pc, Addr addr, bool l1_hit,
+                           std::vector<Addr> &out)
+{
+    StreamEntry &s = trainStream(pc, addr);
+    const bool striding = s.confidence >= p.streamConfidence &&
+                          s.stride != 0;
+    if (striding) {
+        // Record the index value (hardware reads it from the cache).
+        s.lastValue = mem.read(addr, indexBytes(s));
+        s.hasValue = true;
+        // Prefetch the indirect targets of the next `degree` indices.
+        if (Pattern *pat = findPattern(pc)) {
+            for (unsigned k = 1; k <= p.degree; k++) {
+                const auto idx_addr = static_cast<Addr>(
+                    static_cast<std::int64_t>(addr) +
+                    s.stride * static_cast<std::int64_t>(k));
+                const RegVal idx = mem.read(idx_addr, indexBytes(s));
+                const Addr target = pat->base + (idx << pat->shift);
+                out.push_back(lineAlign(target));
+                st.indirectPrefetches++;
+            }
+        }
+    } else if (!l1_hit) {
+        // A miss at a non-striding load is a candidate indirect access.
+        learnPattern(pc, addr);
+    }
+}
+
+void
+ImpPrefetcher::reset()
+{
+    for (auto &s : streams)
+        s = StreamEntry{};
+    for (auto &c : candidates)
+        c = Candidate{};
+    for (auto &pat : patterns)
+        pat = Pattern{};
+    useClock = 0;
+    st = ImpStats{};
+}
+
+} // namespace svr

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Indirect Memory Prefetcher (IMP) baseline, after Yu et al.
+ * (MICRO 2015): detects striding "index" loads at the L1D, learns
+ * affine indirect patterns addr = base + (index << shift) from
+ * (index value, miss address) pairs, and prefetches the indirect
+ * targets of future index values by reading ahead in the index
+ * stream — exactly as the hardware reads prefetched index lines.
+ *
+ * IMP is the paper's main prefetcher baseline: strong on simple
+ * stride-indirect loops (PR, IS, Graph500), helpless when the
+ * indirection is not affine in the loaded value (hash join, masked
+ * randacc, Kangaroo's permutation, SSSP's bucket walks).
+ */
+
+#ifndef SVR_IMP_IMP_PREFETCHER_HH
+#define SVR_IMP_IMP_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/functional_memory.hh"
+#include "mem/memory_system.hh"
+
+namespace svr
+{
+
+/** IMP configuration. */
+struct ImpParams
+{
+    unsigned streamEntries = 16;   //!< index-stream (stride) table size
+    unsigned patternEntries = 16;  //!< indirect-pattern table size
+    unsigned candidateEntries = 16;
+    unsigned degree = 16;          //!< indirect prefetches per trigger
+    unsigned streamConfidence = 2;
+    unsigned patternConfidence = 2;
+    std::vector<unsigned> shifts = {0, 1, 2, 3}; //!< candidate scales
+};
+
+/** IMP statistics. */
+struct ImpStats
+{
+    std::uint64_t patternsLearned = 0;
+    std::uint64_t indirectPrefetches = 0;
+    std::uint64_t streamPrefetches = 0;
+};
+
+/**
+ * The IMP prefetcher. Attached to the MemorySystem as a
+ * DemandObserver; reads index values from functional memory (the
+ * hardware equivalent reads them from prefetched cache lines).
+ */
+class ImpPrefetcher : public DemandObserver
+{
+  public:
+    ImpPrefetcher(const ImpParams &params, FunctionalMemory &memory);
+
+    void observeLoad(Addr pc, Addr addr, bool l1_hit,
+                     std::vector<Addr> &out) override;
+
+    /** Drop all learned state. */
+    void reset();
+
+    const ImpStats &stats() const { return st; }
+
+  private:
+    struct StreamEntry
+    {
+        Addr pc = 0;
+        bool valid = false;
+        Addr prevAddr = 0;
+        std::int64_t stride = 0;
+        unsigned confidence = 0;
+        RegVal lastValue = 0; //!< most recent index value
+        bool hasValue = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    struct Candidate
+    {
+        Addr indirectPc = 0;
+        Addr indexPc = 0;
+        bool valid = false;
+        Addr base = 0;
+        unsigned shift = 0;
+        unsigned hits = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    struct Pattern
+    {
+        Addr indexPc = 0;
+        bool valid = false;
+        Addr base = 0;
+        unsigned shift = 0;
+        unsigned confidence = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    StreamEntry *findStream(Addr pc);
+    StreamEntry &trainStream(Addr pc, Addr addr);
+    unsigned indexBytes(const StreamEntry &s) const;
+    void learnPattern(Addr indirect_pc, Addr miss_addr);
+    Pattern *findPattern(Addr index_pc);
+
+    ImpParams p;
+    FunctionalMemory &mem;
+    std::vector<StreamEntry> streams;
+    std::vector<Candidate> candidates;
+    std::vector<Pattern> patterns;
+    std::uint64_t useClock = 0;
+    ImpStats st;
+};
+
+} // namespace svr
+
+#endif // SVR_IMP_IMP_PREFETCHER_HH

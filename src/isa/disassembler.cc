@@ -1,0 +1,58 @@
+#include "isa/disassembler.hh"
+
+#include <sstream>
+
+namespace svr
+{
+
+std::string
+disassemble(const Instruction &inst)
+{
+    std::ostringstream os;
+    os << opcodeName(inst.op);
+    auto reg = [](RegId r) {
+        if (r == flagsReg)
+            return std::string("flags");
+        return "x" + std::to_string(static_cast<unsigned>(r));
+    };
+    if (inst.isLoad()) {
+        os << " " << reg(inst.rd) << ", [" << reg(inst.rs1) << " + "
+           << inst.imm << "]";
+    } else if (inst.isStore()) {
+        os << " " << reg(inst.rs2) << ", [" << reg(inst.rs1) << " + "
+           << inst.imm << "]";
+    } else if (inst.isCondBranch() || inst.op == Opcode::Jmp) {
+        os << " @" << inst.imm;
+    } else if (inst.op == Opcode::Li) {
+        os << " " << reg(inst.rd) << ", " << inst.imm;
+    } else if (inst.op == Opcode::Cmp || inst.op == Opcode::Fcmp) {
+        os << " " << reg(inst.rs1) << ", " << reg(inst.rs2);
+    } else if (inst.op == Opcode::Cmpi) {
+        os << " " << reg(inst.rs1) << ", " << inst.imm;
+    } else if (inst.op == Opcode::Halt || inst.op == Opcode::Nop) {
+        // mnemonic only
+    } else if (inst.rs2 == invalidReg) {
+        os << " " << reg(inst.rd) << ", " << reg(inst.rs1);
+        if (inst.op == Opcode::Addi || inst.op == Opcode::Andi ||
+            inst.op == Opcode::Ori || inst.op == Opcode::Xori ||
+            inst.op == Opcode::Slli || inst.op == Opcode::Srli ||
+            inst.op == Opcode::Srai) {
+            os << ", " << inst.imm;
+        }
+    } else {
+        os << " " << reg(inst.rd) << ", " << reg(inst.rs1) << ", "
+           << reg(inst.rs2);
+    }
+    return os.str();
+}
+
+std::string
+disassemble(const Program &prog)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < prog.size(); i++)
+        os << i << ":\t" << disassemble(prog.at(i)) << "\n";
+    return os.str();
+}
+
+} // namespace svr

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Textual disassembly of instructions and programs (debug aid).
+ */
+
+#ifndef SVR_ISA_DISASSEMBLER_HH
+#define SVR_ISA_DISASSEMBLER_HH
+
+#include <string>
+
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+
+namespace svr
+{
+
+/** Render one instruction as assembler-style text. */
+std::string disassemble(const Instruction &inst);
+
+/** Render a whole program, one instruction per line with indices. */
+std::string disassemble(const Program &prog);
+
+} // namespace svr
+
+#endif // SVR_ISA_DISASSEMBLER_HH

@@ -1,0 +1,345 @@
+#include "isa/instruction.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace svr
+{
+
+bool
+Instruction::isLoad() const
+{
+    switch (op) {
+      case Opcode::Ld:
+      case Opcode::Lw:
+      case Opcode::Lh:
+      case Opcode::Lb:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Instruction::isStore() const
+{
+    switch (op) {
+      case Opcode::Sd:
+      case Opcode::Sw:
+      case Opcode::Sh:
+      case Opcode::Sb:
+        return true;
+      default:
+        return false;
+    }
+}
+
+unsigned
+Instruction::memBytes() const
+{
+    switch (op) {
+      case Opcode::Ld:
+      case Opcode::Sd:
+        return 8;
+      case Opcode::Lw:
+      case Opcode::Sw:
+        return 4;
+      case Opcode::Lh:
+      case Opcode::Sh:
+        return 2;
+      case Opcode::Lb:
+      case Opcode::Sb:
+        return 1;
+      default:
+        return 0;
+    }
+}
+
+bool
+Instruction::isCondBranch() const
+{
+    switch (op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Bltu:
+      case Opcode::Bgeu:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Instruction::isControl() const
+{
+    return isCondBranch() || op == Opcode::Jmp || op == Opcode::Halt;
+}
+
+bool
+Instruction::isCompare() const
+{
+    return op == Opcode::Cmp || op == Opcode::Cmpi || op == Opcode::Fcmp;
+}
+
+bool
+Instruction::isFloat() const
+{
+    switch (op) {
+      case Opcode::Fadd:
+      case Opcode::Fsub:
+      case Opcode::Fmul:
+      case Opcode::Fdiv:
+      case Opcode::Fmin:
+      case Opcode::Fmax:
+      case Opcode::Fcmp:
+      case Opcode::Cvtif:
+      case Opcode::Cvtfi:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Instruction::writesIntReg() const
+{
+    if (isStore() || isCompare() || isControl() || op == Opcode::Nop)
+        return false;
+    return rd != invalidReg;
+}
+
+RegId
+Instruction::dest() const
+{
+    if (isCompare())
+        return flagsReg;
+    if (writesIntReg())
+        return rd;
+    return invalidReg;
+}
+
+std::array<RegId, 3>
+Instruction::sources() const
+{
+    std::array<RegId, 3> srcs = {invalidReg, invalidReg, invalidReg};
+    unsigned n = 0;
+    if (isCondBranch()) {
+        srcs[n++] = flagsReg;
+        return srcs;
+    }
+    if (op == Opcode::Jmp || op == Opcode::Halt || op == Opcode::Nop ||
+        op == Opcode::Li) {
+        return srcs;
+    }
+    if (rs1 != invalidReg)
+        srcs[n++] = rs1;
+    // rs2 is a source for reg-reg ALU, compares, and stores (data).
+    switch (op) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::Divu: case Opcode::Remu: case Opcode::And:
+      case Opcode::Or: case Opcode::Xor: case Opcode::Sll:
+      case Opcode::Srl: case Opcode::Sra: case Opcode::Cmp:
+      case Opcode::Fcmp: case Opcode::Fadd: case Opcode::Fsub:
+      case Opcode::Fmul: case Opcode::Fdiv: case Opcode::Fmin:
+      case Opcode::Fmax:
+      case Opcode::Sd: case Opcode::Sw: case Opcode::Sh: case Opcode::Sb:
+        if (rs2 != invalidReg)
+            srcs[n++] = rs2;
+        break;
+      default:
+        break;
+    }
+    return srcs;
+}
+
+unsigned
+Instruction::execLatency() const
+{
+    switch (op) {
+      case Opcode::Mul:
+        return 3;
+      case Opcode::Divu:
+      case Opcode::Remu:
+        return 12;
+      case Opcode::Fadd:
+      case Opcode::Fsub:
+      case Opcode::Fmin:
+      case Opcode::Fmax:
+      case Opcode::Cvtif:
+      case Opcode::Cvtfi:
+        return 3;
+      case Opcode::Fmul:
+        return 4;
+      case Opcode::Fdiv:
+        return 12;
+      default:
+        return 1;
+    }
+}
+
+namespace
+{
+double
+asDouble(RegVal v)
+{
+    return std::bit_cast<double>(v);
+}
+
+RegVal
+fromDouble(double d)
+{
+    return std::bit_cast<RegVal>(d);
+}
+} // namespace
+
+RegVal
+evalAlu(const Instruction &inst, RegVal a, RegVal b)
+{
+    const RegVal imm = static_cast<RegVal>(inst.imm);
+    switch (inst.op) {
+      case Opcode::Add: return a + b;
+      case Opcode::Sub: return a - b;
+      case Opcode::Mul: return a * b;
+      // Division by zero yields all-ones (RISC-V semantics); transient
+      // SVR lanes may divide garbage, which must be well-defined.
+      case Opcode::Divu: return b == 0 ? ~RegVal(0) : a / b;
+      case Opcode::Remu: return b == 0 ? a : a % b;
+      case Opcode::And: return a & b;
+      case Opcode::Or: return a | b;
+      case Opcode::Xor: return a ^ b;
+      case Opcode::Sll: return a << (b & 63);
+      case Opcode::Srl: return a >> (b & 63);
+      case Opcode::Sra:
+        return static_cast<RegVal>(static_cast<std::int64_t>(a) >> (b & 63));
+      case Opcode::Addi: return a + imm;
+      case Opcode::Andi: return a & imm;
+      case Opcode::Ori: return a | imm;
+      case Opcode::Xori: return a ^ imm;
+      case Opcode::Slli: return a << (imm & 63);
+      case Opcode::Srli: return a >> (imm & 63);
+      case Opcode::Srai:
+        return static_cast<RegVal>(static_cast<std::int64_t>(a) >>
+                                   (imm & 63));
+      case Opcode::Li: return imm;
+      case Opcode::Fadd: return fromDouble(asDouble(a) + asDouble(b));
+      case Opcode::Fsub: return fromDouble(asDouble(a) - asDouble(b));
+      case Opcode::Fmul: return fromDouble(asDouble(a) * asDouble(b));
+      case Opcode::Fdiv: return fromDouble(asDouble(a) / asDouble(b));
+      case Opcode::Fmin:
+        return fromDouble(std::fmin(asDouble(a), asDouble(b)));
+      case Opcode::Fmax:
+        return fromDouble(std::fmax(asDouble(a), asDouble(b)));
+      case Opcode::Cvtif:
+        return fromDouble(static_cast<double>(static_cast<std::int64_t>(a)));
+      case Opcode::Cvtfi:
+        return static_cast<RegVal>(static_cast<std::int64_t>(asDouble(a)));
+      case Opcode::Nop: return 0;
+      default:
+        panic("evalAlu called on non-ALU opcode %s", opcodeName(inst.op));
+    }
+}
+
+Flags
+evalCompare(const Instruction &inst, RegVal a, RegVal b)
+{
+    Flags f;
+    switch (inst.op) {
+      case Opcode::Cmp:
+      case Opcode::Cmpi: {
+        const RegVal rhs =
+            inst.op == Opcode::Cmpi ? static_cast<RegVal>(inst.imm) : b;
+        f.eq = a == rhs;
+        f.lt = static_cast<std::int64_t>(a) < static_cast<std::int64_t>(rhs);
+        f.ltu = a < rhs;
+        break;
+      }
+      case Opcode::Fcmp: {
+        const double da = asDouble(a);
+        const double db = asDouble(b);
+        f.eq = da == db;
+        f.lt = da < db;
+        f.ltu = f.lt;
+        break;
+      }
+      default:
+        panic("evalCompare called on non-compare opcode %s",
+              opcodeName(inst.op));
+    }
+    return f;
+}
+
+bool
+evalCond(Opcode op, const Flags &flags)
+{
+    switch (op) {
+      case Opcode::Beq: return flags.eq;
+      case Opcode::Bne: return !flags.eq;
+      case Opcode::Blt: return flags.lt;
+      case Opcode::Bge: return !flags.lt;
+      case Opcode::Bltu: return flags.ltu;
+      case Opcode::Bgeu: return !flags.ltu;
+      default:
+        panic("evalCond called on non-branch opcode %s", opcodeName(op));
+    }
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Divu: return "divu";
+      case Opcode::Remu: return "remu";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Sll: return "sll";
+      case Opcode::Srl: return "srl";
+      case Opcode::Sra: return "sra";
+      case Opcode::Addi: return "addi";
+      case Opcode::Andi: return "andi";
+      case Opcode::Ori: return "ori";
+      case Opcode::Xori: return "xori";
+      case Opcode::Slli: return "slli";
+      case Opcode::Srli: return "srli";
+      case Opcode::Srai: return "srai";
+      case Opcode::Li: return "li";
+      case Opcode::Ld: return "ld";
+      case Opcode::Lw: return "lw";
+      case Opcode::Lh: return "lh";
+      case Opcode::Lb: return "lb";
+      case Opcode::Sd: return "sd";
+      case Opcode::Sw: return "sw";
+      case Opcode::Sh: return "sh";
+      case Opcode::Sb: return "sb";
+      case Opcode::Cmp: return "cmp";
+      case Opcode::Cmpi: return "cmpi";
+      case Opcode::Fcmp: return "fcmp";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Bltu: return "bltu";
+      case Opcode::Bgeu: return "bgeu";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Halt: return "halt";
+      case Opcode::Fadd: return "fadd";
+      case Opcode::Fsub: return "fsub";
+      case Opcode::Fmul: return "fmul";
+      case Opcode::Fdiv: return "fdiv";
+      case Opcode::Fmin: return "fmin";
+      case Opcode::Fmax: return "fmax";
+      case Opcode::Cvtif: return "cvtif";
+      case Opcode::Cvtfi: return "cvtfi";
+      default: return "<bad>";
+    }
+}
+
+} // namespace svr

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The simulator's RISC-like micro-ISA.
+ *
+ * Workloads are written against this small IR and executed functionally
+ * over simulated memory. It deliberately mirrors the structure SVR cares
+ * about in a real ISA: base+offset loads/stores, reg-reg ALU chains,
+ * compare instructions that write a flags register, and conditional
+ * branches that read it (the paper's LC/LBD mechanisms key off exactly
+ * this compare/branch idiom).
+ */
+
+#ifndef SVR_ISA_INSTRUCTION_HH
+#define SVR_ISA_INSTRUCTION_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace svr
+{
+
+/** Micro-ISA opcodes. */
+enum class Opcode : std::uint8_t
+{
+    Nop,
+    // Integer reg-reg ALU.
+    Add, Sub, Mul, Divu, Remu, And, Or, Xor, Sll, Srl, Sra,
+    // Integer reg-imm ALU.
+    Addi, Andi, Ori, Xori, Slli, Srli, Srai,
+    // 64-bit immediate materialization.
+    Li,
+    // Loads: rd <- mem[rs1 + imm], zero-extended.
+    Ld, Lw, Lh, Lb,
+    // Stores: mem[rs1 + imm] <- rs2.
+    Sd, Sw, Sh, Sb,
+    // Compares writing the flags register.
+    Cmp, Cmpi, Fcmp,
+    // Conditional branches reading the flags register; imm = target index.
+    Beq, Bne, Blt, Bge, Bltu, Bgeu,
+    // Unconditional control flow.
+    Jmp, Halt,
+    // Double-precision FP (values bit-cast into 64-bit registers).
+    Fadd, Fsub, Fmul, Fdiv, Fmin, Fmax,
+    // Conversions.
+    Cvtif, Cvtfi,
+
+    NumOpcodes,
+};
+
+/** Condition flags produced by compare instructions. */
+struct Flags
+{
+    bool eq = false;  //!< operands equal
+    bool lt = false;  //!< rs1 < rs2, signed (or FP for Fcmp)
+    bool ltu = false; //!< rs1 < rs2, unsigned
+
+    bool operator==(const Flags &) const = default;
+};
+
+/**
+ * A static instruction. Operand roles by opcode class:
+ *  - ALU reg-reg: rd <- rs1 op rs2
+ *  - ALU reg-imm: rd <- rs1 op imm
+ *  - Load:        rd <- mem[rs1 + imm]
+ *  - Store:       mem[rs1 + imm] <- rs2
+ *  - Cmp/Fcmp:    flags <- compare(rs1, rs2); Cmpi: compare(rs1, imm)
+ *  - Branch:      if cond(flags) goto instruction index imm
+ *  - Jmp:         goto instruction index imm
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    RegId rd = invalidReg;
+    RegId rs1 = invalidReg;
+    RegId rs2 = invalidReg;
+    std::int64_t imm = 0;
+
+    /** True for all load opcodes. */
+    bool isLoad() const;
+    /** True for all store opcodes. */
+    bool isStore() const;
+    /** True for loads and stores. */
+    bool isMem() const { return isLoad() || isStore(); }
+    /** Access size in bytes for memory ops (0 otherwise). */
+    unsigned memBytes() const;
+    /** True for conditional branches. */
+    bool isCondBranch() const;
+    /** True for any control-flow instruction (branch, jmp, halt). */
+    bool isControl() const;
+    /** True for compare instructions (they write the flags register). */
+    bool isCompare() const;
+    /** True for FP-datapath instructions. */
+    bool isFloat() const;
+    /** True if the instruction produces a value in rd. */
+    bool writesIntReg() const;
+    /**
+     * Destination register id including the flags pseudo-register
+     * (invalidReg when the instruction writes nothing).
+     */
+    RegId dest() const;
+    /**
+     * Source registers, including flagsReg for conditional branches.
+     * Unused slots hold invalidReg.
+     */
+    std::array<RegId, 3> sources() const;
+    /** Execution latency in cycles on the modelled pipeline. */
+    unsigned execLatency() const;
+};
+
+/** Evaluate a (non-memory, non-control) ALU/FP operation functionally. */
+RegVal evalAlu(const Instruction &inst, RegVal a, RegVal b);
+
+/** Evaluate a compare instruction's flag result. */
+Flags evalCompare(const Instruction &inst, RegVal a, RegVal b);
+
+/** Evaluate a conditional branch's taken/not-taken outcome. */
+bool evalCond(Opcode op, const Flags &flags);
+
+/** Opcode mnemonic for disassembly and debugging. */
+const char *opcodeName(Opcode op);
+
+} // namespace svr
+
+#endif // SVR_ISA_INSTRUCTION_HH

@@ -1,0 +1,149 @@
+#include "isa/program.hh"
+
+#include "common/logging.hh"
+
+namespace svr
+{
+
+Program::Program(std::string name, std::vector<Instruction> instrs)
+    : progName(std::move(name)), code(std::move(instrs))
+{
+    if (code.empty())
+        fatal("Program '%s' has no instructions", progName.c_str());
+}
+
+const Instruction &
+Program::at(std::size_t idx) const
+{
+    if (idx >= code.size())
+        panic("Program '%s': instruction index %zu out of range (size %zu)",
+              progName.c_str(), idx, code.size());
+    return code[idx];
+}
+
+ProgramBuilder::ProgramBuilder(std::string name) : progName(std::move(name))
+{
+}
+
+void
+ProgramBuilder::label(const std::string &label)
+{
+    if (labels.count(label))
+        fatal("ProgramBuilder '%s': duplicate label '%s'", progName.c_str(),
+              label.c_str());
+    labels[label] = code.size();
+}
+
+void
+ProgramBuilder::checkReg(RegId r, bool is_dest) const
+{
+    if (r >= numArchRegs)
+        fatal("ProgramBuilder '%s': bad register x%u", progName.c_str(), r);
+    if (is_dest && r == 0)
+        fatal("ProgramBuilder '%s': x0 is read-only", progName.c_str());
+}
+
+void
+ProgramBuilder::emitRRR(Opcode op, RegId rd, RegId rs1, RegId rs2)
+{
+    checkReg(rd, true);
+    checkReg(rs1, false);
+    if (rs2 != invalidReg)
+        checkReg(rs2, false);
+    code.push_back({op, rd, rs1, rs2, 0});
+}
+
+void
+ProgramBuilder::emitRRI(Opcode op, RegId rd, RegId rs1, std::int64_t imm)
+{
+    checkReg(rd, true);
+    checkReg(rs1, false);
+    code.push_back({op, rd, rs1, invalidReg, imm});
+}
+
+void
+ProgramBuilder::li(RegId rd, std::uint64_t imm)
+{
+    checkReg(rd, true);
+    code.push_back({Opcode::Li, rd, invalidReg, invalidReg,
+                    static_cast<std::int64_t>(imm)});
+}
+
+void
+ProgramBuilder::nop()
+{
+    code.push_back({Opcode::Nop, invalidReg, invalidReg, invalidReg, 0});
+}
+
+void
+ProgramBuilder::emitLoad(Opcode op, RegId rd, RegId base, std::int64_t off)
+{
+    checkReg(rd, true);
+    checkReg(base, false);
+    code.push_back({op, rd, base, invalidReg, off});
+}
+
+void
+ProgramBuilder::emitStore(Opcode op, RegId data, RegId base, std::int64_t off)
+{
+    checkReg(data, false);
+    checkReg(base, false);
+    code.push_back({op, invalidReg, base, data, off});
+}
+
+void
+ProgramBuilder::cmp(RegId rs1, RegId rs2)
+{
+    checkReg(rs1, false);
+    checkReg(rs2, false);
+    code.push_back({Opcode::Cmp, invalidReg, rs1, rs2, 0});
+}
+
+void
+ProgramBuilder::cmpi(RegId rs1, std::int64_t imm)
+{
+    checkReg(rs1, false);
+    code.push_back({Opcode::Cmpi, invalidReg, rs1, invalidReg, imm});
+}
+
+void
+ProgramBuilder::fcmp(RegId rs1, RegId rs2)
+{
+    checkReg(rs1, false);
+    checkReg(rs2, false);
+    code.push_back({Opcode::Fcmp, invalidReg, rs1, rs2, 0});
+}
+
+void
+ProgramBuilder::emitBranch(Opcode op, const std::string &target)
+{
+    fixups.emplace_back(code.size(), target);
+    code.push_back({op, invalidReg, invalidReg, invalidReg, 0});
+}
+
+void
+ProgramBuilder::halt()
+{
+    code.push_back({Opcode::Halt, invalidReg, invalidReg, invalidReg, 0});
+}
+
+Program
+ProgramBuilder::build()
+{
+    if (built)
+        fatal("ProgramBuilder '%s': build() called twice", progName.c_str());
+    built = true;
+    for (const auto &[idx, label] : fixups) {
+        auto it = labels.find(label);
+        if (it == labels.end())
+            fatal("ProgramBuilder '%s': undefined label '%s'",
+                  progName.c_str(), label.c_str());
+        if (it->second >= code.size())
+            fatal("ProgramBuilder '%s': label '%s' past end of program",
+                  progName.c_str(), label.c_str());
+        code[idx].imm = static_cast<std::int64_t>(it->second);
+    }
+    return Program(progName, std::move(code));
+}
+
+} // namespace svr

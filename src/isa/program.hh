@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Static programs and the assembler-style builder used by workloads.
+ */
+
+#ifndef SVR_ISA_PROGRAM_HH
+#define SVR_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace svr
+{
+
+/** Base virtual address of the code segment (for synthetic PCs). */
+inline constexpr Addr codeBase = 0x400000;
+
+/** Bytes per instruction slot in the synthetic PC space. */
+inline constexpr Addr instrBytes = 4;
+
+/**
+ * An immutable sequence of static instructions with a name.
+ * Instruction storage is stable for the lifetime of the Program, so
+ * timing models may hold `const Instruction*` into it.
+ */
+class Program
+{
+  public:
+    Program(std::string name, std::vector<Instruction> instrs);
+
+    /** Program name (for reports). */
+    const std::string &name() const { return progName; }
+
+    /** Number of static instructions. */
+    std::size_t size() const { return code.size(); }
+
+    /** Instruction at static index @p idx. */
+    const Instruction &at(std::size_t idx) const;
+
+    /** Synthetic PC of static index @p idx. */
+    static Addr pcOf(std::size_t idx) { return codeBase + idx * instrBytes; }
+
+    /** Static index of synthetic PC @p pc. */
+    static std::size_t indexOf(Addr pc) { return (pc - codeBase) / instrBytes; }
+
+  private:
+    std::string progName;
+    std::vector<Instruction> code;
+};
+
+/**
+ * Assembler-style builder. Emits instructions with named labels for
+ * branch targets; build() resolves labels and validates the program.
+ *
+ * Register convention used by the workloads (informal):
+ *   x0       always zero
+ *   x1..x27  general purpose
+ *   x28..x31 workload-reserved scratch
+ */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name);
+
+    /** Bind @p label to the next emitted instruction. */
+    void label(const std::string &label);
+
+    // -- Integer ALU ------------------------------------------------------
+    void add(RegId rd, RegId rs1, RegId rs2) { emitRRR(Opcode::Add, rd, rs1, rs2); }
+    void sub(RegId rd, RegId rs1, RegId rs2) { emitRRR(Opcode::Sub, rd, rs1, rs2); }
+    void mul(RegId rd, RegId rs1, RegId rs2) { emitRRR(Opcode::Mul, rd, rs1, rs2); }
+    void divu(RegId rd, RegId rs1, RegId rs2) { emitRRR(Opcode::Divu, rd, rs1, rs2); }
+    void remu(RegId rd, RegId rs1, RegId rs2) { emitRRR(Opcode::Remu, rd, rs1, rs2); }
+    void and_(RegId rd, RegId rs1, RegId rs2) { emitRRR(Opcode::And, rd, rs1, rs2); }
+    void or_(RegId rd, RegId rs1, RegId rs2) { emitRRR(Opcode::Or, rd, rs1, rs2); }
+    void xor_(RegId rd, RegId rs1, RegId rs2) { emitRRR(Opcode::Xor, rd, rs1, rs2); }
+    void sll(RegId rd, RegId rs1, RegId rs2) { emitRRR(Opcode::Sll, rd, rs1, rs2); }
+    void srl(RegId rd, RegId rs1, RegId rs2) { emitRRR(Opcode::Srl, rd, rs1, rs2); }
+    void sra(RegId rd, RegId rs1, RegId rs2) { emitRRR(Opcode::Sra, rd, rs1, rs2); }
+
+    void addi(RegId rd, RegId rs1, std::int64_t imm) { emitRRI(Opcode::Addi, rd, rs1, imm); }
+    void andi(RegId rd, RegId rs1, std::int64_t imm) { emitRRI(Opcode::Andi, rd, rs1, imm); }
+    void ori(RegId rd, RegId rs1, std::int64_t imm) { emitRRI(Opcode::Ori, rd, rs1, imm); }
+    void xori(RegId rd, RegId rs1, std::int64_t imm) { emitRRI(Opcode::Xori, rd, rs1, imm); }
+    void slli(RegId rd, RegId rs1, std::int64_t imm) { emitRRI(Opcode::Slli, rd, rs1, imm); }
+    void srli(RegId rd, RegId rs1, std::int64_t imm) { emitRRI(Opcode::Srli, rd, rs1, imm); }
+    void srai(RegId rd, RegId rs1, std::int64_t imm) { emitRRI(Opcode::Srai, rd, rs1, imm); }
+
+    /** rd <- 64-bit immediate. */
+    void li(RegId rd, std::uint64_t imm);
+    /** rd <- rs (pseudo: addi rd, rs, 0). */
+    void mov(RegId rd, RegId rs) { addi(rd, rs, 0); }
+    void nop();
+
+    // -- Memory -----------------------------------------------------------
+    void ld(RegId rd, RegId base, std::int64_t off) { emitLoad(Opcode::Ld, rd, base, off); }
+    void lw(RegId rd, RegId base, std::int64_t off) { emitLoad(Opcode::Lw, rd, base, off); }
+    void lh(RegId rd, RegId base, std::int64_t off) { emitLoad(Opcode::Lh, rd, base, off); }
+    void lb(RegId rd, RegId base, std::int64_t off) { emitLoad(Opcode::Lb, rd, base, off); }
+    void sd(RegId data, RegId base, std::int64_t off) { emitStore(Opcode::Sd, data, base, off); }
+    void sw(RegId data, RegId base, std::int64_t off) { emitStore(Opcode::Sw, data, base, off); }
+    void sh(RegId data, RegId base, std::int64_t off) { emitStore(Opcode::Sh, data, base, off); }
+    void sb(RegId data, RegId base, std::int64_t off) { emitStore(Opcode::Sb, data, base, off); }
+
+    // -- Compare / branch -------------------------------------------------
+    void cmp(RegId rs1, RegId rs2);
+    void cmpi(RegId rs1, std::int64_t imm);
+    void fcmp(RegId rs1, RegId rs2);
+    void beq(const std::string &target) { emitBranch(Opcode::Beq, target); }
+    void bne(const std::string &target) { emitBranch(Opcode::Bne, target); }
+    void blt(const std::string &target) { emitBranch(Opcode::Blt, target); }
+    void bge(const std::string &target) { emitBranch(Opcode::Bge, target); }
+    void bltu(const std::string &target) { emitBranch(Opcode::Bltu, target); }
+    void bgeu(const std::string &target) { emitBranch(Opcode::Bgeu, target); }
+    void jmp(const std::string &target) { emitBranch(Opcode::Jmp, target); }
+    void halt();
+
+    // -- Floating point ----------------------------------------------------
+    void fadd(RegId rd, RegId rs1, RegId rs2) { emitRRR(Opcode::Fadd, rd, rs1, rs2); }
+    void fsub(RegId rd, RegId rs1, RegId rs2) { emitRRR(Opcode::Fsub, rd, rs1, rs2); }
+    void fmul(RegId rd, RegId rs1, RegId rs2) { emitRRR(Opcode::Fmul, rd, rs1, rs2); }
+    void fdiv(RegId rd, RegId rs1, RegId rs2) { emitRRR(Opcode::Fdiv, rd, rs1, rs2); }
+    void fmin(RegId rd, RegId rs1, RegId rs2) { emitRRR(Opcode::Fmin, rd, rs1, rs2); }
+    void fmax(RegId rd, RegId rs1, RegId rs2) { emitRRR(Opcode::Fmax, rd, rs1, rs2); }
+    void cvtif(RegId rd, RegId rs1) { emitRRR(Opcode::Cvtif, rd, rs1, invalidReg); }
+    void cvtfi(RegId rd, RegId rs1) { emitRRR(Opcode::Cvtfi, rd, rs1, invalidReg); }
+
+    /** Number of instructions emitted so far. */
+    std::size_t size() const { return code.size(); }
+
+    /** Resolve labels, validate, and produce the Program. */
+    Program build();
+
+  private:
+    void emitRRR(Opcode op, RegId rd, RegId rs1, RegId rs2);
+    void emitRRI(Opcode op, RegId rd, RegId rs1, std::int64_t imm);
+    void emitLoad(Opcode op, RegId rd, RegId base, std::int64_t off);
+    void emitStore(Opcode op, RegId data, RegId base, std::int64_t off);
+    void emitBranch(Opcode op, const std::string &target);
+    void checkReg(RegId r, bool is_dest) const;
+
+    std::string progName;
+    std::vector<Instruction> code;
+    std::map<std::string, std::size_t> labels;
+    // (instruction index, label) pairs awaiting resolution
+    std::vector<std::pair<std::size_t, std::string>> fixups;
+    bool built = false;
+};
+
+} // namespace svr
+
+#endif // SVR_ISA_PROGRAM_HH

@@ -1,0 +1,234 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace svr
+{
+
+Cache::Cache(const CacheParams &params) : p(params)
+{
+    if (p.sizeBytes == 0 || p.assoc == 0)
+        fatal("Cache '%s': bad geometry", p.name.c_str());
+    const std::uint64_t num_lines = p.sizeBytes / cacheLineBytes;
+    if (num_lines % p.assoc != 0)
+        fatal("Cache '%s': size/assoc mismatch", p.name.c_str());
+    numSets = static_cast<unsigned>(num_lines / p.assoc);
+    if ((numSets & (numSets - 1)) != 0)
+        fatal("Cache '%s': number of sets must be a power of two",
+              p.name.c_str());
+    lines.resize(num_lines);
+    if (p.numMshrs == 0)
+        fatal("Cache '%s': need at least one MSHR", p.name.c_str());
+    mshrFreeAt.assign(p.numMshrs, 0);
+}
+
+unsigned
+Cache::setIndex(Addr line_addr) const
+{
+    return static_cast<unsigned>((line_addr / cacheLineBytes) &
+                                 (numSets - 1));
+}
+
+bool
+Cache::lookup(Addr line_addr, bool is_demand, bool &out_first_use,
+              PrefetchOrigin &out_origin)
+{
+    out_first_use = false;
+    out_origin = PrefetchOrigin::None;
+    const unsigned set = setIndex(line_addr);
+    Line *base = &lines[static_cast<std::size_t>(set) * p.assoc];
+    for (unsigned w = 0; w < p.assoc; w++) {
+        Line &line = base[w];
+        if (line.valid && line.tag == line_addr) {
+            hits++;
+            line.lastUse = ++useClock;
+            out_origin = line.origin;
+            if (is_demand && line.origin != PrefetchOrigin::None &&
+                !line.prefUsed) {
+                line.prefUsed = true;
+                out_first_use = true;
+                prefetchFirstUse[static_cast<unsigned>(line.origin)]++;
+            }
+            return true;
+        }
+    }
+    misses++;
+    return false;
+}
+
+bool
+Cache::contains(Addr line_addr) const
+{
+    const unsigned set = setIndex(line_addr);
+    const Line *base = &lines[static_cast<std::size_t>(set) * p.assoc];
+    for (unsigned w = 0; w < p.assoc; w++) {
+        if (base[w].valid && base[w].tag == line_addr)
+            return true;
+    }
+    return false;
+}
+
+EvictResult
+Cache::insert(Addr line_addr, PrefetchOrigin origin, bool dirty)
+{
+    EvictResult result;
+    const unsigned set = setIndex(line_addr);
+    Line *base = &lines[static_cast<std::size_t>(set) * p.assoc];
+    // If already present (e.g. a racing fill), just update.
+    for (unsigned w = 0; w < p.assoc; w++) {
+        if (base[w].valid && base[w].tag == line_addr) {
+            base[w].dirty = base[w].dirty || dirty;
+            return result;
+        }
+    }
+    // Choose an invalid way, else the LRU way.
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < p.assoc; w++) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+    }
+    if (!victim) {
+        victim = base;
+        for (unsigned w = 1; w < p.assoc; w++) {
+            if (base[w].lastUse < victim->lastUse)
+                victim = &base[w];
+        }
+        result.evictedValid = true;
+        result.evictedDirty = victim->dirty;
+        result.evictedLine = victim->tag;
+        result.evictedOrigin = victim->origin;
+        if (victim->origin != PrefetchOrigin::None && !victim->prefUsed) {
+            result.evictedUnusedPrefetch = true;
+            prefetchEvictedUnused[static_cast<unsigned>(victim->origin)]++;
+        }
+        if (victim->dirty)
+            writebacks++;
+    }
+    victim->tag = line_addr;
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->lastUse = ++useClock;
+    victim->origin = origin;
+    victim->prefUsed = false;
+    return result;
+}
+
+void
+Cache::setDirty(Addr line_addr)
+{
+    const unsigned set = setIndex(line_addr);
+    Line *base = &lines[static_cast<std::size_t>(set) * p.assoc];
+    for (unsigned w = 0; w < p.assoc; w++) {
+        if (base[w].valid && base[w].tag == line_addr) {
+            base[w].dirty = true;
+            return;
+        }
+    }
+}
+
+void
+Cache::reset()
+{
+    for (auto &line : lines)
+        line = Line{};
+    useClock = 0;
+    std::fill(mshrFreeAt.begin(), mshrFreeAt.end(), 0);
+    outstanding.clear();
+    hits = misses = writebacks = 0;
+    for (unsigned i = 0; i < 4; i++) {
+        prefetchFirstUse[i] = 0;
+        prefetchEvictedUnused[i] = 0;
+    }
+}
+
+Cycle
+Cache::outstandingMiss(Addr line_addr, Cycle now) const
+{
+    auto it = outstanding.find(line_addr);
+    if (it == outstanding.end())
+        return 0;
+    return it->second.done > now ? it->second.done : 0;
+}
+
+Cycle
+Cache::mshrAvailable(Cycle now) const
+{
+    Cycle earliest = mshrFreeAt[0];
+    for (Cycle c : mshrFreeAt)
+        earliest = std::min(earliest, c);
+    return std::max(now, earliest);
+}
+
+void
+Cache::allocateMshr(Addr line_addr, Cycle start, Cycle done)
+{
+    // Occupy the MSHR that frees earliest.
+    auto it = std::min_element(mshrFreeAt.begin(), mshrFreeAt.end());
+    if (*it > start)
+        panic("Cache '%s': MSHR allocated before one is free", p.name.c_str());
+    *it = done;
+    outstanding[line_addr] = {done, PrefetchOrigin::None, false, false};
+}
+
+void
+Cache::setPendingFill(Addr line_addr, PrefetchOrigin origin, bool dirty,
+                      bool from_dram)
+{
+    auto it = outstanding.find(line_addr);
+    if (it == outstanding.end())
+        panic("Cache '%s': setPendingFill on non-outstanding line",
+              p.name.c_str());
+    it->second.origin = origin;
+    it->second.dirty = it->second.dirty || dirty;
+    it->second.fromDram = from_dram;
+}
+
+PrefetchOrigin
+Cache::pendingOrigin(Addr line_addr) const
+{
+    auto it = outstanding.find(line_addr);
+    return it == outstanding.end() ? PrefetchOrigin::None
+                                   : it->second.origin;
+}
+
+void
+Cache::convertPendingToDemand(Addr line_addr)
+{
+    auto it = outstanding.find(line_addr);
+    if (it == outstanding.end() ||
+        it->second.origin == PrefetchOrigin::None) {
+        return;
+    }
+    prefetchFirstUse[static_cast<unsigned>(it->second.origin)]++;
+    it->second.origin = PrefetchOrigin::None;
+}
+
+bool
+Cache::pendingFromDram(Addr line_addr) const
+{
+    auto it = outstanding.find(line_addr);
+    return it != outstanding.end() && it->second.fromDram;
+}
+
+void
+Cache::markPrefetchUsed(Addr line_addr)
+{
+    const unsigned set = setIndex(line_addr);
+    Line *base = &lines[static_cast<std::size_t>(set) * p.assoc];
+    for (unsigned w = 0; w < p.assoc; w++) {
+        Line &line = base[w];
+        if (line.valid && line.tag == line_addr) {
+            if (line.origin != PrefetchOrigin::None && !line.prefUsed) {
+                line.prefUsed = true;
+                prefetchFirstUse[static_cast<unsigned>(line.origin)]++;
+            }
+            return;
+        }
+    }
+}
+
+} // namespace svr

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Set-associative write-back cache with LRU replacement, MSHRs, and
+ * per-line prefetch tags (who brought the line in, and whether it has
+ * been demanded since) — the tags drive both SVR's accuracy governor
+ * and the paper's Figure 13 accuracy metric.
+ */
+
+#ifndef SVR_MEM_CACHE_HH
+#define SVR_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace svr
+{
+
+/** Who caused a cache line to be filled. */
+enum class PrefetchOrigin : std::uint8_t
+{
+    None,   //!< demand fill
+    Stride, //!< baseline L1D stride prefetcher
+    Svr,    //!< SVR scalar-vector runahead prefetch
+    Imp,    //!< indirect memory prefetcher
+};
+
+/** Cache geometry and timing parameters. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 64 * 1024;
+    unsigned assoc = 4;
+    unsigned hitLatency = 3;
+    unsigned numMshrs = 16;
+};
+
+/** Result of inserting a line (describes the eviction victim, if any). */
+struct EvictResult
+{
+    bool evictedValid = false;
+    bool evictedDirty = false;
+    Addr evictedLine = 0;
+    /** Victim carried a prefetch tag and was never demanded. */
+    bool evictedUnusedPrefetch = false;
+    PrefetchOrigin evictedOrigin = PrefetchOrigin::None;
+};
+
+/**
+ * One cache level. Pure state container: lookup/insert/MSHR tracking.
+ * The MemorySystem composes levels into a hierarchy and owns timing.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /** Parameters this cache was built with. */
+    const CacheParams &params() const { return p; }
+
+    /**
+     * Look up @p line_addr (line-aligned). On hit, updates LRU and
+     * returns true. @p out_first_use is set when the hit is the first
+     * demand access to a prefetched line; @p out_origin reports who
+     * prefetched it. Pass @p is_demand false for prefetch probes so
+     * they do not clear prefetch tags.
+     */
+    bool lookup(Addr line_addr, bool is_demand, bool &out_first_use,
+                PrefetchOrigin &out_origin);
+
+    /** Simple presence probe without LRU/tag side effects. */
+    bool contains(Addr line_addr) const;
+
+    /** Insert @p line_addr with fill origin @p origin. */
+    EvictResult insert(Addr line_addr, PrefetchOrigin origin, bool dirty);
+
+    /** Mark @p line_addr dirty if present (store hit). */
+    void setDirty(Addr line_addr);
+
+    /** Invalidate everything (between simulation runs). */
+    void reset();
+
+    // -- MSHR / outstanding-miss tracking ---------------------------------
+
+    /**
+     * If @p line_addr already has an outstanding miss completing after
+     * @p now, return its completion cycle (merged miss); otherwise 0.
+     */
+    Cycle outstandingMiss(Addr line_addr, Cycle now) const;
+
+    /**
+     * Earliest cycle >= @p now at which an MSHR is available.
+     * (A full MSHR file delays the miss, it does not drop it.)
+     */
+    Cycle mshrAvailable(Cycle now) const;
+
+    /** Record a new outstanding miss occupying an MSHR until @p done. */
+    void allocateMshr(Addr line_addr, Cycle start, Cycle done);
+
+    /**
+     * Fill all outstanding misses that completed at or before @p now
+     * into the array, invoking @p on_evict for each victim.
+     */
+    template <typename EvictFn>
+    void
+    drainCompletedMisses(Cycle now, EvictFn &&on_evict)
+    {
+        for (auto it = outstanding.begin(); it != outstanding.end();) {
+            if (it->second.done <= now) {
+                EvictResult ev =
+                    insert(it->first, it->second.origin, it->second.dirty);
+                on_evict(ev);
+                it = outstanding.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    /** Record fill metadata for a pending miss (origin/dirty/source). */
+    void setPendingFill(Addr line_addr, PrefetchOrigin origin, bool dirty,
+                        bool from_dram);
+
+    /** Prefetch origin of an outstanding miss (None if absent/demand). */
+    PrefetchOrigin pendingOrigin(Addr line_addr) const;
+
+    /**
+     * A demand access merged into an outstanding prefetch miss: the
+     * prefetch was useful (albeit late). Counts a first use for its
+     * origin and converts the pending fill to a demand fill.
+     */
+    void convertPendingToDemand(Addr line_addr);
+
+    /** True if the given outstanding miss is being filled from DRAM. */
+    bool pendingFromDram(Addr line_addr) const;
+
+    /**
+     * Mark a resident prefetched line as used without a demand lookup
+     * (used to propagate first-use information from L1 to the LLC for
+     * the paper's Figure 13a accuracy metric). Counts as a first use
+     * if the line was present, tagged, and unused.
+     */
+    void markPrefetchUsed(Addr line_addr);
+
+    /** Count of pending (not yet drained) misses. */
+    std::size_t pendingMisses() const { return outstanding.size(); }
+
+    // -- Statistics --------------------------------------------------------
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writebacks = 0;
+    /** Demand hits that were the first use of a prefetched line. */
+    std::uint64_t prefetchFirstUse[4] = {0, 0, 0, 0};
+    /** Evictions of never-used prefetched lines. */
+    std::uint64_t prefetchEvictedUnused[4] = {0, 0, 0, 0};
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+        PrefetchOrigin origin = PrefetchOrigin::None;
+        bool prefUsed = false;
+    };
+
+    struct PendingMiss
+    {
+        Cycle done = 0;
+        PrefetchOrigin origin = PrefetchOrigin::None;
+        bool dirty = false;
+        bool fromDram = false;
+    };
+
+    unsigned setIndex(Addr line_addr) const;
+
+    CacheParams p;
+    unsigned numSets;
+    std::vector<Line> lines; // numSets * assoc
+    std::uint64_t useClock = 0;
+    std::vector<Cycle> mshrFreeAt;
+    std::unordered_map<Addr, PendingMiss> outstanding;
+};
+
+} // namespace svr
+
+#endif // SVR_MEM_CACHE_HH

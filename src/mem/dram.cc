@@ -1,0 +1,47 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace svr
+{
+
+Dram::Dram(const DramParams &params)
+{
+    if (params.bandwidthGiBps <= 0 || params.latencyNs <= 0 ||
+        params.coreFreqGHz <= 0) {
+        fatal("Dram: parameters must be positive");
+    }
+    latCycles = params.latencyNs * params.coreFreqGHz;
+    const double bytes_per_ns = params.bandwidthGiBps * 1.073741824;
+    const double xfer_ns = cacheLineBytes / bytes_per_ns;
+    xferCycles = xfer_ns * params.coreFreqGHz;
+}
+
+Cycle
+Dram::access(Cycle now)
+{
+    const double start = std::max(static_cast<double>(now), channelFreeAt);
+    channelFreeAt = start + xferCycles;
+    numTransfers++;
+    return static_cast<Cycle>(std::ceil(start + latCycles));
+}
+
+void
+Dram::writeback(Cycle now)
+{
+    const double start = std::max(static_cast<double>(now), channelFreeAt);
+    channelFreeAt = start + xferCycles;
+    numTransfers++;
+}
+
+void
+Dram::reset()
+{
+    channelFreeAt = 0.0;
+    numTransfers = 0;
+}
+
+} // namespace svr

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * DRAM model: fixed access latency plus a bandwidth queue
+ * (Table III: 45 ns latency, 50 GiB/s default bandwidth).
+ */
+
+#ifndef SVR_MEM_DRAM_HH
+#define SVR_MEM_DRAM_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace svr
+{
+
+/** DRAM timing parameters. */
+struct DramParams
+{
+    double bandwidthGiBps = 50.0; //!< sustained channel bandwidth
+    double latencyNs = 45.0;      //!< idle access latency
+    double coreFreqGHz = 2.0;     //!< core clock, for ns->cycle conversion
+};
+
+/**
+ * Single-channel DRAM with a serialising transfer queue: each 64 B
+ * line transfer occupies the channel for line/bandwidth seconds, and
+ * an access completes after queueing delay + access latency.
+ */
+class Dram
+{
+  public:
+    explicit Dram(const DramParams &params);
+
+    /**
+     * Issue a line read/fill starting no earlier than @p now.
+     * @return the cycle at which the line is available.
+     */
+    Cycle access(Cycle now);
+
+    /** Account a writeback: consumes bandwidth only. */
+    void writeback(Cycle now);
+
+    /** Total line transfers (reads + writebacks). */
+    std::uint64_t transfers() const { return numTransfers; }
+
+    /** Reset queue state and statistics. */
+    void reset();
+
+    /** Access latency in core cycles (excluding queueing). */
+    double latencyCycles() const { return latCycles; }
+
+    /** Channel occupancy per line transfer in core cycles. */
+    double transferCycles() const { return xferCycles; }
+
+  private:
+    double latCycles;
+    double xferCycles;
+    double channelFreeAt = 0.0;
+    std::uint64_t numTransfers = 0;
+};
+
+} // namespace svr
+
+#endif // SVR_MEM_DRAM_HH

@@ -1,0 +1,81 @@
+#include "mem/functional_memory.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace svr
+{
+
+FunctionalMemory::FunctionalMemory() = default;
+
+const FunctionalMemory::Page *
+FunctionalMemory::findPage(Addr page_addr) const
+{
+    auto it = pages.find(page_addr);
+    return it == pages.end() ? nullptr : it->second.get();
+}
+
+FunctionalMemory::Page &
+FunctionalMemory::getPage(Addr page_addr)
+{
+    auto &slot = pages[page_addr];
+    if (!slot)
+        slot = std::make_unique<Page>(pageBytes, 0);
+    return *slot;
+}
+
+std::uint64_t
+FunctionalMemory::read(Addr addr, unsigned bytes) const
+{
+    if (bytes != 1 && bytes != 2 && bytes != 4 && bytes != 8)
+        panic("FunctionalMemory::read: bad size %u", bytes);
+    std::uint64_t result = 0;
+    // Handle (rare) page-straddling accesses byte by byte.
+    for (unsigned i = 0; i < bytes; i++) {
+        const Addr a = addr + i;
+        const Page *page = findPage(pageAlign(a));
+        const std::uint8_t byte = page ? (*page)[a - pageAlign(a)] : 0;
+        result |= static_cast<std::uint64_t>(byte) << (8 * i);
+    }
+    return result;
+}
+
+void
+FunctionalMemory::write(Addr addr, std::uint64_t value, unsigned bytes)
+{
+    if (bytes != 1 && bytes != 2 && bytes != 4 && bytes != 8)
+        panic("FunctionalMemory::write: bad size %u", bytes);
+    for (unsigned i = 0; i < bytes; i++) {
+        const Addr a = addr + i;
+        Page &page = getPage(pageAlign(a));
+        page[a - pageAlign(a)] = static_cast<std::uint8_t>(value >> (8 * i));
+    }
+}
+
+double
+FunctionalMemory::readDouble(Addr addr) const
+{
+    return std::bit_cast<double>(read64(addr));
+}
+
+void
+FunctionalMemory::writeDouble(Addr addr, double v)
+{
+    write64(addr, std::bit_cast<std::uint64_t>(v));
+}
+
+Addr
+FunctionalMemory::alloc(std::uint64_t bytes, std::uint64_t align)
+{
+    if (align == 0 || (align & (align - 1)) != 0)
+        fatal("FunctionalMemory::alloc: alignment %llu not a power of two",
+              static_cast<unsigned long long>(align));
+    allocCursor = (allocCursor + align - 1) & ~(align - 1);
+    const Addr base = allocCursor;
+    allocCursor += bytes;
+    return base;
+}
+
+} // namespace svr

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Sparse functional memory: holds the *values* of simulated memory.
+ *
+ * The functional Executor reads and writes program data here; SVR's
+ * transient lanes and IMP's value-reading prefetch logic also read it
+ * (exactly as the hardware would read prefetched cache lines).
+ */
+
+#ifndef SVR_MEM_FUNCTIONAL_MEMORY_HH
+#define SVR_MEM_FUNCTIONAL_MEMORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace svr
+{
+
+/**
+ * Byte-addressable sparse memory backed by 4 KiB host pages, with a
+ * bump allocator for laying out workload data structures.
+ */
+class FunctionalMemory
+{
+  public:
+    FunctionalMemory();
+
+    /** Read @p bytes (1/2/4/8) at @p addr, zero-extended. */
+    std::uint64_t read(Addr addr, unsigned bytes) const;
+
+    /** Write the low @p bytes of @p value at @p addr. */
+    void write(Addr addr, std::uint64_t value, unsigned bytes);
+
+    /** Convenience 64-bit accessors. */
+    std::uint64_t read64(Addr addr) const { return read(addr, 8); }
+    void write64(Addr addr, std::uint64_t v) { write(addr, v, 8); }
+
+    /** Read/write a double stored at @p addr. */
+    double readDouble(Addr addr) const;
+    void writeDouble(Addr addr, double v);
+
+    /**
+     * Allocate @p bytes in the data segment with @p align alignment
+     * (power of two), returning the base address. Memory is zeroed.
+     */
+    Addr alloc(std::uint64_t bytes, std::uint64_t align = 64);
+
+    /** Number of distinct pages touched (for tests and reports). */
+    std::size_t pagesTouched() const { return pages.size(); }
+
+    /** Total bytes handed out by alloc(). */
+    std::uint64_t bytesAllocated() const { return allocCursor - dataBase; }
+
+  private:
+    static constexpr Addr dataBase = 0x10000000;
+
+    using Page = std::vector<std::uint8_t>;
+
+    const Page *findPage(Addr page_addr) const;
+    Page &getPage(Addr page_addr);
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+    Addr allocCursor = dataBase;
+};
+
+} // namespace svr
+
+#endif // SVR_MEM_FUNCTIONAL_MEMORY_HH

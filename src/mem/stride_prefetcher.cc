@@ -1,0 +1,80 @@
+#include "mem/stride_prefetcher.hh"
+
+#include "common/logging.hh"
+
+namespace svr
+{
+
+StridePrefetcher::StridePrefetcher(const StridePrefetcherParams &params)
+    : p(params)
+{
+    if (p.tableEntries == 0)
+        fatal("StridePrefetcher: need at least one table entry");
+    table.resize(p.tableEntries);
+}
+
+void
+StridePrefetcher::train(Addr pc, Addr addr, std::vector<Addr> &out)
+{
+    // Fully associative LRU lookup (the table is small).
+    Entry *entry = nullptr;
+    Entry *victim = &table[0];
+    for (auto &e : table) {
+        if (e.valid && e.pc == pc) {
+            entry = &e;
+            break;
+        }
+        if (!e.valid || e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    if (!entry) {
+        *victim = Entry{};
+        victim->pc = pc;
+        victim->valid = true;
+        victim->prevAddr = addr;
+        victim->lastUse = ++useClock;
+        return;
+    }
+    entry->lastUse = ++useClock;
+    const auto delta = static_cast<std::int64_t>(addr) -
+                       static_cast<std::int64_t>(entry->prevAddr);
+    if (delta == entry->stride && delta != 0) {
+        if (entry->confidence < 3)
+            entry->confidence++;
+    } else {
+        if (entry->confidence > 0)
+            entry->confidence--;
+        if (entry->confidence == 0)
+            entry->stride = delta;
+    }
+    entry->prevAddr = addr;
+    if (entry->confidence >= p.confidenceThreshold && entry->stride != 0 &&
+        delta == entry->stride) {
+        // Prefetch in line-granular steps: sub-line strides would
+        // otherwise never leave the demanded line.
+        std::int64_t step = entry->stride;
+        if (step > 0 && step < static_cast<std::int64_t>(cacheLineBytes))
+            step = cacheLineBytes;
+        else if (step < 0 &&
+                 -step < static_cast<std::int64_t>(cacheLineBytes))
+            step = -static_cast<std::int64_t>(cacheLineBytes);
+        for (unsigned d = 0; d < p.degree; d++) {
+            const auto target = static_cast<Addr>(
+                static_cast<std::int64_t>(addr) +
+                step * static_cast<std::int64_t>(p.distance + d));
+            out.push_back(lineAlign(target));
+            issued++;
+        }
+    }
+}
+
+void
+StridePrefetcher::reset()
+{
+    for (auto &e : table)
+        e = Entry{};
+    useClock = 0;
+    issued = 0;
+}
+
+} // namespace svr

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Baseline L1D stride prefetcher (reference prediction table, after
+ * Chen & Baer). Table III gives every evaluated core this prefetcher.
+ */
+
+#ifndef SVR_MEM_STRIDE_PREFETCHER_HH
+#define SVR_MEM_STRIDE_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace svr
+{
+
+/** Stride prefetcher parameters. */
+struct StridePrefetcherParams
+{
+    unsigned tableEntries = 64;
+    unsigned confidenceThreshold = 2; //!< 2-bit counter value to act
+    unsigned degree = 4;              //!< lines prefetched per trigger
+    unsigned distance = 4;            //!< how many strides ahead to start
+};
+
+/**
+ * PC-indexed reference prediction table. train() observes a demand
+ * load and appends any prefetch candidate line addresses to @p out.
+ */
+class StridePrefetcher
+{
+  public:
+    explicit StridePrefetcher(const StridePrefetcherParams &params);
+
+    /** Observe a demand load; fills @p out with candidate line addrs. */
+    void train(Addr pc, Addr addr, std::vector<Addr> &out);
+
+    /** Drop all table state. */
+    void reset();
+
+    std::uint64_t issued = 0;
+
+  private:
+    struct Entry
+    {
+        Addr pc = 0;
+        bool valid = false;
+        Addr prevAddr = 0;
+        std::int64_t stride = 0;
+        unsigned confidence = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    StridePrefetcherParams p;
+    std::vector<Entry> table;
+    std::uint64_t useClock = 0;
+};
+
+} // namespace svr
+
+#endif // SVR_MEM_STRIDE_PREFETCHER_HH

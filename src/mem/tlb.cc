@@ -1,0 +1,143 @@
+#include "mem/tlb.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace svr
+{
+
+Tlb::Tlb(unsigned num_entries, unsigned associativity)
+    : assoc(associativity)
+{
+    if (num_entries == 0 || associativity == 0 ||
+        num_entries % associativity != 0) {
+        fatal("Tlb: bad geometry (%u entries, %u-way)", num_entries,
+              associativity);
+    }
+    numSets = num_entries / associativity;
+    if ((numSets & (numSets - 1)) != 0)
+        fatal("Tlb: set count must be a power of two");
+    entries.resize(num_entries);
+}
+
+unsigned
+Tlb::setOf(Addr page) const
+{
+    return static_cast<unsigned>((page / pageBytes) & (numSets - 1));
+}
+
+bool
+Tlb::lookup(Addr addr)
+{
+    const Addr page = pageAlign(addr);
+    Entry *base = &entries[static_cast<std::size_t>(setOf(page)) * assoc];
+    for (unsigned w = 0; w < assoc; w++) {
+        if (base[w].valid && base[w].page == page) {
+            base[w].lastUse = ++useClock;
+            hits++;
+            return true;
+        }
+    }
+    misses++;
+    return false;
+}
+
+void
+Tlb::insert(Addr addr)
+{
+    const Addr page = pageAlign(addr);
+    Entry *base = &entries[static_cast<std::size_t>(setOf(page)) * assoc];
+    Entry *victim = nullptr;
+    for (unsigned w = 0; w < assoc; w++) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].page == page)
+            return;
+    }
+    if (!victim) {
+        victim = base;
+        for (unsigned w = 1; w < assoc; w++) {
+            if (base[w].lastUse < victim->lastUse)
+                victim = &base[w];
+        }
+    }
+    victim->page = page;
+    victim->valid = true;
+    victim->lastUse = ++useClock;
+}
+
+void
+Tlb::reset()
+{
+    for (auto &e : entries)
+        e = Entry{};
+    useClock = 0;
+    hits = misses = 0;
+}
+
+TranslationStack::TranslationStack(const TranslationParams &params)
+    : p(params),
+      dtlbImpl(params.dtlbEntries, params.dtlbEntries),
+      itlbImpl(params.itlbEntries, params.itlbEntries),
+      stlbImpl(params.stlbEntries, params.stlbAssoc)
+{
+    if (params.numWalkers == 0)
+        fatal("TranslationStack: need at least one page-table walker");
+    walkerFreeAt.assign(params.numWalkers, 0);
+}
+
+Cycle
+TranslationStack::walk(Cycle now)
+{
+    auto it = std::min_element(walkerFreeAt.begin(), walkerFreeAt.end());
+    const Cycle start = std::max(now, *it);
+    const Cycle done = start + p.walkLatency;
+    *it = done;
+    walks++;
+    return done;
+}
+
+Cycle
+TranslationStack::translateData(Addr addr, Cycle now)
+{
+    if (dtlbImpl.lookup(addr))
+        return now;
+    if (stlbImpl.lookup(addr)) {
+        dtlbImpl.insert(addr);
+        return now + p.stlbHitLatency;
+    }
+    const Cycle done = walk(now + p.stlbHitLatency);
+    stlbImpl.insert(addr);
+    dtlbImpl.insert(addr);
+    return done;
+}
+
+Cycle
+TranslationStack::translateInstr(Addr addr, Cycle now)
+{
+    if (itlbImpl.lookup(addr))
+        return now;
+    if (stlbImpl.lookup(addr)) {
+        itlbImpl.insert(addr);
+        return now + p.stlbHitLatency;
+    }
+    const Cycle done = walk(now + p.stlbHitLatency);
+    stlbImpl.insert(addr);
+    itlbImpl.insert(addr);
+    return done;
+}
+
+void
+TranslationStack::reset()
+{
+    dtlbImpl.reset();
+    itlbImpl.reset();
+    stlbImpl.reset();
+    std::fill(walkerFreeAt.begin(), walkerFreeAt.end(), 0);
+    walks = 0;
+}
+
+} // namespace svr

@@ -1,0 +1,74 @@
+#include "sim/config.hh"
+
+#include <cstdlib>
+
+namespace svr
+{
+
+const char *
+coreTypeName(CoreType t)
+{
+    switch (t) {
+      case CoreType::InOrder: return "in-order";
+      case CoreType::InOrderImp: return "IMP";
+      case CoreType::OutOfOrder: return "out-of-order";
+      case CoreType::Svr: return "SVR";
+      default: return "<bad>";
+    }
+}
+
+namespace presets
+{
+
+std::uint64_t
+simWindow()
+{
+    if (const char *env = std::getenv("SVR_WINDOW")) {
+        const auto v = std::strtoull(env, nullptr, 10);
+        if (v > 0)
+            return v;
+    }
+    return 400000;
+}
+
+SimConfig
+inorder()
+{
+    SimConfig c;
+    c.label = "InO";
+    c.core = CoreType::InOrder;
+    c.maxInstructions = simWindow();
+    return c;
+}
+
+SimConfig
+impCore()
+{
+    SimConfig c = inorder();
+    c.label = "IMP";
+    c.core = CoreType::InOrderImp;
+    return c;
+}
+
+SimConfig
+outOfOrder()
+{
+    SimConfig c = inorder();
+    c.label = "OoO";
+    c.core = CoreType::OutOfOrder;
+    return c;
+}
+
+SimConfig
+svrCore(unsigned n)
+{
+    SimConfig c = inorder();
+    c.label = "SVR" + std::to_string(n);
+    c.core = CoreType::Svr;
+    c.svr.vectorLength = n;
+    return c;
+}
+
+} // namespace presets
+
+} // namespace svr

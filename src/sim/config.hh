@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Top-level simulation configurations and the Table III presets.
+ */
+
+#ifndef SVR_SIM_CONFIG_HH
+#define SVR_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/inorder_core.hh"
+#include "core/ooo_core.hh"
+#include "energy/energy_model.hh"
+#include "imp/imp_prefetcher.hh"
+#include "mem/memory_system.hh"
+#include "svr/svr_engine.hh"
+
+namespace svr
+{
+
+/** Which machine to simulate. */
+enum class CoreType : std::uint8_t
+{
+    InOrder,    //!< baseline 3-wide stall-on-use in-order (A510-like)
+    InOrderImp, //!< in-order + IMP prefetcher at the L1D
+    OutOfOrder, //!< matched 3-wide OoO (ROB 32 / RS 32 / LSQ 16)
+    Svr,        //!< in-order + Scalar Vector Runahead
+};
+
+/** Printable core-type name. */
+const char *coreTypeName(CoreType t);
+
+/** A complete machine configuration. */
+struct SimConfig
+{
+    std::string label;          //!< display name (e.g. "SVR16")
+    CoreType core = CoreType::InOrder;
+    InOrderParams inorder;
+    OoOParams ooo;
+    MemParams mem;
+    SvrParams svr;
+    ImpParams imp;
+    EnergyParams energy;
+    std::uint64_t maxInstructions = 400000;
+};
+
+namespace presets
+{
+
+/** Baseline in-order core (Table III, column 1). */
+SimConfig inorder();
+
+/** In-order core with the IMP prefetcher. */
+SimConfig impCore();
+
+/** Out-of-order core (Table III, column 3). */
+SimConfig outOfOrder();
+
+/** SVR with vector length @p n (Table III, column 2; default N=16). */
+SimConfig svrCore(unsigned n = 16);
+
+/**
+ * Simulation window length, overridable with the SVR_WINDOW
+ * environment variable (instructions per run; default 400000).
+ */
+std::uint64_t simWindow();
+
+} // namespace presets
+
+} // namespace svr
+
+#endif // SVR_SIM_CONFIG_HH

@@ -1,0 +1,117 @@
+#include "sim/experiment.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace svr
+{
+
+std::vector<MatrixRow>
+runMatrix(const std::vector<WorkloadSpec> &workloads,
+          const std::vector<SimConfig> &configs)
+{
+    std::vector<MatrixRow> matrix;
+    matrix.reserve(workloads.size());
+    for (const auto &spec : workloads) {
+        MatrixRow row;
+        row.workload = spec.name;
+        for (const auto &config : configs) {
+            const WorkloadInstance w = spec.make();
+            row.results.push_back(simulate(config, w));
+        }
+        inform("done: %-12s (%zu configs)", spec.name.c_str(),
+               configs.size());
+        matrix.push_back(std::move(row));
+    }
+    return matrix;
+}
+
+std::vector<double>
+harmonicMeanIpc(const std::vector<MatrixRow> &matrix)
+{
+    if (matrix.empty())
+        return {};
+    std::vector<double> result;
+    const std::size_t num_configs = matrix[0].results.size();
+    for (std::size_t c = 0; c < num_configs; c++) {
+        std::vector<double> ipcs;
+        for (const auto &row : matrix)
+            ipcs.push_back(row.results[c].ipc());
+        result.push_back(harmonicMean(ipcs));
+    }
+    return result;
+}
+
+std::vector<double>
+meanSpeedup(const std::vector<MatrixRow> &matrix, std::size_t baseline)
+{
+    if (matrix.empty())
+        return {};
+    std::vector<double> result;
+    const std::size_t num_configs = matrix[0].results.size();
+    for (std::size_t c = 0; c < num_configs; c++) {
+        std::vector<double> speedups;
+        for (const auto &row : matrix) {
+            const double base = row.results[baseline].ipc();
+            const double ipc = row.results[c].ipc();
+            if (base > 0 && ipc > 0)
+                speedups.push_back(ipc / base);
+        }
+        result.push_back(harmonicMean(speedups));
+    }
+    return result;
+}
+
+std::vector<double>
+meanEnergyPerInstr(const std::vector<MatrixRow> &matrix)
+{
+    if (matrix.empty())
+        return {};
+    std::vector<double> result;
+    const std::size_t num_configs = matrix[0].results.size();
+    for (std::size_t c = 0; c < num_configs; c++) {
+        std::vector<double> vals;
+        for (const auto &row : matrix)
+            vals.push_back(row.results[c].energyPerInstr());
+        result.push_back(arithmeticMean(vals));
+    }
+    return result;
+}
+
+void
+printHeader(const std::string &first, const std::vector<std::string> &labels)
+{
+    std::printf("%-12s", first.c_str());
+    for (const auto &l : labels)
+        std::printf(" %9s", l.c_str());
+    std::printf("\n");
+}
+
+void
+printRow(const std::string &name, const std::vector<double> &values)
+{
+    std::printf("%-12s", name.c_str());
+    for (double v : values)
+        std::printf(" %9.3f", v);
+    std::printf("\n");
+}
+
+void
+printMetricTable(const std::vector<MatrixRow> &matrix,
+                 const std::vector<std::string> &config_labels,
+                 const std::string &metric_name,
+                 double (*metric)(const SimResult &))
+{
+    std::printf("# %s\n", metric_name.c_str());
+    printHeader("workload", config_labels);
+    for (const auto &row : matrix) {
+        std::vector<double> vals;
+        for (const auto &res : row.results)
+            vals.push_back(metric(res));
+        printRow(row.workload, vals);
+    }
+}
+
+} // namespace svr

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Experiment helpers shared by the bench harnesses: run a matrix of
+ * (workload x config), aggregate, and print paper-style tables.
+ */
+
+#ifndef SVR_SIM_EXPERIMENT_HH
+#define SVR_SIM_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+namespace svr
+{
+
+/** All results for one workload across the config set. */
+struct MatrixRow
+{
+    std::string workload;
+    std::vector<SimResult> results; //!< one per config, same order
+};
+
+/**
+ * Simulate every workload under every config.
+ * Prints one progress line per workload via inform().
+ */
+std::vector<MatrixRow> runMatrix(const std::vector<WorkloadSpec> &workloads,
+                                 const std::vector<SimConfig> &configs);
+
+/** Harmonic-mean IPC per config over the matrix. */
+std::vector<double> harmonicMeanIpc(const std::vector<MatrixRow> &matrix);
+
+/**
+ * Harmonic-mean speedup per config, normalized to config index
+ * @p baseline (per-workload IPC ratios, then harmonic mean).
+ */
+std::vector<double> meanSpeedup(const std::vector<MatrixRow> &matrix,
+                                std::size_t baseline);
+
+/** Arithmetic-mean energy-per-instruction per config [nJ]. */
+std::vector<double> meanEnergyPerInstr(const std::vector<MatrixRow> &matrix);
+
+/** Print a metric table: one row per workload, one column per config. */
+void printMetricTable(const std::vector<MatrixRow> &matrix,
+                      const std::vector<std::string> &config_labels,
+                      const std::string &metric_name,
+                      double (*metric)(const SimResult &));
+
+/** Fixed-width cell printing helpers. */
+void printHeader(const std::string &first,
+                 const std::vector<std::string> &labels);
+void printRow(const std::string &name, const std::vector<double> &values);
+
+} // namespace svr
+
+#endif // SVR_SIM_EXPERIMENT_HH

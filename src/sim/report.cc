@@ -1,0 +1,155 @@
+#include "sim/report.hh"
+
+#include <sstream>
+
+namespace svr
+{
+
+namespace
+{
+
+/** Minimal JSON string escaping (names are ASCII identifiers here). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+            break;
+        }
+    }
+    return out;
+}
+
+void
+emitResult(std::ostringstream &os, const SimResult &r,
+           const std::string &indent)
+{
+    const std::string in2 = indent + "  ";
+    os << indent << "{\n";
+    os << in2 << "\"workload\": \"" << jsonEscape(r.workload) << "\",\n";
+    os << in2 << "\"config\": \"" << jsonEscape(r.config) << "\",\n";
+    os << in2 << "\"instructions\": " << r.core.instructions << ",\n";
+    os << in2 << "\"cycles\": " << r.core.cycles << ",\n";
+    os << in2 << "\"ipc\": " << r.ipc() << ",\n";
+    os << in2 << "\"cpi\": " << r.cpi() << ",\n";
+    os << in2 << "\"cpi_stack\": {\n";
+    os << in2 << "  \"base\": " << r.core.stackBase() << ",\n";
+    os << in2 << "  \"l2\": " << r.core.stackL2 << ",\n";
+    os << in2 << "  \"dram\": " << r.core.stackDram << ",\n";
+    os << in2 << "  \"branch\": " << r.core.stackBranch << ",\n";
+    os << in2 << "  \"svu\": " << r.core.stackSvu << ",\n";
+    os << in2 << "  \"other\": " << r.core.stackOther << "\n";
+    os << in2 << "},\n";
+    os << in2 << "\"loads\": " << r.core.loads << ",\n";
+    os << in2 << "\"stores\": " << r.core.stores << ",\n";
+    os << in2 << "\"branches\": " << r.core.branches << ",\n";
+    os << in2 << "\"branch_mispredicts\": " << r.core.branchMispredicts
+       << ",\n";
+    os << in2 << "\"l1d_hits\": " << r.l1dHits << ",\n";
+    os << in2 << "\"l1d_misses\": " << r.l1dMisses << ",\n";
+    os << in2 << "\"l2_hits\": " << r.l2Hits << ",\n";
+    os << in2 << "\"l2_misses\": " << r.l2Misses << ",\n";
+    os << in2 << "\"dram_transfers\": " << r.dramTransfers << ",\n";
+    os << in2 << "\"dram_traffic\": {\n";
+    os << in2 << "  \"demand_data\": " << r.traffic.demandData << ",\n";
+    os << in2 << "  \"demand_ifetch\": " << r.traffic.demandIfetch
+       << ",\n";
+    os << in2 << "  \"pref_stride\": " << r.traffic.prefStride << ",\n";
+    os << in2 << "  \"pref_svr\": " << r.traffic.prefSvr << ",\n";
+    os << in2 << "  \"pref_imp\": " << r.traffic.prefImp << ",\n";
+    os << in2 << "  \"writebacks\": " << r.traffic.writebacks << "\n";
+    os << in2 << "},\n";
+    os << in2 << "\"tlb_walks\": " << r.tlbWalks << ",\n";
+    os << in2 << "\"svr\": {\n";
+    os << in2 << "  \"rounds\": " << r.core.svrRounds << ",\n";
+    os << in2 << "  \"transient_scalars\": " << r.core.transientScalars
+       << ",\n";
+    os << in2 << "  \"prefetches\": " << r.core.svrPrefetches << ",\n";
+    os << in2 << "  \"llc_accuracy\": " << r.svrAccuracyLlc << "\n";
+    os << in2 << "},\n";
+    os << in2 << "\"imp_llc_accuracy\": " << r.impAccuracyLlc << ",\n";
+    os << in2 << "\"energy\": {\n";
+    os << in2 << "  \"total_nj\": " << r.energy.totalNJ() << ",\n";
+    os << in2 << "  \"per_instr_nj\": " << r.energyPerInstr() << ",\n";
+    os << in2 << "  \"core_static_nj\": " << r.energy.coreStatic << ",\n";
+    os << in2 << "  \"core_dynamic_nj\": " << r.energy.coreDynamic
+       << ",\n";
+    os << in2 << "  \"svr_dynamic_nj\": " << r.energy.svrDynamic << ",\n";
+    os << in2 << "  \"cache_dynamic_nj\": " << r.energy.cacheDynamic
+       << ",\n";
+    os << in2 << "  \"dram_static_nj\": " << r.energy.dramStatic << ",\n";
+    os << in2 << "  \"dram_dynamic_nj\": " << r.energy.dramDynamic
+       << "\n";
+    os << in2 << "}\n";
+    os << indent << "}";
+}
+
+} // namespace
+
+std::string
+toJson(const SimResult &r)
+{
+    std::ostringstream os;
+    emitResult(os, r, "");
+    os << "\n";
+    return os.str();
+}
+
+std::string
+toJson(const std::vector<SimResult> &results)
+{
+    std::ostringstream os;
+    os << "[\n";
+    for (std::size_t i = 0; i < results.size(); i++) {
+        emitResult(os, results[i], "  ");
+        if (i + 1 < results.size())
+            os << ",";
+        os << "\n";
+    }
+    os << "]\n";
+    return os.str();
+}
+
+std::string
+csvHeader()
+{
+    return "workload,config,instructions,cycles,ipc,cpi,"
+           "stack_base,stack_l2,stack_dram,stack_branch,stack_svu,"
+           "stack_other,loads,stores,branches,branch_mispredicts,"
+           "l1d_hits,l1d_misses,l2_hits,l2_misses,dram_transfers,"
+           "tlb_walks,svr_rounds,svr_scalars,svr_prefetches,"
+           "svr_llc_accuracy,energy_per_instr_nj";
+}
+
+std::string
+csvRow(const SimResult &r)
+{
+    std::ostringstream os;
+    os << r.workload << ',' << r.config << ',' << r.core.instructions
+       << ',' << r.core.cycles << ',' << r.ipc() << ',' << r.cpi() << ','
+       << r.core.stackBase() << ',' << r.core.stackL2 << ','
+       << r.core.stackDram << ',' << r.core.stackBranch << ','
+       << r.core.stackSvu << ',' << r.core.stackOther << ','
+       << r.core.loads << ',' << r.core.stores << ',' << r.core.branches
+       << ',' << r.core.branchMispredicts << ',' << r.l1dHits << ','
+       << r.l1dMisses << ',' << r.l2Hits << ',' << r.l2Misses << ','
+       << r.dramTransfers << ',' << r.tlbWalks << ',' << r.core.svrRounds
+       << ',' << r.core.transientScalars << ',' << r.core.svrPrefetches
+       << ',' << r.svrAccuracyLlc << ',' << r.energyPerInstr();
+    return os.str();
+}
+
+} // namespace svr

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Machine-readable reporting: serialize simulation results to JSON
+ * and CSV for downstream analysis (plotting, sweeps, CI tracking).
+ */
+
+#ifndef SVR_SIM_REPORT_HH
+#define SVR_SIM_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace svr
+{
+
+/** Serialize one result as a single JSON object (pretty-printed). */
+std::string toJson(const SimResult &result);
+
+/** Serialize many results as a JSON array. */
+std::string toJson(const std::vector<SimResult> &results);
+
+/** CSV header matching csvRow()'s columns. */
+std::string csvHeader();
+
+/** One CSV row per result. */
+std::string csvRow(const SimResult &result);
+
+} // namespace svr
+
+#endif // SVR_SIM_REPORT_HH

@@ -1,0 +1,92 @@
+#include "sim/simulator.hh"
+
+#include <memory>
+
+#include "common/logging.hh"
+#include "core/executor.hh"
+#include "core/inorder_core.hh"
+#include "core/ooo_core.hh"
+#include "imp/imp_prefetcher.hh"
+#include "svr/svr_engine.hh"
+
+namespace svr
+{
+
+SimResult
+simulate(const SimConfig &config, const WorkloadInstance &w)
+{
+    if (!w.program || !w.mem)
+        fatal("simulate: workload '%s' has no program/memory",
+              w.name.c_str());
+
+    SimResult r;
+    r.workload = w.name;
+    r.config = config.label;
+
+    MemorySystem mem(config.mem);
+    Executor exec(*w.program, *w.mem);
+
+    switch (config.core) {
+      case CoreType::InOrder: {
+        InOrderCore core(config.inorder, mem);
+        r.core = core.run(exec, config.maxInstructions);
+        break;
+      }
+      case CoreType::InOrderImp: {
+        ImpPrefetcher imp(config.imp, *w.mem);
+        mem.setObserver(&imp);
+        InOrderCore core(config.inorder, mem);
+        r.core = core.run(exec, config.maxInstructions);
+        mem.setObserver(nullptr);
+        break;
+      }
+      case CoreType::OutOfOrder: {
+        OoOCore core(config.ooo, mem);
+        r.core = core.run(exec, config.maxInstructions);
+        break;
+      }
+      case CoreType::Svr: {
+        SvrEngine engine(config.svr, mem, exec);
+        InOrderCore core(config.inorder, mem);
+        core.setRunaheadEngine(&engine);
+        r.core = core.run(exec, config.maxInstructions);
+        break;
+      }
+      default:
+        fatal("simulate: bad core type");
+    }
+
+    r.l1dHits = mem.l1d().hits;
+    r.l1dMisses = mem.l1d().misses;
+    r.l2Hits = mem.l2().hits;
+    r.l2Misses = mem.l2().misses;
+    r.dramTransfers = mem.dram().transfers();
+    r.traffic = mem.dramTraffic();
+    r.tlbWalks = mem.translation().walks;
+    for (unsigned i = 0; i < 4; i++)
+        r.prefIssued[i] = mem.prefIssued(static_cast<PrefetchOrigin>(i));
+    r.svrAccuracyLlc = mem.llcPrefetchAccuracy(PrefetchOrigin::Svr);
+    r.impAccuracyLlc = mem.llcPrefetchAccuracy(PrefetchOrigin::Imp);
+    r.strideAccuracyLlc = mem.llcPrefetchAccuracy(PrefetchOrigin::Stride);
+
+    const CoreKind kind = config.core == CoreType::OutOfOrder
+                              ? CoreKind::OutOfOrder
+                              : CoreKind::InOrder;
+    MemEnergyEvents ev;
+    ev.l1Accesses = mem.l1d().hits + mem.l1d().misses + mem.l1i().hits +
+                    mem.l1i().misses;
+    ev.l2Accesses = mem.l2().hits + mem.l2().misses;
+    ev.dramTransfers = mem.dram().transfers();
+    r.energy = computeEnergy(kind, config.core == CoreType::Svr, r.core, ev,
+                             config.energy);
+    return r;
+}
+
+SimResult
+simulate(const SimConfig &config, const WorkloadSpec &spec)
+{
+    const WorkloadInstance w = spec.make();
+    return simulate(config, w);
+}
+
+} // namespace svr

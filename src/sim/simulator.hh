@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The top-level simulator: wires a workload instance to a configured
+ * machine, runs the timing window, and collects all per-run metrics
+ * (core stats, cache/DRAM counters, prefetch effectiveness, energy).
+ */
+
+#ifndef SVR_SIM_SIMULATOR_HH
+#define SVR_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/core_stats.hh"
+#include "energy/energy_model.hh"
+#include "mem/memory_system.hh"
+#include "sim/config.hh"
+#include "workloads/workload.hh"
+
+namespace svr
+{
+
+/** Everything measured in one simulation run. */
+struct SimResult
+{
+    std::string workload;
+    std::string config;
+
+    CoreStats core;
+
+    // Memory-side counters.
+    std::uint64_t l1dHits = 0;
+    std::uint64_t l1dMisses = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t dramTransfers = 0;
+    DramTraffic traffic;
+    std::uint64_t tlbWalks = 0;
+
+    // Prefetch effectiveness (Figure 13).
+    std::uint64_t prefIssued[4] = {0, 0, 0, 0}; //!< by PrefetchOrigin
+    double svrAccuracyLlc = 1.0;
+    double impAccuracyLlc = 1.0;
+    double strideAccuracyLlc = 1.0;
+
+    EnergyBreakdown energy;
+
+    double ipc() const { return core.ipc(); }
+    double cpi() const { return core.cpi(); }
+    /** Whole-system energy per committed instruction [nJ]. */
+    double energyPerInstr() const
+    {
+        return energy.perInstrNJ(core.instructions);
+    }
+};
+
+/** Run @p config on @p workload (fresh instance) and measure. */
+SimResult simulate(const SimConfig &config, const WorkloadInstance &w);
+
+/** Convenience: build a fresh instance from @p spec and simulate. */
+SimResult simulate(const SimConfig &config, const WorkloadSpec &spec);
+
+} // namespace svr
+
+#endif // SVR_SIM_SIMULATOR_HH

@@ -1,0 +1,83 @@
+#include "svr/hardware_budget.hh"
+
+#include <cmath>
+
+namespace svr
+{
+
+namespace
+{
+unsigned
+ceilLog2(unsigned v)
+{
+    unsigned bits = 0;
+    unsigned cap = 1;
+    while (cap < v) {
+        cap *= 2;
+        bits++;
+    }
+    return bits;
+}
+} // namespace
+
+std::uint64_t
+HardwareBudget::totalBits() const
+{
+    return strideDetectorBits + taintTrackerBits + hslrBits + srfBits +
+           lastCompareBits + loopBoundDetectorBits + scoreboardBits +
+           l1PrefetchTagBits;
+}
+
+double
+HardwareBudget::totalKiB() const
+{
+    return static_cast<double>(totalBits()) / 8.0 / 1024.0;
+}
+
+HardwareBudget
+computeHardwareBudget(unsigned vector_length, unsigned num_srf_regs,
+                      unsigned sd_entries, unsigned arch_regs,
+                      unsigned lbd_entries, unsigned l1_lines)
+{
+    HardwareBudget b{};
+    b.vectorLength = vector_length;
+    b.numSrfRegs = num_srf_regs;
+
+    // Stride-detector entry (Figure 6 / Table II): 48b PC, 48b last
+    // prefetch, 48b previous address, 1b seen, 8b stride distance,
+    // 16b LIL, 2b stride confidence, 2b LIL confidence = 173 bits.
+    const std::uint64_t sd_entry = 48 + 48 + 48 + 1 + 8 + 16 + 2 + 2;
+    b.strideDetectorBits = static_cast<std::uint64_t>(sd_entries) * sd_entry;
+
+    // Taint-tracker entry: 1b tainted, ceil(log2 K) SRF id, 1b mapped,
+    // 8b offset.
+    const std::uint64_t tt_entry = 1 + ceilLog2(num_srf_regs) + 1 + 8;
+    b.taintTrackerBits = static_cast<std::uint64_t>(arch_regs) * tt_entry;
+
+    // HSLR: 48b PC + N mask bits.
+    b.hslrBits = 48 + vector_length;
+
+    // SRF: K registers of N 64-bit lanes.
+    b.srfBits = static_cast<std::uint64_t>(num_srf_regs) * vector_length *
+                64;
+
+    // Last Compare register: 48b PC, two 64b values, two 5b reg ids.
+    b.lastCompareBits = 48 + 64 + 5 + 64 + 5;
+
+    // LBD entry: 48b PC + 186b LC copy + 9b EWMA + 16b loop increment
+    // + 9b iteration counter + 2b tournament = 270 bits.
+    const std::uint64_t lbd_entry = 48 + b.lastCompareBits + 9 + 16 + 9 + 2;
+    b.loopBoundDetectorBits =
+        static_cast<std::uint64_t>(lbd_entries) * lbd_entry;
+
+    // Scoreboard return counters: ceil(log2(N+1)) bits per entry.
+    b.scoreboardBits = static_cast<std::uint64_t>(arch_regs) *
+                       ceilLog2(vector_length + 1);
+
+    // One prefetch tag bit per L1D line.
+    b.l1PrefetchTagBits = l1_lines;
+
+    return b;
+}
+
+} // namespace svr

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * SVR hardware-overhead calculator reproducing the paper's Table II
+ * bit accounting as a function of N (vector length) and K (number of
+ * speculative registers).
+ */
+
+#ifndef SVR_SVR_HARDWARE_BUDGET_HH
+#define SVR_SVR_HARDWARE_BUDGET_HH
+
+#include <cstdint>
+
+namespace svr
+{
+
+/** Bit-level breakdown of SVR's added state (Table II). */
+struct HardwareBudget
+{
+    unsigned vectorLength; //!< N
+    unsigned numSrfRegs;   //!< K
+
+    std::uint64_t strideDetectorBits;
+    std::uint64_t taintTrackerBits;
+    std::uint64_t hslrBits;
+    std::uint64_t srfBits;
+    std::uint64_t lastCompareBits;
+    std::uint64_t loopBoundDetectorBits;
+    std::uint64_t scoreboardBits;
+    std::uint64_t l1PrefetchTagBits;
+
+    /** Sum of all components, in bits. */
+    std::uint64_t totalBits() const;
+
+    /** Total in KiB. */
+    double totalKiB() const;
+};
+
+/**
+ * Compute the Table II budget.
+ * @param vector_length  N (16 default in the paper)
+ * @param num_srf_regs   K (8 in the paper)
+ * @param sd_entries     stride-detector entries (32)
+ * @param arch_regs      architectural registers tracked (32)
+ * @param lbd_entries    loop-bound detector entries (8)
+ * @param l1_lines       L1D lines carrying prefetch tags (1024)
+ */
+HardwareBudget computeHardwareBudget(unsigned vector_length,
+                                     unsigned num_srf_regs,
+                                     unsigned sd_entries = 32,
+                                     unsigned arch_regs = 32,
+                                     unsigned lbd_entries = 8,
+                                     unsigned l1_lines = 1024);
+
+} // namespace svr
+
+#endif // SVR_SVR_HARDWARE_BUDGET_HH

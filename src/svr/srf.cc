@@ -1,0 +1,92 @@
+#include "svr/srf.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace svr
+{
+
+Srf::Srf(unsigned num_regs, unsigned vector_len)
+    : k(num_regs), n(vector_len), freeCount(num_regs)
+{
+    if (k == 0 || n == 0)
+        fatal("Srf: K and N must be nonzero");
+    values.assign(static_cast<std::size_t>(k) * n, 0);
+    readyCycles.assign(static_cast<std::size_t>(k) * n, 0);
+    allocated.assign(k, false);
+}
+
+void
+Srf::checkId(unsigned id) const
+{
+    if (id >= k || !allocated[id])
+        panic("Srf: access to unallocated register %u", id);
+}
+
+unsigned
+Srf::allocate()
+{
+    for (unsigned i = 0; i < k; i++) {
+        if (!allocated[i]) {
+            allocated[i] = true;
+            freeCount--;
+            std::fill_n(values.begin() + static_cast<std::size_t>(i) * n, n,
+                        0);
+            std::fill_n(readyCycles.begin() +
+                            static_cast<std::size_t>(i) * n,
+                        n, 0);
+            peakAlloc = std::max(peakAlloc, k - freeCount);
+            return i;
+        }
+    }
+    return invalidSrfReg;
+}
+
+void
+Srf::release(unsigned id)
+{
+    if (id >= k)
+        panic("Srf: release of bad register %u", id);
+    if (allocated[id]) {
+        allocated[id] = false;
+        freeCount++;
+    }
+}
+
+void
+Srf::releaseAll()
+{
+    std::fill(allocated.begin(), allocated.end(), false);
+    freeCount = k;
+}
+
+RegVal
+Srf::lane(unsigned id, unsigned lane_idx) const
+{
+    checkId(id);
+    if (lane_idx >= n)
+        panic("Srf: lane %u out of range", lane_idx);
+    return values[static_cast<std::size_t>(id) * n + lane_idx];
+}
+
+void
+Srf::setLane(unsigned id, unsigned lane_idx, RegVal value, Cycle ready)
+{
+    checkId(id);
+    if (lane_idx >= n)
+        panic("Srf: lane %u out of range", lane_idx);
+    values[static_cast<std::size_t>(id) * n + lane_idx] = value;
+    readyCycles[static_cast<std::size_t>(id) * n + lane_idx] = ready;
+}
+
+Cycle
+Srf::laneReady(unsigned id, unsigned lane_idx) const
+{
+    checkId(id);
+    if (lane_idx >= n)
+        panic("Srf: lane %u out of range", lane_idx);
+    return readyCycles[static_cast<std::size_t>(id) * n + lane_idx];
+}
+
+} // namespace svr

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The Speculative Register File (SRF): K wide registers, each holding
+ * N 64-bit lanes, used by SVR's transient scalar-vector instructions
+ * as their only writable state (paper section IV-A3).
+ */
+
+#ifndef SVR_SVR_SRF_HH
+#define SVR_SVR_SRF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace svr
+{
+
+/** SRF register-recycling policy (section VI-D ablation). */
+enum class SrfRecycle : std::uint8_t
+{
+    LruRecycle,   //!< SVR: recycle the least-recently-read mapping
+    StopWhenFull, //!< DVR-style: stop vectorizing when exhausted
+};
+
+/** Invalid SRF register id. */
+inline constexpr unsigned invalidSrfReg = 0xffffffff;
+
+/**
+ * K x N-lane speculative register file with per-lane values and
+ * per-lane ready cycles (the scoreboard return-counter timing).
+ */
+class Srf
+{
+  public:
+    /**
+     * @param num_regs    K, the number of wide registers
+     * @param vector_len  N, lanes per register
+     */
+    Srf(unsigned num_regs, unsigned vector_len);
+
+    /** Allocate a free register; returns invalidSrfReg when full. */
+    unsigned allocate();
+
+    /** Free register @p id. */
+    void release(unsigned id);
+
+    /** Free all registers (end of a runahead round). */
+    void releaseAll();
+
+    /** True when no register is free. */
+    bool full() const { return freeCount == 0; }
+
+    /** Lane value accessors. */
+    RegVal lane(unsigned id, unsigned k) const;
+    void setLane(unsigned id, unsigned k, RegVal value, Cycle ready);
+
+    /** Cycle at which lane @p k of register @p id is ready. */
+    Cycle laneReady(unsigned id, unsigned k) const;
+
+    unsigned numRegs() const { return k; }
+    unsigned vectorLength() const { return n; }
+
+    /** Peak simultaneous allocation (for tests/reports). */
+    unsigned peakAllocated() const { return peakAlloc; }
+
+  private:
+    void checkId(unsigned id) const;
+
+    unsigned k;
+    unsigned n;
+    std::vector<RegVal> values;     // k * n
+    std::vector<Cycle> readyCycles; // k * n
+    std::vector<bool> allocated;
+    unsigned freeCount;
+    unsigned peakAlloc = 0;
+};
+
+} // namespace svr
+
+#endif // SVR_SVR_SRF_HH

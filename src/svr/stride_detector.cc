@@ -1,0 +1,112 @@
+#include "svr/stride_detector.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace svr
+{
+
+StrideDetector::StrideDetector(const StrideDetectorParams &params) : p(params)
+{
+    if (p.entries == 0)
+        fatal("StrideDetector: need at least one entry");
+    table.resize(p.entries);
+}
+
+StrideEntry *
+StrideDetector::find(Addr pc)
+{
+    for (auto &e : table) {
+        if (e.valid && e.pc == pc)
+            return &e;
+    }
+    return nullptr;
+}
+
+StrideObservation
+StrideDetector::observe(Addr pc, Addr addr)
+{
+    StrideObservation obs;
+    StrideEntry *entry = nullptr;
+    StrideEntry *victim = &table[0];
+    for (auto &e : table) {
+        if (e.valid && e.pc == pc) {
+            entry = &e;
+            break;
+        }
+        if (!e.valid || e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    if (!entry) {
+        *victim = StrideEntry{};
+        victim->pc = pc;
+        victim->valid = true;
+        victim->prevAddress = addr;
+        victim->lastUse = ++useClock;
+        obs.entry = victim;
+        return obs;
+    }
+    entry->lastUse = ++useClock;
+    obs.entry = entry;
+
+    // Waiting-mode range check *before* updating Previous Address: a
+    // load cannot retrigger while its address lies between the range
+    // start and Last Prefetch covered by the previous round.
+    if (entry->hasLastPrefetch) {
+        const Addr lo = entry->stride >= 0 ? entry->prevAddress
+                                           : entry->lastPrefetch;
+        const Addr hi = entry->stride >= 0 ? entry->lastPrefetch
+                                           : entry->prevAddress;
+        obs.inWaitRange = addr >= lo && addr <= hi;
+        if (!obs.inWaitRange)
+            entry->hasLastPrefetch = false; // leave waiting mode
+    }
+
+    const auto delta = static_cast<std::int64_t>(addr) -
+                       static_cast<std::int64_t>(entry->prevAddress);
+    if (delta == entry->stride && delta != 0) {
+        obs.matched = true;
+        if (entry->satCounter < 3)
+            entry->satCounter++;
+    } else {
+        if (entry->satCounter > 0)
+            entry->satCounter--;
+        if (entry->satCounter == 0)
+            entry->stride = delta;
+    }
+    entry->prevAddress = addr;
+
+    obs.isStriding = entry->satCounter >= p.confidenceThreshold &&
+                     entry->stride != 0 &&
+                     std::llabs(entry->stride) <= p.maxStride;
+    return obs;
+}
+
+void
+StrideDetector::clearSeenExcept(Addr except_pc)
+{
+    for (auto &e : table) {
+        if (e.valid && e.pc != except_pc)
+            e.seen = false;
+    }
+}
+
+void
+StrideDetector::resetUselessness()
+{
+    for (auto &e : table) {
+        if (e.valid)
+            e.uselessRounds = 0;
+    }
+}
+
+void
+StrideDetector::reset()
+{
+    for (auto &e : table)
+        e = StrideEntry{};
+    useClock = 0;
+}
+
+} // namespace svr

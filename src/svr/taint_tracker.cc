@@ -1,0 +1,130 @@
+#include "svr/taint_tracker.hh"
+
+#include "common/logging.hh"
+
+namespace svr
+{
+
+TaintTracker::TaintTracker(Srf &srf_file, SrfRecycle recycle_policy)
+    : srf(srf_file), policy(recycle_policy)
+{
+}
+
+unsigned
+TaintTracker::recycleLru()
+{
+    // Find the mapped register with the smallest Offset (least
+    // recently read) and steal its SRF entry.
+    RegId victim = invalidReg;
+    std::uint64_t best = ~std::uint64_t(0);
+    for (unsigned r = 0; r < numTrackedRegs; r++) {
+        if (entries[r].mapped && entries[r].offset < best) {
+            best = entries[r].offset;
+            victim = static_cast<RegId>(r);
+        }
+    }
+    if (victim == invalidReg)
+        return invalidSrfReg;
+    const unsigned freed = entries[victim].srfReg;
+    // The old mapping becomes invalid: the register stays tainted but
+    // Mapped=0, so dependents can no longer be scalar-vectorized.
+    entries[victim].mapped = false;
+    entries[victim].srfReg = invalidSrfReg;
+    srf.release(freed);
+    recycles++;
+    return srf.allocate();
+}
+
+unsigned
+TaintTracker::taintAndMap(RegId reg, std::uint64_t offset)
+{
+    if (reg >= numTrackedRegs)
+        panic("TaintTracker: bad register %u", reg);
+    Entry &e = entries[reg];
+    e.tainted = true;
+    if (e.mapped) {
+        // Only one copy of an architectural register can be live at
+        // once on an in-order core: reuse the existing mapping.
+        e.offset = offset;
+        return e.srfReg;
+    }
+    unsigned id = srf.allocate();
+    if (id == invalidSrfReg) {
+        if (policy == SrfRecycle::LruRecycle)
+            id = recycleLru();
+        if (id == invalidSrfReg) {
+            mapFailures++;
+            return invalidSrfReg;
+        }
+    }
+    e.mapped = true;
+    e.srfReg = id;
+    e.offset = offset;
+    return id;
+}
+
+void
+TaintTracker::taintOnly(RegId reg)
+{
+    if (reg >= numTrackedRegs)
+        panic("TaintTracker: bad register %u", reg);
+    Entry &e = entries[reg];
+    if (e.mapped) {
+        srf.release(e.srfReg);
+        e.mapped = false;
+        e.srfReg = invalidSrfReg;
+    }
+    e.tainted = true;
+}
+
+bool
+TaintTracker::taintedAndMapped(RegId reg) const
+{
+    if (reg >= numTrackedRegs)
+        return false;
+    return entries[reg].tainted && entries[reg].mapped;
+}
+
+bool
+TaintTracker::tainted(RegId reg) const
+{
+    if (reg >= numTrackedRegs)
+        return false;
+    return entries[reg].tainted;
+}
+
+unsigned
+TaintTracker::srfId(RegId reg) const
+{
+    if (reg >= numTrackedRegs || !entries[reg].mapped)
+        return invalidSrfReg;
+    return entries[reg].srfReg;
+}
+
+void
+TaintTracker::recordRead(RegId reg, std::uint64_t offset)
+{
+    if (reg < numTrackedRegs && entries[reg].mapped)
+        entries[reg].offset = offset;
+}
+
+void
+TaintTracker::untaint(RegId reg)
+{
+    if (reg >= numTrackedRegs)
+        return;
+    Entry &e = entries[reg];
+    if (e.mapped)
+        srf.release(e.srfReg);
+    e = Entry{};
+}
+
+void
+TaintTracker::clear()
+{
+    for (auto &e : entries)
+        e = Entry{};
+    srf.releaseAll();
+}
+
+} // namespace svr

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * SVR's taint tracker (paper Figure 8): one entry per architectural
+ * register recording whether the register is part of the indirect
+ * chain (Tainted), whether it is currently mapped to an SRF register
+ * (Mapped + SRF Reg ID), and a per-register Offset used to implement
+ * LRU recycling of architectural-to-speculative mappings.
+ */
+
+#ifndef SVR_SVR_TAINT_TRACKER_HH
+#define SVR_SVR_TAINT_TRACKER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "svr/srf.hh"
+
+namespace svr
+{
+
+/**
+ * Taint and mapping state per architectural register (including the
+ * flags pseudo-register). The tracker owns the mapping discipline;
+ * SRF allocation/recycling decisions happen here.
+ */
+class TaintTracker
+{
+  public:
+    /** @param srf the speculative register file to map into. */
+    explicit TaintTracker(Srf &srf, SrfRecycle policy);
+
+    /**
+     * Taint @p reg and map it to an SRF register, recycling per the
+     * policy when the SRF is full.
+     * @param offset current instruction offset within the round
+     * @return the SRF id, or invalidSrfReg when mapping failed
+     *         (StopWhenFull policy with an exhausted SRF).
+     */
+    unsigned taintAndMap(RegId reg, std::uint64_t offset);
+
+    /**
+     * Taint @p reg without mapping it (SRF exhausted or values
+     * unobtainable): dependents stay recognized as chain members but
+     * cannot be scalar-vectorized.
+     */
+    void taintOnly(RegId reg);
+
+    /** True when @p reg is tainted AND still mapped to a live SRF id. */
+    bool taintedAndMapped(RegId reg) const;
+
+    /** True when @p reg is tainted (even if its mapping was recycled). */
+    bool tainted(RegId reg) const;
+
+    /** SRF id mapped to @p reg (invalidSrfReg when unmapped). */
+    unsigned srfId(RegId reg) const;
+
+    /** Record a read of @p reg's mapping for LRU (updates Offset). */
+    void recordRead(RegId reg, std::uint64_t offset);
+
+    /**
+     * A non-chain instruction overwrote @p reg: clear taint and free
+     * the SRF register.
+     */
+    void untaint(RegId reg);
+
+    /** Clear everything (leaving piggyback runahead mode). */
+    void clear();
+
+    /** Mappings recycled via LRU (statistic). */
+    std::uint64_t recycles = 0;
+    /** Vectorization opportunities lost to an exhausted SRF. */
+    std::uint64_t mapFailures = 0;
+
+  private:
+    struct Entry
+    {
+        bool tainted = false;
+        bool mapped = false;
+        unsigned srfReg = invalidSrfReg;
+        std::uint64_t offset = 0; //!< last-read offset for LRU
+    };
+
+    /** Recycle the least-recently-read mapped register's SRF entry. */
+    unsigned recycleLru();
+
+    Srf &srf;
+    SrfRecycle policy;
+    std::array<Entry, numTrackedRegs> entries;
+};
+
+} // namespace svr
+
+#endif // SVR_SVR_TAINT_TRACKER_HH

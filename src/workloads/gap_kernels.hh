@@ -1,0 +1,75 @@
+/**
+ * @file
+ * GAP benchmark suite kernels (Beamer et al.) written in the
+ * simulator's micro-ISA: PageRank, BFS, Connected Components,
+ * Betweenness Centrality, and Single-Source Shortest Paths. Each
+ * factory lays the CSR graph plus kernel-specific arrays into a fresh
+ * functional memory and assembles the hot-loop program.
+ *
+ * All kernels use the compiled-code do-while loop shape (backward
+ * conditional-taken branch guarded by a compare) so SVR's LC/LBD
+ * loop-bound machinery sees exactly what it would on real binaries.
+ */
+
+#ifndef SVR_WORKLOADS_GAP_KERNELS_HH
+#define SVR_WORKLOADS_GAP_KERNELS_HH
+
+#include <memory>
+#include <string>
+
+#include "workloads/graph.hh"
+#include "workloads/workload.hh"
+
+namespace svr
+{
+
+/**
+ * PageRank inner loop (paper Listing 1): for each node, sum the
+ * contributions of its in-neighbors (stride over the neighbor array,
+ * indirect into the contribution array).
+ * @param passes number of full sweeps (0 = repeat forever).
+ */
+WorkloadInstance makePageRank(std::shared_ptr<const HostGraph> g,
+                              const std::string &name, unsigned passes = 0);
+
+/**
+ * Top-down BFS with an explicit queue: stride over the queue,
+ * indirect offset/neighbor/parent accesses, divergent visited check.
+ * @param single_source halt after one BFS (tests); otherwise restart
+ *        from successive sources forever.
+ */
+WorkloadInstance makeBfs(std::shared_ptr<const HostGraph> g,
+                         const std::string &name,
+                         bool single_source = false);
+
+/**
+ * Connected components via label propagation: per-edge indirect
+ * component loads with a data-dependent min update.
+ * @param passes number of full sweeps (0 = forever).
+ */
+WorkloadInstance makeCc(std::shared_ptr<const HostGraph> g,
+                        const std::string &name, unsigned passes = 0);
+
+/**
+ * Simplified Brandes betweenness centrality: a forward BFS phase
+ * accumulating path counts (sigma) and a backward dependency phase
+ * over the visit-order array (negative-stride access).
+ * @param single_source halt after one source (tests).
+ */
+WorkloadInstance makeBc(std::shared_ptr<const HostGraph> g,
+                        const std::string &name,
+                        bool single_source = false);
+
+/**
+ * SSSP via bucket/queue relaxation (delta-stepping-like): mutating
+ * worklists and data-dependent relaxations that defeat cache-side
+ * pattern prefetchers like IMP.
+ * @param single_source halt after one source (tests).
+ */
+WorkloadInstance makeSssp(std::shared_ptr<const HostGraph> g,
+                          const std::string &name,
+                          bool single_source = false);
+
+} // namespace svr
+
+#endif // SVR_WORKLOADS_GAP_KERNELS_HH

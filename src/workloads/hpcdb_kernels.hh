@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The paper's HPC/database workload set: Camel, Graph500 seq-CSR,
+ * hash join with bucket sizes 2 and 8, Kangaroo (NAS-IS derivative),
+ * NAS Conjugate Gradient, NAS Integer Sort, and HPCC RandomAccess.
+ *
+ * Each factory builds the hot loop in the micro-ISA over fresh
+ * functional memory. `iters` bounds the outer sweeps for functional
+ * tests (0 = repeat forever for timing windows).
+ */
+
+#ifndef SVR_WORKLOADS_HPCDB_KERNELS_HH
+#define SVR_WORKLOADS_HPCDB_KERNELS_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "workloads/graph.hh"
+#include "workloads/workload.hh"
+
+namespace svr
+{
+
+/** Problem-size knobs (defaults sized well past the 512 KiB L2). */
+struct HpcDbSizes
+{
+    std::uint32_t camelIndex = 1 << 20;
+    std::uint32_t camelTable = 1 << 21;
+    std::uint32_t hashBucketsLog2 = 17;
+    std::uint32_t hashProbes = 1 << 20;
+    std::uint32_t kangarooKeys = 1 << 20;
+    std::uint32_t kangarooTable = 1 << 21;
+    std::uint32_t cgRows = 1 << 16;
+    std::uint32_t cgCols = 1 << 18;
+    std::uint32_t cgNnzPerRow = 16;
+    std::uint32_t isKeys = 1 << 21;
+    std::uint32_t isBuckets = 1 << 21;
+    std::uint32_t randaccUpdates = 1 << 20;
+    std::uint32_t randaccTableLog2 = 21;
+};
+
+/** Camel: double stride-indirect chain sum += C[B[A[i]] & mask]. */
+WorkloadInstance makeCamel(const HpcDbSizes &sizes = {}, unsigned iters = 0);
+
+/** Graph500 seq-CSR BFS with a visited bitmap. */
+WorkloadInstance makeGraph500(std::shared_ptr<const HostGraph> g,
+                              unsigned iters = 0);
+
+/**
+ * Hash-join probe with @p bucket_size entries per bucket (2 or 8):
+ * multiplicative hash (defeats IMP), divergent in-bucket key scan
+ * (defeats SVR masking for long buckets, per the paper).
+ */
+WorkloadInstance makeHashJoin(unsigned bucket_size,
+                              const HpcDbSizes &sizes = {},
+                              unsigned iters = 0);
+
+/** Kangaroo: permuted histogram cnt[perm[key[i]]]++. */
+WorkloadInstance makeKangaroo(const HpcDbSizes &sizes = {},
+                              unsigned iters = 0);
+
+/** NAS-CG: CSR sparse matrix-vector product y = A x. */
+WorkloadInstance makeNasCg(const HpcDbSizes &sizes = {}, unsigned iters = 0);
+
+/** NAS-IS: histogram cnt[key[i]]++. */
+WorkloadInstance makeNasIs(const HpcDbSizes &sizes = {}, unsigned iters = 0);
+
+/** HPCC RandomAccess: T[r & mask] ^= r over a random stream. */
+WorkloadInstance makeRandacc(const HpcDbSizes &sizes = {},
+                             unsigned iters = 0);
+
+} // namespace svr
+
+#endif // SVR_WORKLOADS_HPCDB_KERNELS_HH

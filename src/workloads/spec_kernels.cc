@@ -1,0 +1,324 @@
+#include "workloads/spec_kernels.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace svr
+{
+
+namespace
+{
+
+enum class Shape
+{
+    StreamSum,  //!< sequential FP reduction over a large array
+    Stencil3,   //!< 3-point stencil read/compute/write
+    Axpy,       //!< y[i] += a * x[i]
+    MatmulBlock,//!< cache-resident blocked matrix multiply
+    IntChecksum,//!< sequential integer mix (xor/add/shift chain)
+    TableFsm,   //!< state = table[state ^ input[i]] with a small table
+    StringScan, //!< byte loads with branchy compares
+    PolyEval,   //!< almost pure ALU/FP loop
+};
+
+struct SpecDesc
+{
+    const char *name;
+    Shape shape;
+    std::uint32_t elems; //!< primary array size in elements
+};
+
+// FSM table sizes stay L1-resident: SPEC's pointer-ish integer codes
+// mostly hit in cache, so Figure 14's "no benefit, no harm" holds.
+const SpecDesc specTable[] = {
+    {"perlbench", Shape::TableFsm, 1u << 12},
+    {"gcc", Shape::TableFsm, 1u << 13},
+    {"bwaves", Shape::StreamSum, 1u << 21},
+    {"mcf", Shape::TableFsm, 1u << 13},
+    {"cactuBSSN", Shape::Stencil3, 1u << 16},
+    {"namd", Shape::Axpy, 1u << 15},
+    {"parest", Shape::MatmulBlock, 48},
+    {"povray", Shape::PolyEval, 1u << 12},
+    {"lbm", Shape::StreamSum, 1u << 21},
+    {"omnetpp", Shape::TableFsm, 1u << 13},
+    {"wrf", Shape::Stencil3, 1u << 20},
+    {"xalancbmk", Shape::StringScan, 1u << 18},
+    {"x264", Shape::IntChecksum, 1u << 17},
+    {"blender", Shape::Axpy, 1u << 17},
+    {"cam4", Shape::Stencil3, 1u << 17},
+    {"deepsjeng", Shape::IntChecksum, 1u << 15},
+    {"imagick", Shape::PolyEval, 1u << 13},
+    {"leela", Shape::TableFsm, 1u << 12},
+    {"nab", Shape::Axpy, 1u << 16},
+    {"exchange2", Shape::PolyEval, 1u << 12},
+    {"fotonik3d", Shape::StreamSum, 1u << 20},
+    {"roms", Shape::Stencil3, 1u << 18},
+    {"xz", Shape::IntChecksum, 1u << 18},
+};
+
+void
+emitWrap(ProgramBuilder &b, const std::string &top)
+{
+    b.addi(21, 21, 1);
+    b.cmpi(20, 0);
+    b.beq(top);
+    b.cmp(21, 20);
+    b.blt(top);
+    b.halt();
+}
+
+} // namespace
+
+const std::vector<std::string> &
+specBenchmarkNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const auto &d : specTable)
+            v.emplace_back(d.name);
+        return v;
+    }();
+    return names;
+}
+
+WorkloadInstance
+makeSpecKernel(const std::string &name, unsigned iters)
+{
+    const SpecDesc *desc = nullptr;
+    for (const auto &d : specTable) {
+        if (name == d.name) {
+            desc = &d;
+            break;
+        }
+    }
+    if (!desc)
+        fatal("makeSpecKernel: unknown SPEC benchmark '%s'", name.c_str());
+
+    auto mem = std::make_shared<FunctionalMemory>();
+    Rng rng(0x5bec0000 + desc->elems);
+    ProgramBuilder b("spec/" + name);
+    b.li(20, iters);
+    b.li(21, 0);
+
+    switch (desc->shape) {
+      case Shape::StreamSum: {
+        std::vector<double> a(desc->elems);
+        for (auto &v : a)
+            v = rng.nextDouble();
+        const Addr base = layoutDoubles(*mem, a);
+        b.li(12, 0);
+        b.label("top");
+        b.li(1, base);
+        b.li(2, base + static_cast<Addr>(desc->elems) * 8);
+        b.label("loop");
+        b.ld(6, 1, 0);
+        b.fadd(12, 12, 6);
+        b.addi(1, 1, 8);
+        b.cmp(1, 2);
+        b.blt("loop");
+        emitWrap(b, "top");
+        break;
+      }
+      case Shape::Stencil3: {
+        std::vector<double> a(desc->elems + 2);
+        for (auto &v : a)
+            v = rng.nextDouble();
+        const Addr src = layoutDoubles(*mem, a);
+        const Addr dst = layoutZeros(*mem, desc->elems, 8);
+        b.label("top");
+        b.li(1, src + 8);
+        b.li(2, src + 8 + static_cast<Addr>(desc->elems) * 8);
+        b.li(3, dst);
+        b.label("loop");
+        b.ld(6, 1, -8);
+        b.ld(7, 1, 0);
+        b.ld(8, 1, 8);
+        b.fadd(6, 6, 7);
+        b.fadd(6, 6, 8);
+        b.sd(6, 3, 0);
+        b.addi(1, 1, 8);
+        b.addi(3, 3, 8);
+        b.cmp(1, 2);
+        b.blt("loop");
+        emitWrap(b, "top");
+        break;
+      }
+      case Shape::Axpy: {
+        std::vector<double> x(desc->elems);
+        for (auto &v : x)
+            v = rng.nextDouble();
+        const Addr xb = layoutDoubles(*mem, x);
+        const Addr yb = layoutZeros(*mem, desc->elems, 8);
+        b.li(5, std::bit_cast<std::uint64_t>(1.25)); // a
+        b.label("top");
+        b.li(1, xb);
+        b.li(2, xb + static_cast<Addr>(desc->elems) * 8);
+        b.li(3, yb);
+        b.label("loop");
+        b.ld(6, 1, 0);
+        b.fmul(6, 6, 5);
+        b.ld(7, 3, 0);
+        b.fadd(7, 7, 6);
+        b.sd(7, 3, 0);
+        b.addi(1, 1, 8);
+        b.addi(3, 3, 8);
+        b.cmp(1, 2);
+        b.blt("loop");
+        emitWrap(b, "top");
+        break;
+      }
+      case Shape::MatmulBlock: {
+        const std::uint32_t n = desc->elems; // matrix dimension
+        std::vector<double> a(static_cast<std::size_t>(n) * n);
+        std::vector<double> c(static_cast<std::size_t>(n) * n);
+        for (auto &v : a)
+            v = rng.nextDouble();
+        for (auto &v : c)
+            v = rng.nextDouble();
+        const Addr ab = layoutDoubles(*mem, a);
+        const Addr bb = layoutDoubles(*mem, c);
+        const Addr cb = layoutZeros(*mem, static_cast<std::size_t>(n) * n,
+                                    8);
+        // C[i][j] = sum_k A[i][k] * B[k][j]; row-walk of A, column-walk
+        // of B via a stride of n*8 bytes.
+        b.li(24, n);
+        b.label("top");
+        b.li(1, 0); // i
+        b.label("iloop");
+        b.li(2, 0); // j
+        b.label("jloop");
+        b.mul(6, 1, 24);
+        b.slli(6, 6, 3);
+        b.li(7, ab);
+        b.add(6, 7, 6);          // &A[i][0]
+        b.slli(7, 2, 3);
+        b.li(8, bb);
+        b.add(7, 8, 7);          // &B[0][j]
+        b.li(12, 0);             // acc
+        b.li(3, 0);              // k
+        b.label("kloop");
+        b.ld(9, 6, 0);
+        b.ld(10, 7, 0);
+        b.fmul(9, 9, 10);
+        b.fadd(12, 12, 9);
+        b.addi(6, 6, 8);
+        b.slli(11, 24, 3);
+        b.add(7, 7, 11);
+        b.addi(3, 3, 1);
+        b.cmp(3, 24);
+        b.blt("kloop");
+        b.mul(6, 1, 24);
+        b.add(6, 6, 2);
+        b.slli(6, 6, 3);
+        b.li(7, cb);
+        b.add(6, 7, 6);
+        b.sd(12, 6, 0);
+        b.addi(2, 2, 1);
+        b.cmp(2, 24);
+        b.blt("jloop");
+        b.addi(1, 1, 1);
+        b.cmp(1, 24);
+        b.blt("iloop");
+        emitWrap(b, "top");
+        break;
+      }
+      case Shape::IntChecksum: {
+        std::vector<std::uint32_t> data(desc->elems);
+        for (auto &v : data)
+            v = static_cast<std::uint32_t>(rng.next());
+        const Addr base = layoutArray32(*mem, data);
+        b.li(12, 0);
+        b.label("top");
+        b.li(1, base);
+        b.li(2, base + static_cast<Addr>(desc->elems) * 4);
+        b.label("loop");
+        b.lw(6, 1, 0);
+        b.xor_(12, 12, 6);
+        b.slli(7, 12, 13);
+        b.xor_(12, 12, 7);
+        b.srli(7, 12, 7);
+        b.xor_(12, 12, 7);
+        b.add(12, 12, 6);
+        b.addi(1, 1, 4);
+        b.cmp(1, 2);
+        b.blt("loop");
+        emitWrap(b, "top");
+        break;
+      }
+      case Shape::TableFsm: {
+        const std::uint32_t tab = desc->elems;
+        std::vector<std::uint32_t> table(tab);
+        for (auto &v : table)
+            v = static_cast<std::uint32_t>(rng.nextBounded(tab));
+        std::vector<std::uint32_t> input(1u << 16);
+        for (auto &v : input)
+            v = static_cast<std::uint32_t>(rng.nextBounded(tab));
+        const Addr tb = layoutArray32(*mem, table);
+        const Addr ib = layoutArray32(*mem, input);
+        b.li(5, tb);
+        b.li(12, 0); // state
+        b.label("top");
+        b.li(1, ib);
+        b.li(2, ib + static_cast<Addr>(input.size()) * 4);
+        b.label("loop");
+        b.lw(6, 1, 0);           // input symbol (striding)
+        b.xor_(7, 12, 6);
+        b.andi(7, 7, tab - 1);
+        b.slli(7, 7, 2);
+        b.add(7, 5, 7);
+        b.lw(12, 7, 0);          // next state (small-table indirect)
+        b.addi(1, 1, 4);
+        b.cmp(1, 2);
+        b.blt("loop");
+        emitWrap(b, "top");
+        break;
+      }
+      case Shape::StringScan: {
+        std::vector<std::uint32_t> text((desc->elems + 3) / 4);
+        for (auto &v : text)
+            v = static_cast<std::uint32_t>(rng.next());
+        const Addr base = layoutArray32(*mem, text);
+        b.li(12, 0); // match count
+        b.label("top");
+        b.li(1, base);
+        b.li(2, base + static_cast<Addr>(desc->elems));
+        b.label("loop");
+        b.lb(6, 1, 0);
+        b.cmpi(6, 0x41); // look for 'A'
+        b.bne("no");
+        b.addi(12, 12, 1);
+        b.label("no");
+        b.addi(1, 1, 1);
+        b.cmp(1, 2);
+        b.blt("loop");
+        emitWrap(b, "top");
+        break;
+      }
+      case Shape::PolyEval: {
+        const Addr base = layoutZeros(*mem, desc->elems, 8);
+        b.li(5, std::bit_cast<std::uint64_t>(0.999));
+        b.li(6, std::bit_cast<std::uint64_t>(0.5));
+        b.li(12, std::bit_cast<std::uint64_t>(1.0));
+        b.label("top");
+        b.li(1, 0);
+        b.li(2, desc->elems);
+        b.label("loop");
+        b.fmul(12, 12, 5);
+        b.fadd(12, 12, 6);
+        b.fmul(12, 12, 5);
+        b.fsub(12, 12, 6);
+        b.addi(1, 1, 1);
+        b.cmp(1, 2);
+        b.blt("loop");
+        emitWrap(b, "top");
+        (void)base;
+        break;
+      }
+    }
+
+    return {"spec/" + name, mem, std::make_shared<Program>(b.build())};
+}
+
+} // namespace svr

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * SPEC CPU2017-like regular kernels for Figure 14.
+ *
+ * We cannot run SPEC binaries in this simulator; instead each SPEC
+ * rate benchmark name maps to a small regular kernel (streaming sum,
+ * stencil, axpy, blocked matmul, FSM table walk, checksum, string
+ * scan, polynomial evaluation) with a size class chosen to mimic that
+ * benchmark's dominant behaviour. What Figure 14 tests — that SVR
+ * does not degrade code without vectorizable indirect chains — is
+ * preserved: these loops trigger the stride detector but produce
+ * accurate, mostly-redundant prefetches and no deep indirect chains.
+ */
+
+#ifndef SVR_WORKLOADS_SPEC_KERNELS_HH
+#define SVR_WORKLOADS_SPEC_KERNELS_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace svr
+{
+
+/** The 23 SPECrate 2017 benchmark names used in Figure 14. */
+const std::vector<std::string> &specBenchmarkNames();
+
+/**
+ * Build the stand-in kernel for SPEC benchmark @p name.
+ * @param iters outer sweeps (0 = forever).
+ */
+WorkloadInstance makeSpecKernel(const std::string &name, unsigned iters = 0);
+
+} // namespace svr
+
+#endif // SVR_WORKLOADS_SPEC_KERNELS_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Workload abstraction: a named factory producing a fresh
+ * (program, functional memory) pair per simulation run, so that every
+ * core configuration simulates bit-identical initial state.
+ */
+
+#ifndef SVR_WORKLOADS_WORKLOAD_HH
+#define SVR_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "mem/functional_memory.hh"
+
+namespace svr
+{
+
+/** One ready-to-simulate workload instance. */
+struct WorkloadInstance
+{
+    std::string name;
+    std::shared_ptr<FunctionalMemory> mem;
+    std::shared_ptr<Program> program;
+};
+
+/** Factory producing a fresh instance (fresh memory state). */
+using WorkloadFactory = std::function<WorkloadInstance()>;
+
+/** A named workload in a suite. */
+struct WorkloadSpec
+{
+    std::string name;
+    std::string suite; //!< "graph", "hpcdb", or "spec"
+    WorkloadFactory make;
+};
+
+/** Helpers for laying out initialized arrays in functional memory. */
+Addr layoutArray64(FunctionalMemory &mem,
+                   const std::vector<std::uint64_t> &values);
+Addr layoutArray32(FunctionalMemory &mem,
+                   const std::vector<std::uint32_t> &values);
+Addr layoutDoubles(FunctionalMemory &mem, const std::vector<double> &values);
+
+/** Allocate a zero-filled array of @p count elements of @p bytes. */
+Addr layoutZeros(FunctionalMemory &mem, std::uint64_t count, unsigned bytes);
+
+} // namespace svr
+
+#endif // SVR_WORKLOADS_WORKLOAD_HH

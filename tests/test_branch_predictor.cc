@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the hybrid local/global branch predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/branch_predictor.hh"
+
+namespace svr
+{
+namespace
+{
+
+TEST(BranchPredictor, LearnsAlwaysTaken)
+{
+    BranchPredictor bp(BranchPredictorParams{});
+    const Addr pc = 0x400100;
+    for (int i = 0; i < 16; i++)
+        bp.update(pc, true);
+    EXPECT_TRUE(bp.predict(pc));
+    // Trained: no more mispredicts.
+    const auto before = bp.mispredicts;
+    for (int i = 0; i < 16; i++)
+        bp.update(pc, true);
+    EXPECT_EQ(bp.mispredicts, before);
+}
+
+TEST(BranchPredictor, LearnsAlwaysNotTaken)
+{
+    BranchPredictor bp(BranchPredictorParams{});
+    const Addr pc = 0x400200;
+    for (int i = 0; i < 16; i++)
+        bp.update(pc, false);
+    EXPECT_FALSE(bp.predict(pc));
+}
+
+TEST(BranchPredictor, LearnsShortAlternatingPattern)
+{
+    // T N T N ... is learnable by the local history component.
+    BranchPredictor bp(BranchPredictorParams{});
+    const Addr pc = 0x400300;
+    for (int i = 0; i < 200; i++)
+        bp.update(pc, i % 2 == 0);
+    std::uint64_t wrong = 0;
+    for (int i = 0; i < 100; i++) {
+        if (bp.update(pc, i % 2 == 0))
+            wrong++;
+    }
+    EXPECT_LT(wrong, 10u);
+}
+
+TEST(BranchPredictor, LoopExitPatternMostlyCorrect)
+{
+    // 15 taken + 1 not-taken (a 16-iteration loop): accuracy should be
+    // far above 50%.
+    BranchPredictor bp(BranchPredictorParams{});
+    const Addr pc = 0x400400;
+    std::uint64_t wrong = 0, total = 0;
+    for (int rep = 0; rep < 100; rep++) {
+        for (int i = 0; i < 16; i++) {
+            if (bp.update(pc, i != 15))
+                wrong++;
+            total++;
+        }
+    }
+    EXPECT_LT(static_cast<double>(wrong) / total, 0.2);
+}
+
+TEST(BranchPredictor, PenaltyFromParams)
+{
+    BranchPredictorParams p;
+    p.mispredictPenalty = 10;
+    BranchPredictor bp(p);
+    EXPECT_EQ(bp.penalty(), 10u);
+}
+
+TEST(BranchPredictor, CountsLookups)
+{
+    BranchPredictor bp(BranchPredictorParams{});
+    bp.update(0x400, true);
+    bp.update(0x400, true);
+    EXPECT_EQ(bp.lookups, 2u);
+}
+
+TEST(BranchPredictor, ResetRestoresInitialState)
+{
+    BranchPredictor bp(BranchPredictorParams{});
+    for (int i = 0; i < 64; i++)
+        bp.update(0x400, true);
+    bp.reset();
+    EXPECT_EQ(bp.lookups, 0u);
+    EXPECT_EQ(bp.mispredicts, 0u);
+}
+
+TEST(BranchPredictor, IndependentPcs)
+{
+    BranchPredictor bp(BranchPredictorParams{});
+    for (int i = 0; i < 32; i++) {
+        bp.update(0x400500, true);
+        bp.update(0x400504, false);
+    }
+    EXPECT_TRUE(bp.predict(0x400500));
+    EXPECT_FALSE(bp.predict(0x400504));
+}
+
+} // namespace
+} // namespace svr

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Death tests for user-error paths: the assembler-style builder and
+ * configuration validation call fatal() (exit 1) on misuse, per the
+ * gem5 fatal/panic discipline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/program.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "svr/srf.hh"
+#include "workloads/suites.hh"
+
+namespace svr
+{
+namespace
+{
+
+TEST(BuilderErrorsDeathTest, WriteToX0)
+{
+    ProgramBuilder b("t");
+    EXPECT_EXIT(b.addi(0, 1, 1), ::testing::ExitedWithCode(1),
+                "read-only");
+}
+
+TEST(BuilderErrorsDeathTest, BadRegister)
+{
+    ProgramBuilder b("t");
+    EXPECT_EXIT(b.add(40, 1, 2), ::testing::ExitedWithCode(1),
+                "bad register");
+}
+
+TEST(BuilderErrorsDeathTest, DuplicateLabel)
+{
+    ProgramBuilder b("t");
+    b.label("x");
+    b.nop();
+    EXPECT_EXIT(b.label("x"), ::testing::ExitedWithCode(1), "duplicate");
+}
+
+TEST(BuilderErrorsDeathTest, UndefinedLabel)
+{
+    ProgramBuilder b("t");
+    b.beq("nowhere");
+    b.halt();
+    EXPECT_EXIT(b.build(), ::testing::ExitedWithCode(1), "undefined");
+}
+
+TEST(BuilderErrorsDeathTest, DoubleBuild)
+{
+    ProgramBuilder b("t");
+    b.halt();
+    b.build();
+    EXPECT_EXIT(b.build(), ::testing::ExitedWithCode(1), "twice");
+}
+
+TEST(BuilderErrorsDeathTest, EmptyProgram)
+{
+    ProgramBuilder b("t");
+    EXPECT_EXIT(b.build(), ::testing::ExitedWithCode(1),
+                "no instructions");
+}
+
+TEST(ConfigErrorsDeathTest, CacheGeometry)
+{
+    // 3-way with a size that doesn't divide into power-of-two sets.
+    CacheParams p{"bad", 1000, 3, 2, 4};
+    EXPECT_EXIT(Cache c(p), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(ConfigErrorsDeathTest, DramParams)
+{
+    DramParams p;
+    p.bandwidthGiBps = -1.0;
+    EXPECT_EXIT(Dram d(p), ::testing::ExitedWithCode(1), "positive");
+}
+
+TEST(ConfigErrorsDeathTest, SrfZeroRegs)
+{
+    EXPECT_EXIT(Srf srf(0, 16), ::testing::ExitedWithCode(1), "nonzero");
+}
+
+TEST(ConfigErrorsDeathTest, UnknownWorkload)
+{
+    EXPECT_EXIT(findWorkload("no-such-workload"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+} // namespace
+} // namespace svr

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache: hits/misses, LRU
+ * replacement, write-back, prefetch tags, and MSHR bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+namespace svr
+{
+namespace
+{
+
+CacheParams
+smallCache(unsigned mshrs = 4)
+{
+    // 4 sets x 2 ways x 64 B = 512 B.
+    return {"test", 512, 2, 2, mshrs};
+}
+
+bool
+demandHit(Cache &c, Addr line)
+{
+    bool first_use = false;
+    PrefetchOrigin origin = PrefetchOrigin::None;
+    return c.lookup(line, true, first_use, origin);
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache c(smallCache());
+    EXPECT_FALSE(demandHit(c, 0));
+    c.insert(0, PrefetchOrigin::None, false);
+    EXPECT_TRUE(demandHit(c, 0));
+    EXPECT_EQ(c.hits, 1u);
+    EXPECT_EQ(c.misses, 1u);
+}
+
+TEST(Cache, SetConflictEvictsLru)
+{
+    Cache c(smallCache());
+    // Three lines mapping to the same set (stride = numSets * 64 = 256).
+    c.insert(0, PrefetchOrigin::None, false);
+    c.insert(256, PrefetchOrigin::None, false);
+    // Touch line 0 so line 256 is LRU.
+    demandHit(c, 0);
+    const EvictResult ev = c.insert(512, PrefetchOrigin::None, false);
+    EXPECT_TRUE(ev.evictedValid);
+    EXPECT_EQ(ev.evictedLine, 256u);
+    EXPECT_TRUE(demandHit(c, 0));
+    EXPECT_FALSE(demandHit(c, 256));
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback)
+{
+    Cache c(smallCache());
+    c.insert(0, PrefetchOrigin::None, true);
+    c.insert(256, PrefetchOrigin::None, false);
+    demandHit(c, 256);
+    demandHit(c, 256); // make line 0 the LRU
+    const EvictResult ev = c.insert(512, PrefetchOrigin::None, false);
+    EXPECT_TRUE(ev.evictedValid);
+    EXPECT_TRUE(ev.evictedDirty);
+    EXPECT_EQ(c.writebacks, 1u);
+}
+
+TEST(Cache, SetDirtyOnHit)
+{
+    Cache c(smallCache());
+    c.insert(0, PrefetchOrigin::None, false);
+    c.setDirty(0);
+    c.insert(256, PrefetchOrigin::None, false);
+    demandHit(c, 256);
+    demandHit(c, 256);
+    const EvictResult ev = c.insert(512, PrefetchOrigin::None, false);
+    EXPECT_TRUE(ev.evictedDirty);
+}
+
+TEST(Cache, PrefetchTagFirstUse)
+{
+    Cache c(smallCache());
+    c.insert(0, PrefetchOrigin::Svr, false);
+    bool first_use = false;
+    PrefetchOrigin origin = PrefetchOrigin::None;
+    EXPECT_TRUE(c.lookup(0, true, first_use, origin));
+    EXPECT_TRUE(first_use);
+    EXPECT_EQ(origin, PrefetchOrigin::Svr);
+    EXPECT_EQ(c.prefetchFirstUse[static_cast<unsigned>(PrefetchOrigin::Svr)],
+              1u);
+    // Second demand hit is not a first use.
+    EXPECT_TRUE(c.lookup(0, true, first_use, origin));
+    EXPECT_FALSE(first_use);
+}
+
+TEST(Cache, PrefetchProbeDoesNotConsumeTag)
+{
+    Cache c(smallCache());
+    c.insert(0, PrefetchOrigin::Svr, false);
+    bool first_use = false;
+    PrefetchOrigin origin = PrefetchOrigin::None;
+    // Non-demand probe (is_demand = false) must not clear the tag.
+    EXPECT_TRUE(c.lookup(0, false, first_use, origin));
+    EXPECT_FALSE(first_use);
+    // Demand still sees the first use afterwards.
+    EXPECT_TRUE(c.lookup(0, true, first_use, origin));
+    EXPECT_TRUE(first_use);
+}
+
+TEST(Cache, UnusedPrefetchEvictionCounted)
+{
+    Cache c(smallCache());
+    c.insert(0, PrefetchOrigin::Svr, false);
+    c.insert(256, PrefetchOrigin::None, false);
+    demandHit(c, 256);
+    demandHit(c, 256);
+    const EvictResult ev = c.insert(512, PrefetchOrigin::None, false);
+    EXPECT_TRUE(ev.evictedUnusedPrefetch);
+    EXPECT_EQ(ev.evictedOrigin, PrefetchOrigin::Svr);
+    EXPECT_EQ(
+        c.prefetchEvictedUnused[static_cast<unsigned>(PrefetchOrigin::Svr)],
+        1u);
+}
+
+TEST(Cache, UsedPrefetchEvictionNotCounted)
+{
+    Cache c(smallCache());
+    c.insert(0, PrefetchOrigin::Svr, false);
+    demandHit(c, 0); // consume the tag
+    c.insert(256, PrefetchOrigin::None, false);
+    const EvictResult ev = c.insert(512, PrefetchOrigin::None, false);
+    // Whichever victim was chosen, no unused-prefetch event fires.
+    EXPECT_FALSE(ev.evictedUnusedPrefetch);
+}
+
+TEST(Cache, MarkPrefetchUsed)
+{
+    Cache c(smallCache());
+    c.insert(0, PrefetchOrigin::Imp, false);
+    c.markPrefetchUsed(0);
+    EXPECT_EQ(c.prefetchFirstUse[static_cast<unsigned>(PrefetchOrigin::Imp)],
+              1u);
+    // Idempotent.
+    c.markPrefetchUsed(0);
+    EXPECT_EQ(c.prefetchFirstUse[static_cast<unsigned>(PrefetchOrigin::Imp)],
+              1u);
+}
+
+TEST(Cache, MshrMergeSameLine)
+{
+    Cache c(smallCache());
+    c.allocateMshr(0, 10, 110);
+    EXPECT_EQ(c.outstandingMiss(0, 50), 110u);
+    EXPECT_EQ(c.outstandingMiss(64, 50), 0u);
+    // After completion the miss is no longer outstanding.
+    EXPECT_EQ(c.outstandingMiss(0, 120), 0u);
+}
+
+TEST(Cache, MshrOccupancyDelays)
+{
+    Cache c(smallCache(2));
+    EXPECT_EQ(c.mshrAvailable(5), 5u);
+    c.allocateMshr(0, 5, 100);
+    c.allocateMshr(64, 5, 200);
+    // Both MSHRs busy: next miss waits until the earliest frees.
+    EXPECT_EQ(c.mshrAvailable(10), 100u);
+}
+
+TEST(Cache, DrainFillsCompletedMisses)
+{
+    Cache c(smallCache());
+    c.allocateMshr(0, 0, 50);
+    c.setPendingFill(0, PrefetchOrigin::Svr, false, true);
+    int evictions = 0;
+    c.drainCompletedMisses(49, [&](const EvictResult &) { evictions++; });
+    EXPECT_FALSE(c.contains(0)); // not yet complete
+    c.drainCompletedMisses(50, [&](const EvictResult &) { evictions++; });
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_EQ(c.pendingMisses(), 0u);
+}
+
+TEST(Cache, PendingFromDram)
+{
+    Cache c(smallCache());
+    c.allocateMshr(0, 0, 50);
+    c.setPendingFill(0, PrefetchOrigin::None, false, true);
+    EXPECT_TRUE(c.pendingFromDram(0));
+    c.allocateMshr(64, 0, 50);
+    c.setPendingFill(64, PrefetchOrigin::None, false, false);
+    EXPECT_FALSE(c.pendingFromDram(64));
+}
+
+TEST(Cache, ResetClearsEverything)
+{
+    Cache c(smallCache());
+    c.insert(0, PrefetchOrigin::Svr, false);
+    demandHit(c, 0);
+    c.allocateMshr(64, 0, 50);
+    c.reset();
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_EQ(c.hits, 0u);
+    EXPECT_EQ(c.misses, 0u);
+    EXPECT_EQ(c.pendingMisses(), 0u);
+}
+
+TEST(Cache, InsertExistingLineMergesDirty)
+{
+    Cache c(smallCache());
+    c.insert(0, PrefetchOrigin::None, false);
+    const EvictResult ev = c.insert(0, PrefetchOrigin::None, true);
+    EXPECT_FALSE(ev.evictedValid);
+    c.insert(256, PrefetchOrigin::None, false);
+    demandHit(c, 256);
+    demandHit(c, 256);
+    const EvictResult ev2 = c.insert(512, PrefetchOrigin::None, false);
+    EXPECT_TRUE(ev2.evictedDirty); // dirty bit merged on re-insert
+}
+
+} // namespace
+} // namespace svr

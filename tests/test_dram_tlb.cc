@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for the DRAM bandwidth-queue model and the translation
+ * stack (TLBs + page-table walkers).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+#include "mem/tlb.hh"
+
+namespace svr
+{
+namespace
+{
+
+TEST(Dram, IdleLatency)
+{
+    Dram d(DramParams{});
+    // 45 ns at 2 GHz = 90 cycles.
+    EXPECT_NEAR(d.latencyCycles(), 90.0, 0.01);
+    const Cycle done = d.access(1000);
+    EXPECT_NEAR(static_cast<double>(done), 1090.0, 2.0);
+}
+
+TEST(Dram, TransferOccupancy)
+{
+    // 50 GiB/s, 64 B lines, 2 GHz -> ~2.38 cycles per transfer.
+    Dram d(DramParams{});
+    EXPECT_NEAR(d.transferCycles(), 64.0 / (50.0 * 1.073741824) * 2.0,
+                0.01);
+}
+
+TEST(Dram, BackToBackAccessesQueue)
+{
+    Dram d(DramParams{});
+    const Cycle first = d.access(0);
+    const Cycle second = d.access(0);
+    const Cycle third = d.access(0);
+    // Each successive access queues behind the channel.
+    EXPECT_GT(second, first);
+    EXPECT_GT(third, second);
+    EXPECT_NEAR(static_cast<double>(second - first), d.transferCycles(),
+                1.01);
+}
+
+TEST(Dram, LowerBandwidthQueuesLonger)
+{
+    DramParams slow;
+    slow.bandwidthGiBps = 12.5;
+    Dram fast(DramParams{}), queued(slow);
+    Cycle f = 0, s = 0;
+    for (int i = 0; i < 32; i++) {
+        f = fast.access(0);
+        s = queued.access(0);
+    }
+    EXPECT_GT(s, f);
+}
+
+TEST(Dram, WritebackConsumesBandwidthOnly)
+{
+    Dram d(DramParams{});
+    d.writeback(0);
+    const Cycle read = d.access(0);
+    // The read queues behind the writeback transfer.
+    EXPECT_GT(static_cast<double>(read), d.latencyCycles());
+    EXPECT_EQ(d.transfers(), 2u);
+}
+
+TEST(Dram, ResetClearsQueue)
+{
+    Dram d(DramParams{});
+    for (int i = 0; i < 100; i++)
+        d.access(0);
+    d.reset();
+    EXPECT_EQ(d.transfers(), 0u);
+    const Cycle done = d.access(0);
+    EXPECT_NEAR(static_cast<double>(done), d.latencyCycles(), 2.0);
+}
+
+TEST(Tlb, HitAfterInsert)
+{
+    Tlb t(16, 16);
+    EXPECT_FALSE(t.lookup(0x5000));
+    t.insert(0x5000);
+    EXPECT_TRUE(t.lookup(0x5abc)); // same page
+    EXPECT_FALSE(t.lookup(0x9000));
+    EXPECT_EQ(t.hits, 1u);
+    EXPECT_EQ(t.misses, 2u);
+}
+
+TEST(Tlb, LruReplacementFullyAssociative)
+{
+    Tlb t(2, 2);
+    t.insert(0x0000);
+    t.insert(0x1000);
+    t.lookup(0x0000); // page 0 most recently used
+    t.insert(0x2000); // evicts page 1
+    EXPECT_TRUE(t.lookup(0x0000));
+    EXPECT_FALSE(t.lookup(0x1000));
+    EXPECT_TRUE(t.lookup(0x2000));
+}
+
+TEST(Tlb, SetAssociativeIndexing)
+{
+    Tlb t(4, 2); // 2 sets x 2 ways
+    // Pages 0 and 2 map to set 0; page 1 maps to set 1.
+    t.insert(0x0000);
+    t.insert(0x2000);
+    t.insert(0x1000);
+    EXPECT_TRUE(t.lookup(0x0000));
+    EXPECT_TRUE(t.lookup(0x2000));
+    EXPECT_TRUE(t.lookup(0x1000));
+}
+
+TEST(TranslationStack, FirstLevelHitIsFree)
+{
+    TranslationStack ts(TranslationParams{});
+    ts.translateData(0x5000, 100); // walk + fills
+    const Cycle done = ts.translateData(0x5008, 200);
+    EXPECT_EQ(done, 200u); // D-TLB hit
+}
+
+TEST(TranslationStack, StlbHitCostsExtra)
+{
+    TranslationParams p;
+    p.dtlbEntries = 1;
+    TranslationStack ts(p);
+    ts.translateData(0x5000, 0);
+    ts.translateData(0x9000, 0); // evicts 0x5000 from the 1-entry D-TLB
+    const Cycle done = ts.translateData(0x5000, 1000);
+    EXPECT_EQ(done, 1000u + p.stlbHitLatency); // S-TLB hit
+}
+
+TEST(TranslationStack, WalkCostsWalkLatency)
+{
+    TranslationParams p;
+    TranslationStack ts(p);
+    const Cycle done = ts.translateData(0x5000, 1000);
+    EXPECT_EQ(done, 1000u + p.stlbHitLatency + p.walkLatency);
+    EXPECT_EQ(ts.walks, 1u);
+}
+
+TEST(TranslationStack, WalkerPoolSerializes)
+{
+    TranslationParams p;
+    p.numWalkers = 1;
+    TranslationStack ts(p);
+    const Cycle a = ts.translateData(0x100000, 0);
+    const Cycle b = ts.translateData(0x200000, 0);
+    EXPECT_GE(b, a + p.walkLatency); // second walk queues behind
+}
+
+TEST(TranslationStack, MoreWalkersOverlap)
+{
+    TranslationParams p1;
+    p1.numWalkers = 1;
+    TranslationParams p4;
+    p4.numWalkers = 4;
+    TranslationStack one(p1), four(p4);
+    Cycle last1 = 0, last4 = 0;
+    for (int i = 0; i < 4; i++) {
+        last1 = std::max(last1,
+                         one.translateData(0x100000 + i * 0x1000, 0));
+        last4 = std::max(last4,
+                         four.translateData(0x100000 + i * 0x1000, 0));
+    }
+    EXPECT_GT(last1, last4);
+}
+
+TEST(TranslationStack, InstrSideSeparateFromDataSide)
+{
+    TranslationStack ts(TranslationParams{});
+    ts.translateData(0x5000, 0);
+    // The I-TLB has not seen this page; but the S-TLB has.
+    const Cycle done = ts.translateInstr(0x5000, 100);
+    EXPECT_EQ(done, 100u + TranslationParams{}.stlbHitLatency);
+    EXPECT_EQ(ts.walks, 1u);
+}
+
+} // namespace
+} // namespace svr

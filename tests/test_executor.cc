@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Unit tests for the functional executor: instruction semantics,
+ * control flow, memory access resolution, flags, and halting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "core/executor.hh"
+#include "isa/program.hh"
+#include "mem/functional_memory.hh"
+
+namespace svr
+{
+namespace
+{
+
+TEST(Executor, AluChain)
+{
+    ProgramBuilder b("t");
+    b.li(1, 6);
+    b.li(2, 7);
+    b.mul(3, 1, 2);
+    b.addi(3, 3, 8);
+    b.halt();
+    FunctionalMemory m;
+    const Program p = b.build();
+    Executor e(p, m);
+    while (!e.halted())
+        e.step();
+    EXPECT_EQ(e.readReg(3), 50u);
+}
+
+TEST(Executor, X0AlwaysZero)
+{
+    FunctionalMemory m;
+    ProgramBuilder b("t");
+    b.li(1, 5);
+    b.add(2, 0, 1);
+    b.halt();
+    const Program p = b.build();
+    Executor e(p, m);
+    // Even a direct write attempt leaves x0 zero.
+    e.writeReg(0, 99);
+    EXPECT_EQ(e.readReg(0), 0u);
+    while (!e.halted())
+        e.step();
+    EXPECT_EQ(e.readReg(2), 5u);
+}
+
+TEST(Executor, LoadStoreRoundTrip)
+{
+    FunctionalMemory m;
+    const Addr base = m.alloc(64);
+    ProgramBuilder b("t");
+    b.li(1, base);
+    b.li(2, 0xabcdef);
+    b.sd(2, 1, 8);
+    b.ld(3, 1, 8);
+    b.halt();
+    const Program p = b.build();
+    Executor e(p, m);
+    while (!e.halted())
+        e.step();
+    EXPECT_EQ(e.readReg(3), 0xabcdefu);
+    EXPECT_EQ(m.read64(base + 8), 0xabcdefu);
+}
+
+TEST(Executor, NarrowLoadsZeroExtend)
+{
+    FunctionalMemory m;
+    const Addr base = m.alloc(64);
+    m.write64(base, 0xffffffffffffffffULL);
+    ProgramBuilder b("t");
+    b.li(1, base);
+    b.lw(2, 1, 0);
+    b.lh(3, 1, 0);
+    b.lb(4, 1, 0);
+    b.halt();
+    const Program p = b.build();
+    Executor e(p, m);
+    while (!e.halted())
+        e.step();
+    EXPECT_EQ(e.readReg(2), 0xffffffffu);
+    EXPECT_EQ(e.readReg(3), 0xffffu);
+    EXPECT_EQ(e.readReg(4), 0xffu);
+}
+
+TEST(Executor, DynInstCapturesOperandsAndAddress)
+{
+    FunctionalMemory m;
+    const Addr base = m.alloc(64);
+    m.write64(base + 16, 77);
+    ProgramBuilder b("t");
+    b.li(1, base);
+    b.ld(2, 1, 16);
+    b.halt();
+    const Program p = b.build();
+    Executor e(p, m);
+    e.step(); // li
+    const DynInst dyn = e.step();
+    EXPECT_EQ(dyn.addr, base + 16);
+    EXPECT_EQ(dyn.src1, base);
+    EXPECT_EQ(dyn.result, 77u);
+    EXPECT_EQ(dyn.pc, Program::pcOf(1));
+    EXPECT_EQ(dyn.seq, 1u);
+}
+
+TEST(Executor, LoopExecutesCorrectCount)
+{
+    FunctionalMemory m;
+    ProgramBuilder b("t");
+    b.li(1, 0);
+    b.label("loop");
+    b.addi(1, 1, 1);
+    b.cmpi(1, 10);
+    b.blt("loop");
+    b.halt();
+    const Program p = b.build();
+    Executor e(p, m);
+    while (!e.halted())
+        e.step();
+    EXPECT_EQ(e.readReg(1), 10u);
+    // 1 li + 10 * (addi, cmpi, blt) + halt
+    EXPECT_EQ(e.instructionsExecuted(), 1u + 30u + 1u);
+}
+
+TEST(Executor, BranchOutcomeCaptured)
+{
+    FunctionalMemory m;
+    ProgramBuilder b("t");
+    b.cmpi(0, 1);    // 0 < 1 -> lt
+    b.blt("target");
+    b.li(1, 111);
+    b.label("target");
+    b.halt();
+    const Program p = b.build();
+    Executor e(p, m);
+    e.step();
+    const DynInst br = e.step();
+    EXPECT_TRUE(br.taken);
+    EXPECT_EQ(br.targetPc, Program::pcOf(3));
+    while (!e.halted())
+        e.step();
+    EXPECT_EQ(e.readReg(1), 0u); // skipped
+}
+
+TEST(Executor, NotTakenFallsThrough)
+{
+    FunctionalMemory m;
+    ProgramBuilder b("t");
+    b.cmpi(0, 0);   // equal
+    b.bne("skip");
+    b.li(1, 42);
+    b.label("skip");
+    b.halt();
+    const Program p = b.build();
+    Executor e(p, m);
+    while (!e.halted())
+        e.step();
+    EXPECT_EQ(e.readReg(1), 42u);
+}
+
+TEST(Executor, JmpIsAlwaysTaken)
+{
+    FunctionalMemory m;
+    ProgramBuilder b("t");
+    b.jmp("end");
+    b.li(1, 1);
+    b.label("end");
+    b.halt();
+    const Program p = b.build();
+    Executor e(p, m);
+    const DynInst j = e.step();
+    EXPECT_TRUE(j.taken);
+    while (!e.halted())
+        e.step();
+    EXPECT_EQ(e.readReg(1), 0u);
+}
+
+TEST(Executor, FlagsPersistAcrossNonCompares)
+{
+    FunctionalMemory m;
+    ProgramBuilder b("t");
+    b.cmpi(0, 5);   // lt
+    b.li(1, 9);     // does not touch flags
+    b.blt("end");
+    b.li(2, 1);
+    b.label("end");
+    b.halt();
+    const Program p = b.build();
+    Executor e(p, m);
+    while (!e.halted())
+        e.step();
+    EXPECT_EQ(e.readReg(2), 0u); // branch taken on stale-but-live flags
+}
+
+TEST(Executor, CompareFlagsInDynInst)
+{
+    FunctionalMemory m;
+    ProgramBuilder b("t");
+    b.li(1, 3);
+    b.cmpi(1, 10);
+    b.halt();
+    const Program p = b.build();
+    Executor e(p, m);
+    e.step();
+    const DynInst cmp = e.step();
+    EXPECT_TRUE(cmp.flagsOut.lt);
+    EXPECT_FALSE(cmp.flagsOut.eq);
+}
+
+TEST(Executor, RunsOffEndHalts)
+{
+    FunctionalMemory m;
+    ProgramBuilder b("t");
+    b.li(1, 1);
+    const Program p = b.build();
+    Executor e(p, m);
+    e.step();
+    EXPECT_TRUE(e.halted());
+}
+
+TEST(Executor, RestartResetsState)
+{
+    FunctionalMemory m;
+    ProgramBuilder b("t");
+    b.addi(1, 1, 5);
+    b.halt();
+    const Program p = b.build();
+    Executor e(p, m);
+    while (!e.halted())
+        e.step();
+    EXPECT_EQ(e.readReg(1), 5u);
+    e.restart();
+    EXPECT_FALSE(e.halted());
+    EXPECT_EQ(e.readReg(1), 0u);
+    EXPECT_EQ(e.instructionsExecuted(), 0u);
+}
+
+TEST(Executor, FloatingPointProgram)
+{
+    FunctionalMemory m;
+    ProgramBuilder b("t");
+    b.li(1, std::bit_cast<std::uint64_t>(1.5));
+    b.li(2, std::bit_cast<std::uint64_t>(2.5));
+    b.fadd(3, 1, 2);
+    b.fmul(4, 3, 2);
+    b.halt();
+    const Program p = b.build();
+    Executor e(p, m);
+    while (!e.halted())
+        e.step();
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(e.readReg(3)), 4.0);
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(e.readReg(4)), 10.0);
+}
+
+} // namespace
+} // namespace svr

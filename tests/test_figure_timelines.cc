@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Timeline tests reproducing the paper's Figure 4 and Figure 9 event
+ * sequences via the engine's event log:
+ *  - Fig 4: A0 triggers PRM; A1..A16 run in waiting mode; A17 (the
+ *    first unprefetched element) re-triggers immediately.
+ *  - Fig 9 top (nested): entering the inner loop aborts the outer
+ *    round and retargets to the inner load.
+ *  - Fig 9 middle (unrolled): two independent chains vectorize in the
+ *    same round (extra-chain events).
+ *  - Fig 9 bottom (independent): leaving loop A for loop B retargets
+ *    after B's second sighting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/executor.hh"
+#include "mem/memory_system.hh"
+#include "svr/svr_engine.hh"
+#include "test_helpers.hh"
+
+namespace svr
+{
+namespace
+{
+
+class TimelineHarness
+{
+  public:
+    explicit TimelineHarness(WorkloadInstance w, SvrParams sp = {})
+        : work(std::move(w)),
+          mem(noPf()),
+          exec(*work.program, *work.mem),
+          engine((sp.enableEventLog = true, sp), mem, exec)
+    {
+    }
+
+    static MemParams
+    noPf()
+    {
+        MemParams p;
+        p.enableStridePf = false;
+        return p;
+    }
+
+    void
+    run(std::uint64_t n)
+    {
+        for (std::uint64_t i = 0; i < n && !exec.halted(); i++) {
+            const DynInst dyn = exec.step();
+            if (dyn.si->isLoad()) {
+                const AccessResult r =
+                    mem.access(AccessKind::Load, dyn.pc, dyn.addr, cycle);
+                cycle = std::max(cycle, r.done);
+            } else if (dyn.si->isStore()) {
+                mem.access(AccessKind::Store, dyn.pc, dyn.addr, cycle);
+            }
+            engine.onIssue(dyn, cycle);
+            cycle += 2;
+        }
+    }
+
+    /** Events of one kind, in order. */
+    std::vector<SvrEvent>
+    eventsOf(SvrEventKind kind) const
+    {
+        std::vector<SvrEvent> out;
+        for (const SvrEvent &e : engine.eventLog()) {
+            if (e.kind == kind)
+                out.push_back(e);
+        }
+        return out;
+    }
+
+    WorkloadInstance work;
+    MemorySystem mem;
+    Executor exec;
+    SvrEngine engine;
+    Cycle cycle = 100;
+};
+
+/** First Lw in the program (the inner/stream trigger). */
+Addr
+firstLwPc(const Program &prog)
+{
+    for (std::size_t i = 0; i < prog.size(); i++) {
+        if (prog.at(i).op == Opcode::Lw)
+            return Program::pcOf(i);
+    }
+    return 0;
+}
+
+TEST(FigureTimelines, Fig4TriggerWaitRetrigger)
+{
+    // The canonical single-indirect chain with N=16.
+    SvrParams sp;
+    sp.vectorLength = 16;
+    TimelineHarness h(test::strideIndirect(1 << 14, 1 << 18), sp);
+    h.run(4000);
+
+    const Addr trigger_pc = firstLwPc(*h.work.program);
+    const auto triggers = h.eventsOf(SvrEventKind::Trigger);
+    const auto waits = h.eventsOf(SvrEventKind::WaitSuppress);
+    ASSERT_GE(triggers.size(), 2u);
+    // All rounds trigger at the striding load A.
+    for (const SvrEvent &e : triggers)
+        EXPECT_EQ(e.pc, trigger_pc);
+
+    // Figure 4's pattern: between two consecutive triggers, the load
+    // runs ~N-1 instances in waiting mode (A1..A16), then A17
+    // re-triggers. Count wait-suppressions between the first two
+    // triggers.
+    unsigned between = 0;
+    for (const SvrEvent &w : waits) {
+        if (w.cycle > triggers[0].cycle && w.cycle < triggers[1].cycle)
+            between++;
+    }
+    EXPECT_GE(between, triggers[0].lanes - 2);
+    EXPECT_LE(between, triggers[0].lanes);
+
+    // Each trigger is eventually followed by a terminate at the same
+    // HSLR (one chain iteration later).
+    const auto terms = h.eventsOf(SvrEventKind::Terminate);
+    ASSERT_FALSE(terms.empty());
+    EXPECT_EQ(terms[0].pc, trigger_pc);
+    EXPECT_GT(terms[0].cycle, triggers[0].cycle);
+}
+
+TEST(FigureTimelines, Fig9NestedLoopsAbortToInner)
+{
+    // Outer striding load A + inner stride-indirect loop B (as in the
+    // paper's nested-loops example): the engine must abort rounds
+    // begun at A once B is seen twice, and thereafter round on B.
+    auto mem = std::make_shared<FunctionalMemory>();
+    Rng rng(71);
+    const std::uint32_t outer_n = 1 << 10;
+    const std::uint32_t inner_n = 24;
+    std::vector<std::uint32_t> idx(outer_n * inner_n);
+    for (auto &v : idx)
+        v = static_cast<std::uint32_t>(rng.nextBounded(1 << 18));
+    const Addr idx_base = layoutArray32(*mem, idx);
+    const Addr tab = layoutZeros(*mem, 1 << 18, 8);
+    // Outer array holds random indices so A has a real dependent
+    // indirect load (the paper's IndA).
+    std::vector<std::uint64_t> outer_vals(outer_n);
+    for (auto &v : outer_vals)
+        v = rng.nextBounded(1 << 18);
+    const Addr outer_arr = layoutArray64(*mem, outer_vals);
+    // The paper's Figure 9 (top) transition: the outer load A owns
+    // runahead while the inner load B is already known to stride.
+    // Warmup iterations run the inner loop with trip count 1 (B
+    // trains its stride but never recurs within a round); afterwards
+    // the full inner loop appears inside a live A-round, B is sighted
+    // twice, and the round must abort and retarget to B.
+    ProgramBuilder b("nested");
+    b.li(5, tab);
+    b.label("top");
+    b.li(20, outer_arr);
+    b.li(21, outer_arr + static_cast<Addr>(outer_n) * 8);
+    b.li(1, idx_base);
+    b.li(23, 0);       // outer iteration counter
+    b.label("outer");
+    b.ld(22, 20, 0);   // outer striding load A
+    b.slli(24, 22, 3);
+    b.add(24, 5, 24);
+    b.ld(25, 24, 0);   // IndA: dependent indirect load
+    b.cmpi(23, 64);
+    b.bge("full");
+    b.addi(2, 1, 4);   // warmup: inner trip count 1
+    b.jmp("have");
+    b.label("full");
+    b.addi(2, 1, inner_n * 4);
+    b.label("have");
+    b.label("inner");
+    b.lw(6, 1, 0);     // inner striding load B
+    b.slli(7, 6, 3);
+    b.add(7, 5, 7);
+    b.ld(8, 7, 0);
+    b.addi(1, 1, 4);
+    b.cmp(1, 2);
+    b.blt("inner");
+    b.addi(23, 23, 1);
+    b.addi(20, 20, 8);
+    b.cmp(20, 21);
+    b.blt("outer");
+    b.jmp("top");
+    WorkloadInstance w{"nested", mem,
+                       std::make_shared<Program>(b.build())};
+    // Waiting mode off: Figure 9's diagram shows runahead on every
+    // loop instance; with waiting on, the independent-loop retarget
+    // usually claims the inner loop before an outer round is live
+    // (the steady-state outcome is the same: the inner load owns
+    // runahead — asserted by NestedLoopsRetargetToInner in
+    // test_svr_engine.cc).
+    SvrParams sp;
+    sp.waitingMode = false;
+    TimelineHarness h(std::move(w), sp);
+    h.run(60000);
+
+    const Addr inner_pc = firstLwPc(*h.work.program);
+    const auto aborts = h.eventsOf(SvrEventKind::NestedAbort);
+    ASSERT_FALSE(aborts.empty());
+    // Aborts happen at the inner load's PC (second sighting within a
+    // round whose HSLR was the outer load).
+    for (const SvrEvent &e : aborts)
+        EXPECT_EQ(e.pc, inner_pc);
+    // After an abort, the very next trigger is at the inner load.
+    const auto &log = h.engine.eventLog();
+    for (std::size_t i = 0; i < log.size(); i++) {
+        if (log[i].kind != SvrEventKind::NestedAbort)
+            continue;
+        for (std::size_t j = i + 1; j < log.size(); j++) {
+            if (log[j].kind == SvrEventKind::Trigger) {
+                EXPECT_EQ(log[j].pc, inner_pc);
+                break;
+            }
+        }
+        break;
+    }
+}
+
+TEST(FigureTimelines, Fig9UnrolledChainsShareRound)
+{
+    // Two chains in one loop body: the second chain joins the round
+    // as an extra chain rather than aborting it.
+    auto mem = std::make_shared<FunctionalMemory>();
+    Rng rng(73);
+    const std::uint32_t n = 1 << 14;
+    std::vector<std::uint32_t> ia(n), ib(n);
+    for (auto &v : ia)
+        v = static_cast<std::uint32_t>(rng.nextBounded(1 << 17));
+    for (auto &v : ib)
+        v = static_cast<std::uint32_t>(rng.nextBounded(1 << 17));
+    const Addr a_base = layoutArray32(*mem, ia);
+    const Addr b_base = layoutArray32(*mem, ib);
+    const Addr t1 = layoutZeros(*mem, 1 << 17, 8);
+    const Addr t2 = layoutZeros(*mem, 1 << 17, 8);
+    ProgramBuilder b("unrolled");
+    b.li(5, t1);
+    b.li(15, t2);
+    b.li(16, b_base - a_base);
+    b.label("top");
+    b.li(1, a_base);
+    b.li(2, a_base + static_cast<Addr>(n) * 4);
+    b.label("loop");
+    b.lw(6, 1, 0);    // chain A
+    b.slli(7, 6, 3);
+    b.add(7, 5, 7);
+    b.ld(8, 7, 0);
+    b.add(9, 1, 16);
+    b.lw(10, 9, 0);   // chain B
+    b.slli(11, 10, 3);
+    b.add(11, 15, 11);
+    b.ld(13, 11, 0);
+    b.addi(1, 1, 4);
+    b.cmp(1, 2);
+    b.blt("loop");
+    b.jmp("top");
+    WorkloadInstance w{"unrolled", mem,
+                       std::make_shared<Program>(b.build())};
+    TimelineHarness h(std::move(w));
+    h.run(60000);
+
+    const auto extras = h.eventsOf(SvrEventKind::ExtraChain);
+    const auto aborts = h.eventsOf(SvrEventKind::NestedAbort);
+    EXPECT_FALSE(extras.empty());
+    // Extra chains happen *within* rounds: each between a trigger and
+    // its terminate, at a different PC than the trigger.
+    const auto triggers = h.eventsOf(SvrEventKind::Trigger);
+    ASSERT_FALSE(triggers.empty());
+    for (const SvrEvent &e : extras)
+        EXPECT_NE(e.pc, triggers[0].pc);
+    // An unrolled body must not be mistaken for a nested loop on every
+    // iteration (occasional aborts at round boundaries are fine).
+    EXPECT_LT(aborts.size(), triggers.size());
+}
+
+TEST(FigureTimelines, Fig9IndependentLoopsRetarget)
+{
+    // Loop A runs to completion, then loop B: B's second sighting
+    // retargets the HSLR (Retarget events at B's PC).
+    auto mem = std::make_shared<FunctionalMemory>();
+    Rng rng(79);
+    const std::uint32_t n = 1024;
+    std::vector<std::uint32_t> ia(n), ib(n);
+    for (auto &v : ia)
+        v = static_cast<std::uint32_t>(rng.nextBounded(1 << 16));
+    for (auto &v : ib)
+        v = static_cast<std::uint32_t>(rng.nextBounded(1 << 16));
+    const Addr a_base = layoutArray32(*mem, ia);
+    const Addr b_base = layoutArray32(*mem, ib);
+    const Addr t1 = layoutZeros(*mem, 1 << 16, 8);
+    ProgramBuilder b("indep");
+    b.li(5, t1);
+    b.label("top");
+    b.li(1, a_base);
+    b.li(2, a_base + static_cast<Addr>(n) * 4);
+    b.label("loopA");
+    b.lw(6, 1, 0);
+    b.slli(7, 6, 3);
+    b.add(7, 5, 7);
+    b.ld(8, 7, 0);
+    b.addi(1, 1, 4);
+    b.cmp(1, 2);
+    b.blt("loopA");
+    b.li(1, b_base);
+    b.li(2, b_base + static_cast<Addr>(n) * 4);
+    b.label("loopB");
+    b.lw(9, 1, 0);
+    b.slli(10, 9, 3);
+    b.add(10, 5, 10);
+    b.ld(11, 10, 0);
+    b.addi(1, 1, 4);
+    b.cmp(1, 2);
+    b.blt("loopB");
+    b.jmp("top");
+    WorkloadInstance w{"indep", mem,
+                       std::make_shared<Program>(b.build())};
+    TimelineHarness h(std::move(w));
+    h.run(80000);
+
+    const auto retargets = h.eventsOf(SvrEventKind::Retarget);
+    ASSERT_FALSE(retargets.empty());
+    // Every retarget is immediately a trigger at the same PC.
+    const auto &log = h.engine.eventLog();
+    for (std::size_t i = 0; i + 1 < log.size(); i++) {
+        if (log[i].kind == SvrEventKind::Retarget) {
+            EXPECT_EQ(log[i + 1].kind, SvrEventKind::Trigger);
+            EXPECT_EQ(log[i + 1].pc, log[i].pc);
+        }
+    }
+    // Both loop trigger PCs appear in the round histogram.
+    EXPECT_GE(h.engine.stats().roundsByPc.size(), 2u);
+}
+
+TEST(FigureTimelines, EventLogRespectsCapacity)
+{
+    SvrParams sp;
+    sp.eventLogCapacity = 16;
+    TimelineHarness h(test::strideIndirect(1 << 14, 1 << 18), sp);
+    h.run(40000);
+    EXPECT_LE(h.engine.eventLog().size(), 16u);
+}
+
+TEST(FigureTimelines, EventLogOffByDefault)
+{
+    // Default params: no events recorded (no bench-time overhead).
+    MemParams mp;
+    mp.enableStridePf = false;
+    WorkloadInstance w = test::strideIndirect(1 << 13, 1 << 17);
+    MemorySystem mem(mp);
+    Executor exec(*w.program, *w.mem);
+    SvrEngine engine(SvrParams{}, mem, exec);
+    for (int i = 0; i < 5000 && !exec.halted(); i++)
+        engine.onIssue(exec.step(), 100 + 2 * i);
+    EXPECT_TRUE(engine.eventLog().empty());
+}
+
+} // namespace
+} // namespace svr

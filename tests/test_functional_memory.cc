@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the sparse functional memory and array layout
+ * helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/functional_memory.hh"
+#include "workloads/workload.hh"
+
+namespace svr
+{
+namespace
+{
+
+TEST(FunctionalMemory, ZeroInitialized)
+{
+    FunctionalMemory m;
+    EXPECT_EQ(m.read(0x1234, 8), 0u);
+    EXPECT_EQ(m.pagesTouched(), 0u); // reads do not materialize pages
+}
+
+TEST(FunctionalMemory, ReadBackAllSizes)
+{
+    FunctionalMemory m;
+    m.write(0x1000, 0x1122334455667788ULL, 8);
+    EXPECT_EQ(m.read(0x1000, 8), 0x1122334455667788ULL);
+    EXPECT_EQ(m.read(0x1000, 4), 0x55667788u);
+    EXPECT_EQ(m.read(0x1000, 2), 0x7788u);
+    EXPECT_EQ(m.read(0x1000, 1), 0x88u);
+    EXPECT_EQ(m.read(0x1004, 4), 0x11223344u);
+}
+
+TEST(FunctionalMemory, PartialWriteOnlyTouchesBytes)
+{
+    FunctionalMemory m;
+    m.write(0x2000, 0xffffffffffffffffULL, 8);
+    m.write(0x2002, 0xab, 1);
+    EXPECT_EQ(m.read(0x2000, 8), 0xffffffffffabffffULL);
+}
+
+TEST(FunctionalMemory, PageStraddlingAccess)
+{
+    FunctionalMemory m;
+    const Addr addr = pageBytes - 4; // straddles two pages
+    m.write(addr, 0x0102030405060708ULL, 8);
+    EXPECT_EQ(m.read(addr, 8), 0x0102030405060708ULL);
+    EXPECT_EQ(m.pagesTouched(), 2u);
+}
+
+TEST(FunctionalMemory, Doubles)
+{
+    FunctionalMemory m;
+    m.writeDouble(0x3000, 3.14159);
+    EXPECT_DOUBLE_EQ(m.readDouble(0x3000), 3.14159);
+}
+
+TEST(FunctionalMemory, AllocAlignmentAndDisjointness)
+{
+    FunctionalMemory m;
+    const Addr a = m.alloc(100, 64);
+    const Addr b = m.alloc(100, 64);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(b % 64, 0u);
+    EXPECT_GE(b, a + 100);
+}
+
+TEST(FunctionalMemory, AllocTracksBytes)
+{
+    FunctionalMemory m;
+    m.alloc(128, 64);
+    m.alloc(64, 64);
+    EXPECT_GE(m.bytesAllocated(), 192u);
+}
+
+TEST(FunctionalMemory, SparsePagesOnlyWhereWritten)
+{
+    FunctionalMemory m;
+    m.write(0x10000000, 1, 8);
+    m.write(0x20000000, 1, 8);
+    EXPECT_EQ(m.pagesTouched(), 2u);
+}
+
+TEST(WorkloadLayout, Array64RoundTrip)
+{
+    FunctionalMemory m;
+    const std::vector<std::uint64_t> vals = {1, 2, 3, 0xdeadbeef};
+    const Addr base = layoutArray64(m, vals);
+    for (std::size_t i = 0; i < vals.size(); i++)
+        EXPECT_EQ(m.read64(base + i * 8), vals[i]);
+}
+
+TEST(WorkloadLayout, Array32RoundTrip)
+{
+    FunctionalMemory m;
+    const std::vector<std::uint32_t> vals = {10, 20, 0xffffffffu};
+    const Addr base = layoutArray32(m, vals);
+    for (std::size_t i = 0; i < vals.size(); i++)
+        EXPECT_EQ(m.read(base + i * 4, 4), vals[i]);
+}
+
+TEST(WorkloadLayout, DoublesRoundTrip)
+{
+    FunctionalMemory m;
+    const std::vector<double> vals = {0.5, -2.25, 1e100};
+    const Addr base = layoutDoubles(m, vals);
+    for (std::size_t i = 0; i < vals.size(); i++)
+        EXPECT_DOUBLE_EQ(m.readDouble(base + i * 8), vals[i]);
+}
+
+TEST(WorkloadLayout, ZerosReserveRange)
+{
+    FunctionalMemory m;
+    const Addr base = layoutZeros(m, 100, 4);
+    const Addr next = m.alloc(8, 8);
+    EXPECT_GE(next, base + 400);
+    EXPECT_EQ(m.read(base + 396, 4), 0u);
+}
+
+} // namespace
+} // namespace svr

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the graph generators and CSR layout: structural validity,
+ * determinism, degree-distribution shape, and the in-memory layout
+ * matching the paper's Figure 2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/graph.hh"
+
+namespace svr
+{
+namespace
+{
+
+void
+checkCsrValid(const HostGraph &g)
+{
+    ASSERT_EQ(g.offsets.size(), g.numNodes + 1u);
+    EXPECT_EQ(g.offsets.front(), 0u);
+    EXPECT_EQ(g.offsets.back(), g.neighbors.size());
+    for (std::uint32_t u = 0; u < g.numNodes; u++)
+        EXPECT_LE(g.offsets[u], g.offsets[u + 1]);
+    for (std::uint32_t v : g.neighbors)
+        EXPECT_LT(v, g.numNodes);
+}
+
+TEST(Graph, UniformRandomValidCsr)
+{
+    const HostGraph g = makeUniformRandom(1000, 8, 1);
+    checkCsrValid(g);
+    EXPECT_EQ(g.numEdges(), 8000u);
+}
+
+TEST(Graph, KroneckerValidCsr)
+{
+    const HostGraph g = makeKronecker(10, 8, 2);
+    checkCsrValid(g);
+    EXPECT_EQ(g.numNodes, 1024u);
+    EXPECT_EQ(g.numEdges(), 8192u);
+}
+
+TEST(Graph, ScaleFreeValidCsr)
+{
+    const HostGraph g = makeScaleFree(1000, 8, 2.2, 3);
+    checkCsrValid(g);
+    // Edge count is approximate (degree rescaling rounds).
+    EXPECT_GT(g.numEdges(), 4000u);
+    EXPECT_LT(g.numEdges(), 16000u);
+}
+
+TEST(Graph, GeneratorsDeterministic)
+{
+    const HostGraph a = makeKronecker(10, 8, 42);
+    const HostGraph b = makeKronecker(10, 8, 42);
+    EXPECT_EQ(a.offsets, b.offsets);
+    EXPECT_EQ(a.neighbors, b.neighbors);
+}
+
+TEST(Graph, DifferentSeedsDiffer)
+{
+    const HostGraph a = makeUniformRandom(1000, 8, 1);
+    const HostGraph b = makeUniformRandom(1000, 8, 2);
+    EXPECT_NE(a.neighbors, b.neighbors);
+}
+
+TEST(Graph, KroneckerIsSkewed)
+{
+    // RMAT graphs concentrate edges on low-id nodes: the maximum
+    // degree dwarfs the average.
+    const HostGraph g = makeKronecker(12, 16, 7);
+    std::uint64_t max_deg = 0;
+    for (std::uint32_t u = 0; u < g.numNodes; u++)
+        max_deg = std::max<std::uint64_t>(max_deg, g.degree(u));
+    EXPECT_GT(max_deg, 10u * 16u);
+}
+
+TEST(Graph, UniformRandomIsNotSkewed)
+{
+    const HostGraph g = makeUniformRandom(1 << 12, 16, 7);
+    std::uint64_t max_deg = 0;
+    for (std::uint32_t u = 0; u < g.numNodes; u++)
+        max_deg = std::max<std::uint64_t>(max_deg, g.degree(u));
+    // Poisson-ish: max degree stays within a few multiples of the mean.
+    EXPECT_LT(max_deg, 5u * 16u);
+}
+
+TEST(Graph, ScaleFreeSkewTracksAlpha)
+{
+    // Heavier tail (smaller alpha) -> larger maximum degree.
+    const HostGraph heavy = makeScaleFree(20000, 16, 1.9, 5);
+    const HostGraph light = makeScaleFree(20000, 16, 2.8, 5);
+    std::uint64_t max_heavy = 0, max_light = 0;
+    for (std::uint32_t u = 0; u < heavy.numNodes; u++)
+        max_heavy = std::max<std::uint64_t>(max_heavy, heavy.degree(u));
+    for (std::uint32_t u = 0; u < light.numNodes; u++)
+        max_light = std::max<std::uint64_t>(max_light, light.degree(u));
+    EXPECT_GT(max_heavy, max_light);
+}
+
+TEST(Graph, LayoutMatchesFigure2)
+{
+    // Offsets are 8-byte sequential; neighbors are 4-byte entries whose
+    // values index the vertex-data array (paper Figure 2).
+    HostGraph g;
+    g.numNodes = 5;
+    g.offsets = {0, 2, 4, 7, 9, 12};
+    g.neighbors = {1, 2, 0, 3, 0, 1, 3, 0, 2, 0, 2, 3};
+    FunctionalMemory mem;
+    const GraphLayout gl = layoutGraph(g, mem);
+    EXPECT_EQ(gl.numNodes, 5u);
+    EXPECT_EQ(gl.numEdges, 12u);
+    for (std::size_t i = 0; i < g.offsets.size(); i++)
+        EXPECT_EQ(mem.read64(gl.offsets + i * 8), g.offsets[i]);
+    for (std::size_t i = 0; i < g.neighbors.size(); i++)
+        EXPECT_EQ(mem.read(gl.neighbors + i * 4, 4), g.neighbors[i]);
+}
+
+TEST(Graph, DegreeAccessor)
+{
+    HostGraph g;
+    g.numNodes = 3;
+    g.offsets = {0, 2, 2, 5};
+    g.neighbors = {1, 2, 0, 1, 2};
+    EXPECT_EQ(g.degree(0), 2u);
+    EXPECT_EQ(g.degree(1), 0u);
+    EXPECT_EQ(g.degree(2), 3u);
+}
+
+} // namespace
+} // namespace svr

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests reproducing the paper's Table II hardware-overhead accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "svr/hardware_budget.hh"
+
+namespace svr
+{
+namespace
+{
+
+TEST(HardwareBudget, PaperTableIITotal)
+{
+    // Table II: SVR-16 with K=8 totals 17738 bits = 2.17 KiB.
+    const HardwareBudget b = computeHardwareBudget(16, 8);
+    EXPECT_EQ(b.totalBits(), 17738u);
+    EXPECT_NEAR(b.totalKiB(), 2.17, 0.01);
+}
+
+TEST(HardwareBudget, PaperComponentBits)
+{
+    const HardwareBudget b = computeHardwareBudget(16, 8);
+    EXPECT_EQ(b.strideDetectorBits, 32u * 173u);   // 5536
+    EXPECT_EQ(b.taintTrackerBits, 32u * 13u);      // 416
+    EXPECT_EQ(b.hslrBits, 48u + 16u);              // 64
+    EXPECT_EQ(b.srfBits, 8u * 1024u);              // 8192
+    EXPECT_EQ(b.lastCompareBits, 186u);
+    EXPECT_EQ(b.loopBoundDetectorBits, 8u * 270u); // 2160
+    EXPECT_EQ(b.scoreboardBits, 32u * 5u);         // 160
+    EXPECT_EQ(b.l1PrefetchTagBits, 1024u);
+}
+
+TEST(HardwareBudget, Svr128IsAboutNineKiB)
+{
+    // The paper: N=128 grows the SRF linearly to ~9 KiB total.
+    const HardwareBudget b = computeHardwareBudget(128, 8);
+    EXPECT_NEAR(b.totalKiB(), 9.2, 0.2);
+    EXPECT_EQ(b.srfBits, 8u * 128u * 64u);
+}
+
+TEST(HardwareBudget, SrfDominatesGrowth)
+{
+    const HardwareBudget b16 = computeHardwareBudget(16, 8);
+    const HardwareBudget b128 = computeHardwareBudget(128, 8);
+    const std::uint64_t delta = b128.totalBits() - b16.totalBits();
+    const std::uint64_t srf_delta = b128.srfBits - b16.srfBits;
+    // Nearly all of the growth is SRF.
+    EXPECT_GT(static_cast<double>(srf_delta) / delta, 0.95);
+}
+
+TEST(HardwareBudget, ScoreboardCounterWidth)
+{
+    // ceil(log2(N+1)) bits per scoreboard entry.
+    EXPECT_EQ(computeHardwareBudget(16, 8).scoreboardBits, 32u * 5u);
+    EXPECT_EQ(computeHardwareBudget(8, 8).scoreboardBits, 32u * 4u);
+    EXPECT_EQ(computeHardwareBudget(128, 8).scoreboardBits, 32u * 8u);
+}
+
+TEST(HardwareBudget, MonotoneInN)
+{
+    std::uint64_t prev = 0;
+    for (unsigned n : {8u, 16u, 32u, 64u, 128u}) {
+        const std::uint64_t total =
+            computeHardwareBudget(n, 8).totalBits();
+        EXPECT_GT(total, prev);
+        prev = total;
+    }
+}
+
+TEST(HardwareBudget, MonotoneInK)
+{
+    EXPECT_LT(computeHardwareBudget(16, 2).totalBits(),
+              computeHardwareBudget(16, 8).totalBits());
+}
+
+} // namespace
+} // namespace svr

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Unit tests for the IMP baseline prefetcher: affine pattern learning,
+ * value-based indirect prefetching, and the failure modes the paper
+ * relies on (hashed and masked indices).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "imp/imp_prefetcher.hh"
+
+namespace svr
+{
+namespace
+{
+
+class ImpTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // Index array A at 0x100000 (4-byte entries), table T at
+        // 0x800000 (8-byte entries).
+        Rng rng(99);
+        for (std::uint32_t i = 0; i < 4096; i++) {
+            idx.push_back(static_cast<std::uint32_t>(
+                rng.nextBounded(1 << 16)));
+            mem.write(idxBase + i * 4, idx.back(), 4);
+        }
+    }
+
+    /** Walk the stride+indirect pattern for @p n iterations. */
+    std::vector<Addr>
+    walk(ImpPrefetcher &imp, unsigned n, unsigned shift = 3)
+    {
+        std::vector<Addr> out;
+        for (unsigned i = 0; i < n; i++) {
+            const Addr ia = idxBase + i * 4;
+            imp.observeLoad(idxPc, ia, false, out);
+            const Addr ta =
+                tabBase + (static_cast<Addr>(idx[i]) << shift);
+            imp.observeLoad(indPc, ta, false, out);
+        }
+        return out;
+    }
+
+    FunctionalMemory mem;
+    std::vector<std::uint32_t> idx;
+    static constexpr Addr idxBase = 0x100000;
+    static constexpr Addr tabBase = 0x800000;
+    static constexpr Addr idxPc = 0x400010;
+    static constexpr Addr indPc = 0x400020;
+};
+
+TEST_F(ImpTest, LearnsAffinePattern)
+{
+    ImpPrefetcher imp(ImpParams{}, mem);
+    walk(imp, 32);
+    EXPECT_GT(imp.stats().patternsLearned, 0u);
+    EXPECT_GT(imp.stats().indirectPrefetches, 0u);
+}
+
+TEST_F(ImpTest, PrefetchesCorrectFutureTargets)
+{
+    ImpPrefetcher imp(ImpParams{}, mem);
+    const std::vector<Addr> out = walk(imp, 64);
+    ASSERT_FALSE(out.empty());
+    // Every emitted prefetch line must equal the line of a future
+    // indirect target tabBase + idx[k] * 8.
+    std::set<Addr> valid;
+    for (std::uint32_t v : idx)
+        valid.insert(lineAlign(tabBase + (static_cast<Addr>(v) << 3)));
+    std::size_t good = 0;
+    for (Addr a : out) {
+        if (valid.count(a))
+            good++;
+    }
+    EXPECT_GT(static_cast<double>(good) / out.size(), 0.95);
+}
+
+TEST_F(ImpTest, LearnsShiftTwoPatterns)
+{
+    ImpPrefetcher imp(ImpParams{}, mem);
+    const std::vector<Addr> out = walk(imp, 64, 2);
+    EXPECT_GT(imp.stats().patternsLearned, 0u);
+    EXPECT_FALSE(out.empty());
+}
+
+TEST_F(ImpTest, HashedIndirectionDefeatsImp)
+{
+    // addr = tab + hash(idx)*8 is not affine in the loaded value.
+    ImpPrefetcher imp(ImpParams{}, mem);
+    std::vector<Addr> out;
+    for (unsigned i = 0; i < 128; i++) {
+        imp.observeLoad(idxPc, idxBase + i * 4, false, out);
+        const std::uint64_t h =
+            (static_cast<std::uint64_t>(idx[i]) * 0x9e3779b97f4a7c15ULL) >>
+            40;
+        imp.observeLoad(indPc, tabBase + h * 8, false, out);
+    }
+    EXPECT_EQ(imp.stats().patternsLearned, 0u);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST_F(ImpTest, MaskedIndexDefeatsImp)
+{
+    // Randacc's T[r & mask]: the observed index value has high bits
+    // the address does not reflect.
+    Rng rng(7);
+    for (std::uint32_t i = 0; i < 2048; i++)
+        mem.write(idxBase + i * 8, rng.next(), 8);
+    ImpPrefetcher imp(ImpParams{}, mem);
+    std::vector<Addr> out;
+    for (unsigned i = 0; i < 128; i++) {
+        const Addr ia = idxBase + i * 8;
+        imp.observeLoad(idxPc, ia, false, out);
+        const std::uint64_t r = mem.read(ia, 8);
+        imp.observeLoad(indPc, tabBase + (r & 0xffff) * 8, false, out);
+    }
+    EXPECT_EQ(imp.stats().patternsLearned, 0u);
+}
+
+TEST_F(ImpTest, NoLearningFromL1Hits)
+{
+    ImpPrefetcher imp(ImpParams{}, mem);
+    std::vector<Addr> out;
+    for (unsigned i = 0; i < 64; i++) {
+        imp.observeLoad(idxPc, idxBase + i * 4, false, out);
+        // Indirect loads all hit in L1: nothing to learn from.
+        imp.observeLoad(indPc,
+                        tabBase + (static_cast<Addr>(idx[i]) << 3), true,
+                        out);
+    }
+    EXPECT_EQ(imp.stats().patternsLearned, 0u);
+}
+
+TEST_F(ImpTest, PrefetchDegreeBounded)
+{
+    ImpParams p;
+    p.degree = 4;
+    ImpPrefetcher imp(p, mem);
+    std::vector<Addr> out;
+    for (unsigned i = 0; i < 64; i++) {
+        out.clear();
+        imp.observeLoad(idxPc, idxBase + i * 4, false, out);
+        imp.observeLoad(indPc,
+                        tabBase + (static_cast<Addr>(idx[i]) << 3), false,
+                        out);
+        EXPECT_LE(out.size(), 4u);
+    }
+}
+
+TEST_F(ImpTest, ResetForgetsPatterns)
+{
+    ImpPrefetcher imp(ImpParams{}, mem);
+    walk(imp, 64);
+    EXPECT_GT(imp.stats().patternsLearned, 0u);
+    imp.reset();
+    EXPECT_EQ(imp.stats().patternsLearned, 0u);
+    std::vector<Addr> out;
+    imp.observeLoad(idxPc, idxBase, false, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST_F(ImpTest, IndexSizeInferredFromStride)
+{
+    // 8-byte index entries (stride 8) must be read as 64-bit values.
+    // Values are random so the indirect stream itself has no stride.
+    Rng rng(321);
+    for (std::uint32_t i = 0; i < 2048; i++)
+        mem.write(idxBase + i * 8, rng.nextBounded(1 << 16), 8);
+    ImpPrefetcher imp(ImpParams{}, mem);
+    std::vector<Addr> out;
+    for (unsigned i = 0; i < 64; i++) {
+        const Addr ia = idxBase + i * 8;
+        imp.observeLoad(idxPc, ia, false, out);
+        const std::uint64_t v = mem.read(ia, 8);
+        imp.observeLoad(indPc, tabBase + v * 8, false, out);
+    }
+    EXPECT_GT(imp.stats().patternsLearned, 0u);
+}
+
+} // namespace
+} // namespace svr

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Timing tests for the in-order core: width limits, dependent-latency
+ * serialization, stall-on-use (hit-under-miss), branch penalties, and
+ * CPI-stack attribution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hh"
+
+namespace svr
+{
+namespace
+{
+
+using test::runInOrder;
+
+WorkloadInstance
+wrap(ProgramBuilder &b, std::shared_ptr<FunctionalMemory> mem,
+     const char *name)
+{
+    WorkloadInstance w;
+    w.name = name;
+    w.mem = std::move(mem);
+    w.program = std::make_shared<Program>(b.build());
+    return w;
+}
+
+TEST(InOrderCore, WidthBoundsThroughput)
+{
+    // A long run of fully independent instructions should approach
+    // IPC = width = 3.
+    auto mem = std::make_shared<FunctionalMemory>();
+    ProgramBuilder b("indep");
+    b.label("top");
+    for (int i = 0; i < 30; i++)
+        b.li(static_cast<RegId>(1 + (i % 20)), i);
+    b.jmp("top");
+    const CoreStats s = runInOrder(wrap(b, mem, "indep"), 30000);
+    EXPECT_GT(s.ipc(), 2.5);
+    EXPECT_LE(s.ipc(), 3.01);
+}
+
+TEST(InOrderCore, DependentChainSerializes)
+{
+    // A pure dependent ALU chain runs at IPC ~1 regardless of width.
+    auto mem = std::make_shared<FunctionalMemory>();
+    ProgramBuilder b("chain");
+    b.li(1, 0);
+    b.label("top");
+    for (int i = 0; i < 30; i++)
+        b.addi(1, 1, 1);
+    b.jmp("top");
+    const CoreStats s = runInOrder(wrap(b, mem, "chain"), 30000);
+    EXPECT_LT(s.ipc(), 1.1);
+    EXPECT_GT(s.ipc(), 0.8);
+}
+
+TEST(InOrderCore, MulLatencyVisibleInChain)
+{
+    // Dependent multiplies (3-cycle) run ~3x slower than dependent adds.
+    auto mem = std::make_shared<FunctionalMemory>();
+    ProgramBuilder b("muls");
+    b.li(1, 1);
+    b.label("top");
+    for (int i = 0; i < 30; i++)
+        b.mul(1, 1, 1);
+    b.jmp("top");
+    const CoreStats s = runInOrder(wrap(b, mem, "muls"), 30000);
+    EXPECT_NEAR(s.cpi(), 3.0, 0.5);
+}
+
+TEST(InOrderCore, StallOnUseAllowsHitUnderMiss)
+{
+    // Loads whose results are never used do not stall the pipeline:
+    // many independent DRAM misses overlap (bounded by MSHRs).
+    auto mem = std::make_shared<FunctionalMemory>();
+    const Addr big = mem->alloc(16 << 20, 64);
+    ProgramBuilder b("nouse");
+    b.li(1, big);
+    b.label("top");
+    for (int i = 0; i < 16; i++)
+        b.ld(static_cast<RegId>(2 + i % 8), 1, i * 4096); // TLB-heavy too
+    b.addi(1, 1, 64);
+    b.jmp("top");
+    const CoreStats s = runInOrder(wrap(b, mem, "nouse"), 20000);
+    // If each miss stalled the core, CPI would exceed 50.
+    EXPECT_LT(s.cpi(), 10.0);
+}
+
+TEST(InOrderCore, UseOfMissedLoadStalls)
+{
+    // A true pointer chase: every load's address depends on the
+    // previous load's value, so the core eats the full DRAM latency
+    // every iteration (no prefetcher can follow a random cycle).
+    auto mem = std::make_shared<FunctionalMemory>();
+    const std::uint32_t nodes = 1 << 16; // 4 MiB of 64 B nodes
+    const Addr base = mem->alloc(static_cast<std::uint64_t>(nodes) * 64,
+                                 64);
+    // Random cyclic permutation (Sattolo's algorithm).
+    Rng rng(13);
+    std::vector<std::uint32_t> perm(nodes);
+    for (std::uint32_t i = 0; i < nodes; i++)
+        perm[i] = i;
+    for (std::uint32_t i = nodes - 1; i > 0; i--)
+        std::swap(perm[i], perm[rng.nextBounded(i)]);
+    for (std::uint32_t i = 0; i < nodes; i++) {
+        mem->write64(base + static_cast<Addr>(perm[i]) * 64,
+                     base + static_cast<Addr>(
+                                perm[(i + 1) % nodes]) * 64);
+    }
+    ProgramBuilder b("chase");
+    b.li(1, base + static_cast<Addr>(perm[0]) * 64);
+    b.label("top");
+    b.ld(1, 1, 0);
+    b.jmp("top");
+    const CoreStats s = runInOrder(wrap(b, mem, "chase"), 20000);
+    EXPECT_GT(s.cpi(), 15.0);
+    EXPECT_GT(s.stackDram, s.cycles / 2);
+}
+
+TEST(InOrderCore, BranchMispredictsCostCycles)
+{
+    // Data-dependent unpredictable branches on random data.
+    auto mem = std::make_shared<FunctionalMemory>();
+    Rng rng(3);
+    std::vector<std::uint32_t> data(1 << 14);
+    for (auto &v : data)
+        v = static_cast<std::uint32_t>(rng.next() & 1);
+    const Addr base = layoutArray32(*mem, data);
+    ProgramBuilder b("branchy");
+    b.label("top");
+    b.li(1, base);
+    b.li(2, base + static_cast<Addr>(data.size()) * 4);
+    b.label("loop");
+    b.lw(3, 1, 0);
+    b.cmpi(3, 0);
+    b.beq("skip");
+    b.addi(4, 4, 1);
+    b.label("skip");
+    b.addi(1, 1, 4);
+    b.cmp(1, 2);
+    b.blt("loop");
+    b.jmp("top");
+    const CoreStats s = runInOrder(wrap(b, mem, "branchy"), 50000);
+    EXPECT_GT(s.branchMispredicts, 2000u);
+    EXPECT_GT(s.stackBranch, 20000u);
+}
+
+TEST(InOrderCore, PredictableBranchesNearlyFree)
+{
+    auto mem = std::make_shared<FunctionalMemory>();
+    ProgramBuilder b("loopy");
+    b.label("top");
+    b.li(1, 0);
+    b.label("loop");
+    b.addi(1, 1, 1);
+    b.cmpi(1, 64);
+    b.blt("loop");
+    b.jmp("top");
+    const CoreStats s = runInOrder(wrap(b, mem, "loopy"), 50000);
+    const double mispredict_rate =
+        static_cast<double>(s.branchMispredicts) /
+        static_cast<double>(s.branches);
+    EXPECT_LT(mispredict_rate, 0.1);
+}
+
+TEST(InOrderCore, CpiStackSumsToTotal)
+{
+    const CoreStats s = runInOrder(test::strideIndirect(), 50000);
+    const Cycle sum = s.stackBase() + s.stackL2 + s.stackDram +
+                      s.stackBranch + s.stackSvu + s.stackOther;
+    EXPECT_EQ(sum, s.cycles);
+}
+
+TEST(InOrderCore, StrideIndirectIsDramBound)
+{
+    const CoreStats s = runInOrder(test::strideIndirect(), 50000);
+    EXPECT_GT(s.cpi(), 8.0);
+    EXPECT_GT(s.stackDram, s.cycles / 2);
+}
+
+TEST(InOrderCore, StreamIsMuchFasterThanIndirect)
+{
+    const CoreStats stream = runInOrder(test::streamSum(), 50000);
+    const CoreStats indirect = runInOrder(test::strideIndirect(), 50000);
+    EXPECT_GT(stream.ipc(), 2.0 * indirect.ipc());
+}
+
+TEST(InOrderCore, InstructionCountHonoursWindow)
+{
+    const CoreStats s = runInOrder(test::streamSum(), 12345);
+    EXPECT_EQ(s.instructions, 12345u);
+}
+
+TEST(InOrderCore, HaltStopsEarly)
+{
+    auto mem = std::make_shared<FunctionalMemory>();
+    ProgramBuilder b("short");
+    b.li(1, 1);
+    b.li(2, 2);
+    b.halt();
+    const CoreStats s = runInOrder(wrap(b, mem, "short"), 1000000);
+    EXPECT_EQ(s.instructions, 3u);
+}
+
+TEST(InOrderCore, CountsOpClasses)
+{
+    auto mem = std::make_shared<FunctionalMemory>();
+    const Addr base = mem->alloc(1024);
+    ProgramBuilder b("mix");
+    b.li(1, base);
+    b.ld(2, 1, 0);
+    b.sd(2, 1, 8);
+    b.cmpi(2, 0);
+    b.beq("end");
+    b.label("end");
+    b.halt();
+    const CoreStats s = runInOrder(wrap(b, mem, "mix"), 1000);
+    EXPECT_EQ(s.loads, 1u);
+    EXPECT_EQ(s.stores, 1u);
+    EXPECT_EQ(s.branches, 1u);
+}
+
+} // namespace
+} // namespace svr

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * End-to-end integration tests reproducing the paper's headline
+ * qualitative results on fast-running configurations: SVR vs in-order
+ * vs out-of-order vs IMP orderings, energy ordering, ablations, and
+ * sensitivity directions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "test_helpers.hh"
+#include "workloads/hpcdb_kernels.hh"
+#include "workloads/spec_kernels.hh"
+#include "workloads/suites.hh"
+
+namespace svr
+{
+namespace
+{
+
+SimConfig
+shortConfig(SimConfig c, std::uint64_t window = 80000)
+{
+    c.maxInstructions = window;
+    return c;
+}
+
+double
+ipcOf(const SimConfig &c, const WorkloadSpec &spec)
+{
+    return simulate(c, spec).ipc();
+}
+
+TEST(Integration, SvrBeatsInOrderOnStrideIndirect)
+{
+    const CoreStats ino = test::runInOrder(test::strideIndirect(), 60000);
+    const CoreStats svr = test::runSvr(test::strideIndirect(), 60000);
+    EXPECT_GT(svr.ipc(), 2.5 * ino.ipc());
+}
+
+TEST(Integration, SvrBeatsOoOOnStrideIndirect)
+{
+    const CoreStats ooo = test::runOoO(test::strideIndirect(), 60000);
+    const CoreStats svr = test::runSvr(test::strideIndirect(), 60000);
+    EXPECT_GT(svr.ipc(), ooo.ipc());
+}
+
+TEST(Integration, LongerVectorsHelpOnStrideIndirect)
+{
+    SvrParams n16;
+    n16.vectorLength = 16;
+    SvrParams n64;
+    n64.vectorLength = 64;
+    const CoreStats s16 =
+        test::runSvr(test::strideIndirect(), 60000, n16);
+    const CoreStats s64 =
+        test::runSvr(test::strideIndirect(), 60000, n64);
+    EXPECT_GT(s64.ipc(), 1.1 * s16.ipc());
+}
+
+TEST(Integration, SvrHarmlessOnPureStream)
+{
+    const CoreStats ino = test::runInOrder(test::streamSum(), 60000);
+    const CoreStats svr = test::runSvr(test::streamSum(), 60000);
+    // Figure 14 semantics: no appropriate loops -> within a few %.
+    EXPECT_GT(svr.ipc(), 0.93 * ino.ipc());
+    EXPECT_LT(svr.ipc(), 1.1 * ino.ipc());
+}
+
+TEST(Integration, WaitingModeAblation)
+{
+    // Section VI-D: disabling waiting mode makes SVR-16 nearly
+    // worthless and SVR-64 an outright slowdown.
+    const CoreStats ino = test::runInOrder(test::strideIndirect(), 60000);
+    SvrParams on16;
+    SvrParams off16;
+    off16.waitingMode = false;
+    SvrParams off64;
+    off64.waitingMode = false;
+    off64.vectorLength = 64;
+    const CoreStats with_wait =
+        test::runSvr(test::strideIndirect(), 60000, on16);
+    const CoreStats no_wait16 =
+        test::runSvr(test::strideIndirect(), 60000, off16);
+    const CoreStats no_wait64 =
+        test::runSvr(test::strideIndirect(), 60000, off64);
+    EXPECT_GT(with_wait.ipc(), 1.5 * no_wait16.ipc());
+    EXPECT_LT(no_wait64.ipc(), no_wait16.ipc());
+    EXPECT_LT(no_wait64.ipc(), 1.2 * ino.ipc());
+}
+
+TEST(Integration, SrfRecyclingAblation)
+{
+    // Section VI-D: with only 2 speculative registers, SVR's LRU
+    // recycling far outperforms the DVR-style stop-when-full policy.
+    SvrParams lru2;
+    lru2.numSrfRegs = 2;
+    lru2.recycle = SrfRecycle::LruRecycle;
+    SvrParams stop2;
+    stop2.numSrfRegs = 2;
+    stop2.recycle = SrfRecycle::StopWhenFull;
+    // A chain with >2 live mapped registers (two-level camel chain).
+    HpcDbSizes sizes;
+    sizes.camelIndex = 1 << 16;
+    sizes.camelTable = 1 << 18;
+    const WorkloadInstance a = makeCamel(sizes);
+    const WorkloadInstance b = makeCamel(sizes);
+    const CoreStats s_lru = test::runSvr(a, 60000, lru2);
+    const CoreStats s_stop = test::runSvr(b, 60000, stop2);
+    EXPECT_GT(s_lru.ipc(), 1.2 * s_stop.ipc());
+}
+
+TEST(Integration, MshrSensitivityDirection)
+{
+    // Figure 17: more MSHRs help SVR extract MLP.
+    MemParams one;
+    one.l1d.numMshrs = 1;
+    MemParams sixteen;
+    sixteen.l1d.numMshrs = 16;
+    const CoreStats s1 =
+        test::runSvr(test::strideIndirect(), 60000, SvrParams{}, one);
+    const CoreStats s16 = test::runSvr(test::strideIndirect(), 60000,
+                                       SvrParams{}, sixteen);
+    EXPECT_GT(s16.ipc(), 1.5 * s1.ipc());
+}
+
+TEST(Integration, BandwidthSensitivityDirection)
+{
+    // Figure 18: SVR-64 gains more from extra bandwidth than SVR-16.
+    MemParams low;
+    low.dram.bandwidthGiBps = 12.5;
+    MemParams high;
+    high.dram.bandwidthGiBps = 100.0;
+    SvrParams n64;
+    n64.vectorLength = 64;
+    const CoreStats lo =
+        test::runSvr(test::strideIndirect(), 60000, n64, low);
+    const CoreStats hi =
+        test::runSvr(test::strideIndirect(), 60000, n64, high);
+    EXPECT_GT(hi.ipc(), lo.ipc());
+}
+
+TEST(Integration, HashJoinDivergence)
+{
+    // HJ2 gains a lot; HJ8's long divergent bucket scans gain little
+    // (paper section VI-D, lockstep coupling).
+    const SimConfig ino = shortConfig(presets::inorder());
+    const SimConfig svr = shortConfig(presets::svrCore(16));
+    HpcDbSizes s;
+    s.hashBucketsLog2 = 15;
+    s.hashProbes = 1 << 18;
+    const double hj2_speedup =
+        simulate(svr, makeHashJoin(2, s)).ipc() /
+        simulate(ino, makeHashJoin(2, s)).ipc();
+    const double hj8_speedup =
+        simulate(svr, makeHashJoin(8, s)).ipc() /
+        simulate(ino, makeHashJoin(8, s)).ipc();
+    EXPECT_GT(hj2_speedup, 1.8);
+    EXPECT_LT(hj8_speedup, 1.5);
+}
+
+TEST(Integration, ImpFailsOnMaskedRandacc)
+{
+    const SimConfig ino = shortConfig(presets::inorder());
+    const SimConfig imp = shortConfig(presets::impCore());
+    HpcDbSizes s;
+    s.randaccUpdates = 1 << 18;
+    s.randaccTableLog2 = 19;
+    const SimResult r_ino = simulate(ino, makeRandacc(s));
+    const SimResult r_imp = simulate(imp, makeRandacc(s));
+    EXPECT_EQ(r_imp.prefIssued[static_cast<unsigned>(PrefetchOrigin::Imp)],
+              0u);
+    EXPECT_NEAR(r_imp.ipc() / r_ino.ipc(), 1.0, 0.05);
+}
+
+TEST(Integration, ImpWorksOnSimpleStrideIndirect)
+{
+    const SimConfig ino = shortConfig(presets::inorder());
+    const SimConfig imp = shortConfig(presets::impCore());
+    const double speedup = simulate(imp, test::strideIndirect()).ipc() /
+                           simulate(ino, test::strideIndirect()).ipc();
+    EXPECT_GT(speedup, 1.5);
+}
+
+TEST(Integration, SvrBeatsImpOnHashJoin)
+{
+    const SimConfig imp = shortConfig(presets::impCore());
+    const SimConfig svr = shortConfig(presets::svrCore(16));
+    HpcDbSizes s;
+    s.hashBucketsLog2 = 15;
+    s.hashProbes = 1 << 18;
+    EXPECT_GT(simulate(svr, makeHashJoin(2, s)).ipc(),
+              1.5 * simulate(imp, makeHashJoin(2, s)).ipc());
+}
+
+TEST(Integration, EnergyOrderingOnIrregularKernel)
+{
+    // Figure 1 right: SVR is the most energy-efficient technique.
+    const SimConfig ino = shortConfig(presets::inorder());
+    const SimConfig ooo = shortConfig(presets::outOfOrder());
+    const SimConfig svr = shortConfig(presets::svrCore(16));
+    const double e_ino =
+        simulate(ino, test::strideIndirect()).energyPerInstr();
+    const double e_ooo =
+        simulate(ooo, test::strideIndirect()).energyPerInstr();
+    const double e_svr =
+        simulate(svr, test::strideIndirect()).energyPerInstr();
+    EXPECT_LT(e_svr, e_ino);
+    EXPECT_LT(e_svr, e_ooo);
+}
+
+TEST(Integration, CpiStackDramDominatesInOrderIrregular)
+{
+    // Figure 3: the in-order core's CPI is dominated by DRAM stalls.
+    const CoreStats s = test::runInOrder(test::strideIndirect(), 60000);
+    EXPECT_GT(s.stackDram, s.cycles / 2);
+}
+
+TEST(Integration, SvrShrinksDramStallShare)
+{
+    const CoreStats ino = test::runInOrder(test::strideIndirect(), 60000);
+    const CoreStats svr = test::runSvr(test::strideIndirect(), 60000);
+    const double ino_share =
+        static_cast<double>(ino.stackDram) / ino.cycles;
+    const double svr_share =
+        static_cast<double>(svr.stackDram) / svr.cycles;
+    EXPECT_LT(svr_share, 0.7 * ino_share);
+}
+
+TEST(Integration, SpecKernelOverheadSmall)
+{
+    // Figure 14 on a couple of representatives.
+    for (const char *name : {"bwaves", "x264", "cactuBSSN"}) {
+        const SimConfig ino = shortConfig(presets::inorder(), 60000);
+        const SimConfig svr = shortConfig(presets::svrCore(16), 60000);
+        const double ratio = ipcOf(svr, findWorkload(name)) /
+                             ipcOf(ino, findWorkload(name));
+        EXPECT_GT(ratio, 0.9) << name;
+        EXPECT_LT(ratio, 1.15) << name;
+    }
+}
+
+TEST(Integration, GapKernelSpeedupsOrdered)
+{
+    // PR (long contiguous inner streams) shows a healthy SVR speedup.
+    const SimConfig ino = shortConfig(presets::inorder(), 120000);
+    const SimConfig svr = shortConfig(presets::svrCore(16), 120000);
+    const double pr_speedup = ipcOf(svr, findWorkload("PR_KR")) /
+                              ipcOf(ino, findWorkload("PR_KR"));
+    EXPECT_GT(pr_speedup, 1.8);
+}
+
+TEST(Integration, VectorUnitWidthBarelyMatters)
+{
+    // Figure 16: executing 1 vs 8 scalars per cycle is performance-
+    // neutral because runahead is memory-bound.
+    SvrParams w1;
+    w1.svuWidth = 1;
+    SvrParams w8;
+    w8.svuWidth = 8;
+    const CoreStats s1 =
+        test::runSvr(test::strideIndirect(), 60000, w1);
+    const CoreStats s8 =
+        test::runSvr(test::strideIndirect(), 60000, w8);
+    EXPECT_NEAR(s8.ipc() / s1.ipc(), 1.0, 0.15);
+}
+
+TEST(Integration, RegisterCopyCostSmallButReal)
+{
+    SvrParams plain;
+    SvrParams copy;
+    copy.modelRegisterCopyCost = true;
+    const CoreStats a =
+        test::runSvr(test::strideIndirect(), 60000, plain);
+    const CoreStats b =
+        test::runSvr(test::strideIndirect(), 60000, copy);
+    EXPECT_LE(b.ipc(), a.ipc() * 1.001);
+    EXPECT_GT(b.ipc(), 0.85 * a.ipc());
+}
+
+} // namespace
+} // namespace svr

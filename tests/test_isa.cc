@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Unit tests for the micro-ISA: instruction classification, functional
+ * ALU/compare/branch evaluation, program building with labels, and
+ * the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "isa/disassembler.hh"
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+
+namespace svr
+{
+namespace
+{
+
+Instruction
+rrr(Opcode op, RegId rd, RegId rs1, RegId rs2)
+{
+    return {op, rd, rs1, rs2, 0};
+}
+
+Instruction
+rri(Opcode op, RegId rd, RegId rs1, std::int64_t imm)
+{
+    return {op, rd, rs1, invalidReg, imm};
+}
+
+TEST(Instruction, LoadStoreClassification)
+{
+    Instruction ld{Opcode::Ld, 1, 2, invalidReg, 0};
+    EXPECT_TRUE(ld.isLoad());
+    EXPECT_FALSE(ld.isStore());
+    EXPECT_TRUE(ld.isMem());
+    EXPECT_EQ(ld.memBytes(), 8u);
+
+    Instruction sw{Opcode::Sw, invalidReg, 2, 3, 4};
+    EXPECT_TRUE(sw.isStore());
+    EXPECT_FALSE(sw.isLoad());
+    EXPECT_EQ(sw.memBytes(), 4u);
+
+    Instruction add = rrr(Opcode::Add, 1, 2, 3);
+    EXPECT_FALSE(add.isMem());
+    EXPECT_EQ(add.memBytes(), 0u);
+}
+
+TEST(Instruction, MemBytesPerOpcode)
+{
+    EXPECT_EQ((Instruction{Opcode::Lb, 1, 2, invalidReg, 0}).memBytes(), 1u);
+    EXPECT_EQ((Instruction{Opcode::Lh, 1, 2, invalidReg, 0}).memBytes(), 2u);
+    EXPECT_EQ((Instruction{Opcode::Lw, 1, 2, invalidReg, 0}).memBytes(), 4u);
+    EXPECT_EQ((Instruction{Opcode::Sd, invalidReg, 2, 3, 0}).memBytes(), 8u);
+}
+
+TEST(Instruction, ControlClassification)
+{
+    Instruction beq{Opcode::Beq, invalidReg, invalidReg, invalidReg, 5};
+    EXPECT_TRUE(beq.isCondBranch());
+    EXPECT_TRUE(beq.isControl());
+    Instruction jmp{Opcode::Jmp, invalidReg, invalidReg, invalidReg, 5};
+    EXPECT_FALSE(jmp.isCondBranch());
+    EXPECT_TRUE(jmp.isControl());
+    Instruction halt{Opcode::Halt, invalidReg, invalidReg, invalidReg, 0};
+    EXPECT_TRUE(halt.isControl());
+}
+
+TEST(Instruction, CompareWritesFlags)
+{
+    Instruction cmp{Opcode::Cmp, invalidReg, 1, 2, 0};
+    EXPECT_TRUE(cmp.isCompare());
+    EXPECT_EQ(cmp.dest(), flagsReg);
+    EXPECT_FALSE(cmp.writesIntReg());
+}
+
+TEST(Instruction, BranchReadsFlags)
+{
+    Instruction blt{Opcode::Blt, invalidReg, invalidReg, invalidReg, 3};
+    const auto srcs = blt.sources();
+    EXPECT_EQ(srcs[0], flagsReg);
+    EXPECT_EQ(srcs[1], invalidReg);
+}
+
+TEST(Instruction, SourcesOfAluAndStore)
+{
+    const auto add_srcs = rrr(Opcode::Add, 1, 2, 3).sources();
+    EXPECT_EQ(add_srcs[0], 2);
+    EXPECT_EQ(add_srcs[1], 3);
+
+    Instruction st{Opcode::Sd, invalidReg, 4, 5, 0};
+    const auto st_srcs = st.sources();
+    EXPECT_EQ(st_srcs[0], 4); // base
+    EXPECT_EQ(st_srcs[1], 5); // data
+
+    const auto addi_srcs = rri(Opcode::Addi, 1, 2, 7).sources();
+    EXPECT_EQ(addi_srcs[0], 2);
+    EXPECT_EQ(addi_srcs[1], invalidReg);
+}
+
+TEST(Instruction, LiHasNoSources)
+{
+    Instruction li{Opcode::Li, 1, invalidReg, invalidReg, 42};
+    const auto srcs = li.sources();
+    EXPECT_EQ(srcs[0], invalidReg);
+    EXPECT_TRUE(li.writesIntReg());
+}
+
+TEST(EvalAlu, IntegerOps)
+{
+    EXPECT_EQ(evalAlu(rrr(Opcode::Add, 1, 2, 3), 5, 7), 12u);
+    EXPECT_EQ(evalAlu(rrr(Opcode::Sub, 1, 2, 3), 5, 7),
+              static_cast<RegVal>(-2));
+    EXPECT_EQ(evalAlu(rrr(Opcode::Mul, 1, 2, 3), 6, 7), 42u);
+    EXPECT_EQ(evalAlu(rrr(Opcode::Divu, 1, 2, 3), 42, 6), 7u);
+    EXPECT_EQ(evalAlu(rrr(Opcode::Remu, 1, 2, 3), 43, 6), 1u);
+    EXPECT_EQ(evalAlu(rrr(Opcode::And, 1, 2, 3), 0xf0, 0x3c), 0x30u);
+    EXPECT_EQ(evalAlu(rrr(Opcode::Or, 1, 2, 3), 0xf0, 0x0f), 0xffu);
+    EXPECT_EQ(evalAlu(rrr(Opcode::Xor, 1, 2, 3), 0xff, 0x0f), 0xf0u);
+}
+
+TEST(EvalAlu, DivisionByZeroIsDefined)
+{
+    // Transient SVR lanes can divide garbage; must not trap.
+    EXPECT_EQ(evalAlu(rrr(Opcode::Divu, 1, 2, 3), 42, 0), ~RegVal(0));
+    EXPECT_EQ(evalAlu(rrr(Opcode::Remu, 1, 2, 3), 42, 0), 42u);
+}
+
+TEST(EvalAlu, Shifts)
+{
+    EXPECT_EQ(evalAlu(rrr(Opcode::Sll, 1, 2, 3), 1, 4), 16u);
+    EXPECT_EQ(evalAlu(rrr(Opcode::Srl, 1, 2, 3), 16, 4), 1u);
+    // Arithmetic shift preserves the sign.
+    EXPECT_EQ(evalAlu(rrr(Opcode::Sra, 1, 2, 3), static_cast<RegVal>(-8), 2),
+              static_cast<RegVal>(-2));
+    // Shift amounts wrap at 64.
+    EXPECT_EQ(evalAlu(rrr(Opcode::Sll, 1, 2, 3), 1, 64), 1u);
+}
+
+TEST(EvalAlu, Immediates)
+{
+    EXPECT_EQ(evalAlu(rri(Opcode::Addi, 1, 2, -3), 10, 0), 7u);
+    EXPECT_EQ(evalAlu(rri(Opcode::Andi, 1, 2, 0xff), 0x1234, 0), 0x34u);
+    EXPECT_EQ(evalAlu(rri(Opcode::Slli, 1, 2, 3), 2, 0), 16u);
+    EXPECT_EQ(evalAlu(rri(Opcode::Srai, 1, 2, 1), static_cast<RegVal>(-4),
+                      0),
+              static_cast<RegVal>(-2));
+    EXPECT_EQ(evalAlu(rri(Opcode::Li, 1, invalidReg, 99), 0, 0), 99u);
+}
+
+TEST(EvalAlu, FloatingPoint)
+{
+    const auto d = [](double x) { return std::bit_cast<RegVal>(x); };
+    const auto f = [](RegVal x) { return std::bit_cast<double>(x); };
+    EXPECT_DOUBLE_EQ(f(evalAlu(rrr(Opcode::Fadd, 1, 2, 3), d(1.5), d(2.25))),
+                     3.75);
+    EXPECT_DOUBLE_EQ(f(evalAlu(rrr(Opcode::Fmul, 1, 2, 3), d(3.0), d(0.5))),
+                     1.5);
+    EXPECT_DOUBLE_EQ(f(evalAlu(rrr(Opcode::Fdiv, 1, 2, 3), d(1.0), d(4.0))),
+                     0.25);
+    EXPECT_DOUBLE_EQ(f(evalAlu(rrr(Opcode::Fmin, 1, 2, 3), d(2.0), d(-1.0))),
+                     -1.0);
+    EXPECT_DOUBLE_EQ(f(evalAlu(rrr(Opcode::Fmax, 1, 2, 3), d(2.0), d(-1.0))),
+                     2.0);
+}
+
+TEST(EvalAlu, Conversions)
+{
+    const auto f = [](RegVal x) { return std::bit_cast<double>(x); };
+    EXPECT_DOUBLE_EQ(
+        f(evalAlu(rrr(Opcode::Cvtif, 1, 2, invalidReg), 7, 0)), 7.0);
+    EXPECT_EQ(evalAlu(rrr(Opcode::Cvtfi, 1, 2, invalidReg),
+                      std::bit_cast<RegVal>(7.9), 0),
+              7u);
+}
+
+TEST(EvalCompare, SignedUnsignedAndEqual)
+{
+    Instruction cmp{Opcode::Cmp, invalidReg, 1, 2, 0};
+    Flags f = evalCompare(cmp, 5, 5);
+    EXPECT_TRUE(f.eq);
+    EXPECT_FALSE(f.lt);
+
+    f = evalCompare(cmp, static_cast<RegVal>(-1), 1);
+    EXPECT_TRUE(f.lt);   // signed: -1 < 1
+    EXPECT_FALSE(f.ltu); // unsigned: huge > 1
+
+    Instruction cmpi{Opcode::Cmpi, invalidReg, 1, invalidReg, 10};
+    f = evalCompare(cmpi, 3, 999);
+    EXPECT_TRUE(f.lt);
+    EXPECT_TRUE(f.ltu);
+}
+
+TEST(EvalCompare, FloatCompare)
+{
+    Instruction fcmp{Opcode::Fcmp, invalidReg, 1, 2, 0};
+    const Flags f = evalCompare(fcmp, std::bit_cast<RegVal>(1.0),
+                                std::bit_cast<RegVal>(2.0));
+    EXPECT_TRUE(f.lt);
+    EXPECT_FALSE(f.eq);
+}
+
+TEST(EvalCond, AllConditions)
+{
+    Flags eq{true, false, false};
+    Flags lt{false, true, true};
+    Flags gt{false, false, false};
+    EXPECT_TRUE(evalCond(Opcode::Beq, eq));
+    EXPECT_FALSE(evalCond(Opcode::Beq, lt));
+    EXPECT_TRUE(evalCond(Opcode::Bne, lt));
+    EXPECT_TRUE(evalCond(Opcode::Blt, lt));
+    EXPECT_FALSE(evalCond(Opcode::Blt, gt));
+    EXPECT_TRUE(evalCond(Opcode::Bge, gt));
+    EXPECT_TRUE(evalCond(Opcode::Bltu, lt));
+    EXPECT_TRUE(evalCond(Opcode::Bgeu, gt));
+}
+
+TEST(ProgramBuilder, LabelsResolve)
+{
+    ProgramBuilder b("t");
+    b.li(1, 0);
+    b.label("loop");
+    b.addi(1, 1, 1);
+    b.cmpi(1, 10);
+    b.blt("loop");
+    b.halt();
+    const Program p = b.build();
+    ASSERT_EQ(p.size(), 5u);
+    EXPECT_EQ(p.at(3).op, Opcode::Blt);
+    EXPECT_EQ(p.at(3).imm, 1); // index of "loop"
+}
+
+TEST(ProgramBuilder, ForwardLabel)
+{
+    ProgramBuilder b("t");
+    b.cmpi(1, 0);
+    b.beq("end");
+    b.nop();
+    b.label("end");
+    b.halt();
+    const Program p = b.build();
+    EXPECT_EQ(p.at(1).imm, 3);
+}
+
+TEST(ProgramBuilder, PcMapping)
+{
+    EXPECT_EQ(Program::pcOf(0), codeBase);
+    EXPECT_EQ(Program::pcOf(3), codeBase + 12);
+    EXPECT_EQ(Program::indexOf(codeBase + 12), 3u);
+}
+
+TEST(ProgramBuilder, StoreOperandRoles)
+{
+    ProgramBuilder b("t");
+    b.sd(7, 3, 16); // store x7 at [x3+16]
+    b.halt();
+    const Program p = b.build();
+    EXPECT_EQ(p.at(0).rs1, 3); // base
+    EXPECT_EQ(p.at(0).rs2, 7); // data
+    EXPECT_EQ(p.at(0).imm, 16);
+}
+
+TEST(Disassembler, RendersCoreForms)
+{
+    EXPECT_EQ(disassemble(rrr(Opcode::Add, 1, 2, 3)), "add x1, x2, x3");
+    EXPECT_EQ(disassemble(Instruction{Opcode::Ld, 4, 5, invalidReg, 8}),
+              "ld x4, [x5 + 8]");
+    EXPECT_EQ(disassemble(Instruction{Opcode::Sw, invalidReg, 5, 6, 4}),
+              "sw x6, [x5 + 4]");
+    EXPECT_EQ(disassemble(Instruction{Opcode::Blt, invalidReg, invalidReg,
+                                      invalidReg, 7}),
+              "blt @7");
+    EXPECT_EQ(disassemble(Instruction{Opcode::Li, 9, invalidReg, invalidReg,
+                                      42}),
+              "li x9, 42");
+}
+
+TEST(Disassembler, WholeProgram)
+{
+    ProgramBuilder b("t");
+    b.li(1, 1);
+    b.halt();
+    const Program p = b.build();
+    const std::string text = disassemble(p);
+    EXPECT_NE(text.find("0:\tli x1, 1"), std::string::npos);
+    EXPECT_NE(text.find("1:\thalt"), std::string::npos);
+}
+
+TEST(Instruction, ExecLatencies)
+{
+    EXPECT_EQ(rrr(Opcode::Add, 1, 2, 3).execLatency(), 1u);
+    EXPECT_EQ(rrr(Opcode::Mul, 1, 2, 3).execLatency(), 3u);
+    EXPECT_EQ(rrr(Opcode::Divu, 1, 2, 3).execLatency(), 12u);
+    EXPECT_EQ(rrr(Opcode::Fmul, 1, 2, 3).execLatency(), 4u);
+    EXPECT_EQ(rrr(Opcode::Fdiv, 1, 2, 3).execLatency(), 12u);
+}
+
+} // namespace
+} // namespace svr

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Timing tests for the out-of-order core: window-limited MLP, the
+ * advantage over in-order on irregular loads, and ROB/LSQ effects.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hh"
+
+namespace svr
+{
+namespace
+{
+
+using test::runInOrder;
+using test::runOoO;
+
+TEST(OoOCore, BeatsInOrderOnStrideIndirect)
+{
+    const WorkloadInstance w = test::strideIndirect();
+    const CoreStats ino = runInOrder(w, 50000);
+    const WorkloadInstance w2 = test::strideIndirect();
+    const CoreStats ooo = runOoO(w2, 50000);
+    // The paper's Figure 3: OoO extracts real MLP from the window.
+    EXPECT_GT(ooo.ipc(), 1.5 * ino.ipc());
+}
+
+TEST(OoOCore, ComparableOnPureStream)
+{
+    const CoreStats ino = runInOrder(test::streamSum(), 50000);
+    const CoreStats ooo = runOoO(test::streamSum(), 50000);
+    // Prefetched streams leave much less for the window to add than
+    // the irregular kernels do (where the gap exceeds 3x).
+    EXPECT_LT(ooo.ipc() / ino.ipc(), 3.0);
+    EXPECT_GT(ooo.ipc() / ino.ipc(), 0.8);
+}
+
+TEST(OoOCore, LargerRobExtractsMoreMlp)
+{
+    OoOParams small;
+    small.robSize = 8;
+    OoOParams large;
+    large.robSize = 64;
+    large.rsSize = 64;
+    large.lsqSize = 32;
+    const CoreStats s8 =
+        runOoO(test::strideIndirect(), 50000, MemParams{}, small);
+    const CoreStats s64 =
+        runOoO(test::strideIndirect(), 50000, MemParams{}, large);
+    EXPECT_GT(s64.ipc(), 1.3 * s8.ipc());
+}
+
+TEST(OoOCore, WidthBoundsThroughput)
+{
+    const CoreStats s = runOoO(test::streamSum(), 50000);
+    EXPECT_LE(s.ipc(), 3.01);
+}
+
+TEST(OoOCore, DependentAluChainStillSerial)
+{
+    auto mem = std::make_shared<FunctionalMemory>();
+    ProgramBuilder b("chain");
+    b.li(1, 0);
+    b.label("top");
+    for (int i = 0; i < 30; i++)
+        b.addi(1, 1, 1);
+    b.jmp("top");
+    WorkloadInstance w;
+    w.name = "chain";
+    w.mem = mem;
+    w.program = std::make_shared<Program>(b.build());
+    const CoreStats s = runOoO(w, 30000);
+    // Out-of-order cannot break true dependences.
+    EXPECT_LT(s.ipc(), 1.2);
+}
+
+TEST(OoOCore, CpiStackAttributesDram)
+{
+    const CoreStats s = runOoO(test::strideIndirect(), 50000);
+    EXPECT_GT(s.stackDram, 0u);
+    const Cycle sum = s.stackBase() + s.stackL2 + s.stackDram +
+                      s.stackBranch + s.stackSvu + s.stackOther;
+    EXPECT_EQ(sum, s.cycles);
+}
+
+TEST(OoOCore, DramStallsLowerThanInOrder)
+{
+    // Figure 3's headline: the in-order core spends far more cycles
+    // per instruction waiting on DRAM than the OoO core.
+    const CoreStats ino = runInOrder(test::strideIndirect(), 50000);
+    const CoreStats ooo = runOoO(test::strideIndirect(), 50000);
+    const double ino_dram_cpi =
+        static_cast<double>(ino.stackDram) / ino.instructions;
+    const double ooo_dram_cpi =
+        static_cast<double>(ooo.stackDram) / ooo.instructions;
+    EXPECT_GT(ino_dram_cpi, 1.5 * ooo_dram_cpi);
+}
+
+TEST(OoOCore, WindowHonoured)
+{
+    const CoreStats s = runOoO(test::streamSum(), 9999);
+    EXPECT_EQ(s.instructions, 9999u);
+}
+
+} // namespace
+} // namespace svr

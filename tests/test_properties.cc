@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Property-based and parameterized tests: invariants that must hold
+ * across sweeps of configuration parameters and random workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "sim/simulator.hh"
+#include "test_helpers.hh"
+#include "workloads/suites.hh"
+
+namespace svr
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Property: for any vector length, SVR never harms the stride-indirect
+// kernel, the CPI stack sums exactly, and transient scalars scale with
+// rounds.
+class VectorLengthSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(VectorLengthSweep, SvrInvariants)
+{
+    const unsigned n = GetParam();
+    SvrParams sp;
+    sp.vectorLength = n;
+    SvrEngineStats es;
+    const CoreStats base = test::runInOrder(test::strideIndirect(), 50000);
+    const CoreStats svr =
+        test::runSvr(test::strideIndirect(), 50000, sp, MemParams{}, &es);
+
+    // Never a slowdown on the ideal pattern.
+    EXPECT_GE(svr.ipc(), base.ipc()) << "N=" << n;
+    // CPI stack closes.
+    const Cycle sum = svr.stackBase() + svr.stackL2 + svr.stackDram +
+                      svr.stackBranch + svr.stackSvu + svr.stackOther;
+    EXPECT_EQ(sum, svr.cycles);
+    // Lanes per round never exceed N.
+    if (es.rounds > 0) {
+        EXPECT_LE(es.lanesIssued, es.rounds * n);
+    }
+    // Prefetch count is bounded by scalars executed.
+    EXPECT_LE(es.prefetches, es.scalars);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, VectorLengthSweep,
+                         ::testing::Values(2u, 4u, 8u, 16u, 32u, 64u,
+                                           128u));
+
+// ---------------------------------------------------------------------
+// Property: MSHR count monotonically (weakly) improves SVR throughput.
+class MshrSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(MshrSweep, ThroughputMonotoneInMshrs)
+{
+    const unsigned mshrs = GetParam();
+    MemParams mp;
+    mp.l1d.numMshrs = mshrs;
+    const CoreStats s =
+        test::runSvr(test::strideIndirect(), 40000, SvrParams{}, mp);
+    MemParams fewer;
+    fewer.l1d.numMshrs = std::max(1u, mshrs / 2);
+    const CoreStats s_half =
+        test::runSvr(test::strideIndirect(), 40000, SvrParams{}, fewer);
+    EXPECT_GE(s.ipc(), 0.95 * s_half.ipc()) << mshrs << " MSHRs";
+}
+
+INSTANTIATE_TEST_SUITE_P(Mshrs, MshrSweep,
+                         ::testing::Values(2u, 4u, 8u, 16u, 32u));
+
+// ---------------------------------------------------------------------
+// Property: every workload in the full suite runs a complete window on
+// every core type, deterministically, with a closed CPI stack.
+class SuiteWorkloads : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(SuiteWorkloads, RunsOnAllCores)
+{
+    const WorkloadSpec spec = findWorkload(GetParam());
+    for (SimConfig c : {presets::inorder(), presets::impCore(),
+                        presets::outOfOrder(), presets::svrCore(16)}) {
+        c.maxInstructions = 25000;
+        const SimResult r = simulate(c, spec);
+        EXPECT_EQ(r.core.instructions, 25000u)
+            << spec.name << " on " << c.label;
+        const Cycle sum = r.core.stackBase() + r.core.stackL2 +
+                          r.core.stackDram + r.core.stackBranch +
+                          r.core.stackSvu + r.core.stackOther;
+        EXPECT_EQ(sum, r.core.cycles) << spec.name << " on " << c.label;
+        EXPECT_GT(r.ipc(), 0.0);
+    }
+}
+
+TEST_P(SuiteWorkloads, Deterministic)
+{
+    const WorkloadSpec spec = findWorkload(GetParam());
+    SimConfig c = presets::svrCore(16);
+    c.maxInstructions = 20000;
+    const SimResult a = simulate(c, spec);
+    const SimResult b = simulate(c, spec);
+    EXPECT_EQ(a.core.cycles, b.core.cycles) << spec.name;
+    EXPECT_EQ(a.dramTransfers, b.dramTransfers) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullSuite, SuiteWorkloads,
+    ::testing::Values("BC_KR", "BC_LJN", "BC_ORK", "BC_TW", "BC_UR",
+                      "BFS_KR", "BFS_LJN", "BFS_ORK", "BFS_TW", "BFS_UR",
+                      "CC_KR", "CC_LJN", "CC_ORK", "CC_TW", "CC_UR",
+                      "PR_KR", "PR_LJN", "PR_ORK", "PR_TW", "PR_UR",
+                      "SSSP_KR", "SSSP_LJN", "SSSP_ORK", "SSSP_TW",
+                      "SSSP_UR", "Camel", "G500", "HJ2", "HJ8", "Kangr",
+                      "NAS-CG", "NAS-IS", "Randacc"));
+
+// ---------------------------------------------------------------------
+// Property: random programs never crash the timing models and produce
+// identical architectural results under every core (timing does not
+// perturb function).
+class RandomPrograms : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    static WorkloadInstance
+    randomProgram(std::uint64_t seed)
+    {
+        Rng rng(seed);
+        auto mem = std::make_shared<FunctionalMemory>();
+        const Addr data = mem->alloc(1 << 16, 64);
+        for (unsigned i = 0; i < (1 << 13); i++)
+            mem->write64(data + i * 8, rng.next());
+
+        ProgramBuilder b("random");
+        b.li(1, data);
+        b.li(2, 1 + rng.nextBounded(1 << 12));
+        b.li(3, 0);
+        b.label("loop");
+        // A randomized but always-terminating loop body.
+        const unsigned body = 3 + rng.nextBounded(12);
+        for (unsigned i = 0; i < body; i++) {
+            const RegId rd = static_cast<RegId>(4 + rng.nextBounded(8));
+            const RegId rs = static_cast<RegId>(4 + rng.nextBounded(8));
+            switch (rng.nextBounded(6)) {
+              case 0:
+                b.add(rd, rs, static_cast<RegId>(4 + rng.nextBounded(8)));
+                break;
+              case 1:
+                b.xori(rd, rs, static_cast<std::int64_t>(
+                                   rng.nextBounded(1 << 12)));
+                break;
+              case 2: {
+                // Bounded load within the data region.
+                b.andi(rd, rs, (1 << 13) - 8);
+                b.add(rd, rd, 1);
+                b.ld(rd, rd, 0);
+                break;
+              }
+              case 3:
+                b.mul(rd, rs, static_cast<RegId>(4 + rng.nextBounded(8)));
+                break;
+              case 4:
+                b.slli(rd, rs, rng.nextBounded(8));
+                break;
+              default:
+                b.sub(rd, rs, static_cast<RegId>(4 + rng.nextBounded(8)));
+                break;
+            }
+        }
+        b.addi(3, 3, 1);
+        b.cmp(3, 2);
+        b.blt("loop");
+        b.halt();
+
+        WorkloadInstance w;
+        w.name = "random";
+        w.mem = mem;
+        w.program = std::make_shared<Program>(b.build());
+        return w;
+    }
+};
+
+TEST_P(RandomPrograms, TimingModelsAgreeOnArchitecture)
+{
+    const std::uint64_t seed = GetParam();
+    // Run functionally to capture the reference register file.
+    const WorkloadInstance ref_w = randomProgram(seed);
+    Executor ref(*ref_w.program, *ref_w.mem);
+    while (!ref.halted())
+        ref.step();
+
+    // Each timing model replays the same functional execution: final
+    // architectural state must be identical.
+    for (int core = 0; core < 3; core++) {
+        const WorkloadInstance w = randomProgram(seed);
+        MemorySystem mem(MemParams{});
+        Executor exec(*w.program, *w.mem);
+        if (core == 0) {
+            InOrderCore c(InOrderParams{}, mem);
+            c.run(exec, 1u << 22);
+        } else if (core == 1) {
+            OoOCore c(OoOParams{}, mem);
+            c.run(exec, 1u << 22);
+        } else {
+            SvrEngine engine(SvrParams{}, mem, exec);
+            InOrderCore c(InOrderParams{}, mem);
+            c.setRunaheadEngine(&engine);
+            c.run(exec, 1u << 22);
+        }
+        ASSERT_TRUE(exec.halted()) << "seed " << seed;
+        for (RegId r = 0; r < numArchRegs; r++) {
+            EXPECT_EQ(exec.readReg(r), ref.readReg(r))
+                << "seed " << seed << " core " << core << " x"
+                << unsigned(r);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           9u, 10u));
+
+// ---------------------------------------------------------------------
+// Property: DRAM bandwidth sweep weakly improves performance.
+class BandwidthSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(BandwidthSweep, MoreBandwidthNeverHurts)
+{
+    MemParams lo;
+    lo.dram.bandwidthGiBps = GetParam();
+    MemParams hi;
+    hi.dram.bandwidthGiBps = GetParam() * 2;
+    SvrParams n64;
+    n64.vectorLength = 64;
+    const CoreStats a = test::runSvr(test::strideIndirect(), 40000, n64,
+                                     lo);
+    const CoreStats b = test::runSvr(test::strideIndirect(), 40000, n64,
+                                     hi);
+    EXPECT_GE(b.ipc(), 0.98 * a.ipc());
+}
+
+INSTANTIATE_TEST_SUITE_P(Bandwidths, BandwidthSweep,
+                         ::testing::Values(12.5, 25.0, 50.0));
+
+} // namespace
+} // namespace svr

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the machine-readable reporting (JSON/CSV serialization).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/report.hh"
+#include "test_helpers.hh"
+
+namespace svr
+{
+namespace
+{
+
+SimResult
+sampleResult()
+{
+    SimConfig c = presets::svrCore(16);
+    c.maxInstructions = 20000;
+    return simulate(c, test::strideIndirect(1 << 13, 1 << 17));
+}
+
+TEST(Report, JsonContainsKeyFields)
+{
+    const SimResult r = sampleResult();
+    const std::string json = toJson(r);
+    EXPECT_NE(json.find("\"workload\": \"stride-indirect\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"config\": \"SVR16\""), std::string::npos);
+    EXPECT_NE(json.find("\"instructions\": 20000"), std::string::npos);
+    EXPECT_NE(json.find("\"cpi_stack\""), std::string::npos);
+    EXPECT_NE(json.find("\"dram_traffic\""), std::string::npos);
+    EXPECT_NE(json.find("\"energy\""), std::string::npos);
+    EXPECT_NE(json.find("\"llc_accuracy\""), std::string::npos);
+}
+
+TEST(Report, JsonBalancedBraces)
+{
+    const std::string json = toJson(sampleResult());
+    int depth = 0;
+    for (char ch : json) {
+        if (ch == '{')
+            depth++;
+        if (ch == '}')
+            depth--;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(Report, JsonArrayOfResults)
+{
+    std::vector<SimResult> results = {sampleResult(), sampleResult()};
+    const std::string json = toJson(results);
+    EXPECT_EQ(json.front(), '[');
+    // Two objects, comma-separated.
+    std::size_t count = 0;
+    for (std::size_t pos = json.find("\"workload\"");
+         pos != std::string::npos;
+         pos = json.find("\"workload\"", pos + 1)) {
+        count++;
+    }
+    EXPECT_EQ(count, 2u);
+}
+
+TEST(Report, JsonEscaping)
+{
+    SimResult r = sampleResult();
+    r.workload = "we\"ird\\name";
+    const std::string json = toJson(r);
+    EXPECT_NE(json.find("we\\\"ird\\\\name"), std::string::npos);
+}
+
+TEST(Report, CsvColumnsMatchHeader)
+{
+    const std::string header = csvHeader();
+    const std::string row = csvRow(sampleResult());
+    const auto count_commas = [](const std::string &s) {
+        std::size_t n = 0;
+        for (char ch : s) {
+            if (ch == ',')
+                n++;
+        }
+        return n;
+    };
+    EXPECT_EQ(count_commas(header), count_commas(row));
+}
+
+TEST(Report, CsvRowRoundTripsNumbers)
+{
+    const SimResult r = sampleResult();
+    const std::string row = csvRow(r);
+    std::istringstream is(row);
+    std::string field;
+    std::getline(is, field, ','); // workload
+    EXPECT_EQ(field, r.workload);
+    std::getline(is, field, ','); // config
+    EXPECT_EQ(field, r.config);
+    std::getline(is, field, ','); // instructions
+    EXPECT_EQ(std::stoull(field), r.core.instructions);
+    std::getline(is, field, ','); // cycles
+    EXPECT_EQ(std::stoull(field), r.core.cycles);
+}
+
+} // namespace
+} // namespace svr

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the top-level simulator driver and config presets:
+ * metric plumbing, determinism, and experiment helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
+#include "test_helpers.hh"
+#include "workloads/suites.hh"
+
+namespace svr
+{
+namespace
+{
+
+SimConfig
+shortConfig(SimConfig c, std::uint64_t window = 60000)
+{
+    c.maxInstructions = window;
+    return c;
+}
+
+TEST(Simulator, PresetsLabeled)
+{
+    EXPECT_EQ(presets::inorder().label, "InO");
+    EXPECT_EQ(presets::impCore().label, "IMP");
+    EXPECT_EQ(presets::outOfOrder().label, "OoO");
+    EXPECT_EQ(presets::svrCore(16).label, "SVR16");
+    EXPECT_EQ(presets::svrCore(64).svr.vectorLength, 64u);
+}
+
+TEST(Simulator, CoreTypeNames)
+{
+    EXPECT_STREQ(coreTypeName(CoreType::InOrder), "in-order");
+    EXPECT_STREQ(coreTypeName(CoreType::Svr), "SVR");
+}
+
+TEST(Simulator, RunsAllCoreTypes)
+{
+    const WorkloadInstance w = test::strideIndirect();
+    for (const SimConfig &c :
+         {shortConfig(presets::inorder()), shortConfig(presets::impCore()),
+          shortConfig(presets::outOfOrder()),
+          shortConfig(presets::svrCore(16))}) {
+        const WorkloadInstance fresh = test::strideIndirect();
+        const SimResult r = simulate(c, fresh);
+        EXPECT_EQ(r.core.instructions, c.maxInstructions) << c.label;
+        EXPECT_GT(r.core.cycles, 0u) << c.label;
+        EXPECT_GT(r.ipc(), 0.0) << c.label;
+        EXPECT_GT(r.energy.totalNJ(), 0.0) << c.label;
+    }
+    (void)w;
+}
+
+TEST(Simulator, DeterministicAcrossRuns)
+{
+    const SimConfig c = shortConfig(presets::svrCore(16));
+    const SimResult a = simulate(c, test::strideIndirect());
+    const SimResult b = simulate(c, test::strideIndirect());
+    EXPECT_EQ(a.core.cycles, b.core.cycles);
+    EXPECT_EQ(a.dramTransfers, b.dramTransfers);
+    EXPECT_EQ(a.core.transientScalars, b.core.transientScalars);
+}
+
+TEST(Simulator, MemoryCountersPlumbed)
+{
+    const SimResult r =
+        simulate(shortConfig(presets::inorder()), test::strideIndirect());
+    EXPECT_GT(r.l1dHits + r.l1dMisses, 0u);
+    EXPECT_GT(r.l2Hits + r.l2Misses, 0u);
+    EXPECT_GT(r.dramTransfers, 0u);
+    EXPECT_GT(r.traffic.total(), 0u);
+    EXPECT_GT(r.tlbWalks, 0u);
+}
+
+TEST(Simulator, SvrResultsIncludePrefetchStats)
+{
+    const SimResult r =
+        simulate(shortConfig(presets::svrCore(16)), test::strideIndirect());
+    EXPECT_GT(r.prefIssued[static_cast<unsigned>(PrefetchOrigin::Svr)], 0u);
+    EXPECT_GT(r.core.transientScalars, 0u);
+    EXPECT_GT(r.core.svrRounds, 0u);
+    EXPECT_GT(r.svrAccuracyLlc, 0.5);
+}
+
+TEST(Simulator, ImpResultsIncludePrefetchStats)
+{
+    const SimResult r =
+        simulate(shortConfig(presets::impCore()), test::strideIndirect());
+    EXPECT_GT(r.prefIssued[static_cast<unsigned>(PrefetchOrigin::Imp)], 0u);
+}
+
+TEST(Simulator, SimulateBySpec)
+{
+    SimConfig c = shortConfig(presets::inorder(), 30000);
+    const SimResult r = simulate(c, findWorkload("NAS-IS"));
+    EXPECT_EQ(r.workload, "NAS-IS");
+    EXPECT_EQ(r.config, "InO");
+}
+
+TEST(Experiment, RunMatrixShape)
+{
+    const std::vector<WorkloadSpec> wl = {findWorkload("NAS-IS"),
+                                          findWorkload("Randacc")};
+    const std::vector<SimConfig> cfgs = {
+        shortConfig(presets::inorder(), 20000),
+        shortConfig(presets::svrCore(16), 20000)};
+    const auto matrix = runMatrix(wl, cfgs);
+    ASSERT_EQ(matrix.size(), 2u);
+    ASSERT_EQ(matrix[0].results.size(), 2u);
+    EXPECT_EQ(matrix[0].workload, "NAS-IS");
+    EXPECT_EQ(matrix[0].results[1].config, "SVR16");
+}
+
+TEST(Experiment, SpeedupNormalization)
+{
+    const std::vector<WorkloadSpec> wl = {findWorkload("NAS-IS")};
+    const std::vector<SimConfig> cfgs = {
+        shortConfig(presets::inorder(), 20000),
+        shortConfig(presets::svrCore(16), 20000)};
+    const auto matrix = runMatrix(wl, cfgs);
+    const auto speedups = meanSpeedup(matrix, 0);
+    ASSERT_EQ(speedups.size(), 2u);
+    EXPECT_DOUBLE_EQ(speedups[0], 1.0);
+    EXPECT_GT(speedups[1], 1.0);
+}
+
+TEST(Experiment, HarmonicMeanIpcMatchesManual)
+{
+    const std::vector<WorkloadSpec> wl = {findWorkload("NAS-IS"),
+                                          findWorkload("Randacc")};
+    const std::vector<SimConfig> cfgs = {
+        shortConfig(presets::inorder(), 20000)};
+    const auto matrix = runMatrix(wl, cfgs);
+    const auto hm = harmonicMeanIpc(matrix);
+    ASSERT_EQ(hm.size(), 1u);
+    const double a = matrix[0].results[0].ipc();
+    const double b = matrix[1].results[0].ipc();
+    EXPECT_NEAR(hm[0], 2.0 / (1.0 / a + 1.0 / b), 1e-12);
+}
+
+TEST(Experiment, EnergyAggregation)
+{
+    const std::vector<WorkloadSpec> wl = {findWorkload("NAS-IS")};
+    const std::vector<SimConfig> cfgs = {
+        shortConfig(presets::inorder(), 20000)};
+    const auto matrix = runMatrix(wl, cfgs);
+    const auto e = meanEnergyPerInstr(matrix);
+    ASSERT_EQ(e.size(), 1u);
+    EXPECT_GT(e[0], 0.0);
+}
+
+} // namespace
+} // namespace svr

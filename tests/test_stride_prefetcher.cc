@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the baseline L1D stride prefetcher.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/stride_prefetcher.hh"
+
+namespace svr
+{
+namespace
+{
+
+StridePrefetcherParams
+params(unsigned degree = 2, unsigned distance = 2)
+{
+    StridePrefetcherParams p;
+    p.degree = degree;
+    p.distance = distance;
+    return p;
+}
+
+TEST(StridePrefetcher, NoPrefetchBeforeConfidence)
+{
+    StridePrefetcher pf(params());
+    std::vector<Addr> out;
+    pf.train(0x400, 0x1000, out);
+    pf.train(0x400, 0x1008, out);
+    EXPECT_TRUE(out.empty()); // stride seen once, confidence too low
+}
+
+TEST(StridePrefetcher, PrefetchesAfterTraining)
+{
+    StridePrefetcher pf(params(2, 2));
+    std::vector<Addr> out;
+    for (Addr a = 0x1000; a <= 0x1020; a += 8)
+        pf.train(0x400, a, out);
+    ASSERT_FALSE(out.empty());
+    // Sub-line strides step in whole lines: last trained address
+    // 0x1020, distance 2 and 3 lines ahead.
+    EXPECT_EQ(out[out.size() - 2], lineAlign(0x1020 + 64 * 2));
+    EXPECT_EQ(out.back(), lineAlign(0x1020 + 64 * 3));
+}
+
+TEST(StridePrefetcher, NegativeStride)
+{
+    StridePrefetcher pf(params(1, 1));
+    std::vector<Addr> out;
+    for (int i = 0; i < 6; i++)
+        pf.train(0x400, 0x2000 - i * 64, out);
+    ASSERT_FALSE(out.empty());
+    EXPECT_LT(out.back(), 0x2000u - 5 * 64);
+}
+
+TEST(StridePrefetcher, StrideChangeResetsConfidence)
+{
+    StridePrefetcher pf(params(1, 1));
+    std::vector<Addr> out;
+    for (int i = 0; i < 6; i++)
+        pf.train(0x400, 0x1000 + i * 8, out);
+    const std::size_t before = out.size();
+    // Random jump: no immediate prefetch storm at the new location.
+    pf.train(0x400, 0x90000, out);
+    EXPECT_EQ(out.size(), before);
+}
+
+TEST(StridePrefetcher, PerPcTraining)
+{
+    StridePrefetcher pf(params(1, 1));
+    std::vector<Addr> out;
+    // Interleaved PCs with different strides both train.
+    for (int i = 0; i < 8; i++) {
+        pf.train(0x400, 0x1000 + i * 8, out);
+        pf.train(0x404, 0x8000 + i * 64, out);
+    }
+    EXPECT_FALSE(out.empty());
+}
+
+TEST(StridePrefetcher, ZeroStrideNeverPrefetches)
+{
+    StridePrefetcher pf(params());
+    std::vector<Addr> out;
+    for (int i = 0; i < 10; i++)
+        pf.train(0x400, 0x1000, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(StridePrefetcher, TableLruEviction)
+{
+    StridePrefetcherParams p = params(1, 1);
+    p.tableEntries = 2;
+    StridePrefetcher pf(p);
+    std::vector<Addr> out;
+    for (int i = 0; i < 6; i++)
+        pf.train(0x400, 0x1000 + i * 8, out);
+    const std::size_t trained = out.size();
+    EXPECT_GT(trained, 0u);
+    // Two new PCs evict the trained entry.
+    pf.train(0x500, 0x2000, out);
+    pf.train(0x600, 0x3000, out);
+    out.clear();
+    pf.train(0x400, 0x1030, out);
+    EXPECT_TRUE(out.empty()); // entry lost, must retrain
+}
+
+TEST(StridePrefetcher, ResetClearsState)
+{
+    StridePrefetcher pf(params(1, 1));
+    std::vector<Addr> out;
+    for (int i = 0; i < 6; i++)
+        pf.train(0x400, 0x1000 + i * 8, out);
+    pf.reset();
+    out.clear();
+    pf.train(0x400, 0x1030, out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(pf.issued, 0u);
+}
+
+} // namespace
+} // namespace svr

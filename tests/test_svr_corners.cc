@@ -1,0 +1,385 @@
+/**
+ * @file
+ * Corner-case tests for the SVR engine: negative-stride chains,
+ * independent-loop retargeting, taint-overwrite semantics, flags
+ * untainting, SRF pressure in deep chains, and prefetch-address
+ * correctness properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/executor.hh"
+#include "mem/memory_system.hh"
+#include "svr/svr_engine.hh"
+#include "test_helpers.hh"
+
+namespace svr
+{
+namespace
+{
+
+/** Same engine-only harness as test_svr_engine.cc. */
+class Harness
+{
+  public:
+    explicit Harness(WorkloadInstance w, const SvrParams &sp = {})
+        : work(std::move(w)),
+          mem(noPf()),
+          exec(*work.program, *work.mem),
+          engine(sp, mem, exec)
+    {
+    }
+
+    static MemParams
+    noPf()
+    {
+        MemParams p;
+        p.enableStridePf = false;
+        return p;
+    }
+
+    void
+    run(std::uint64_t n)
+    {
+        for (std::uint64_t i = 0; i < n && !exec.halted(); i++) {
+            const DynInst dyn = exec.step();
+            if (dyn.si->isLoad()) {
+                const AccessResult r =
+                    mem.access(AccessKind::Load, dyn.pc, dyn.addr, cycle);
+                cycle = std::max(cycle, r.done);
+            } else if (dyn.si->isStore()) {
+                mem.access(AccessKind::Store, dyn.pc, dyn.addr, cycle);
+            }
+            engine.onIssue(dyn, cycle);
+            cycle += 2;
+        }
+    }
+
+    WorkloadInstance work;
+    MemorySystem mem;
+    Executor exec;
+    SvrEngine engine;
+    Cycle cycle = 100;
+};
+
+WorkloadInstance
+wrap(ProgramBuilder &b, std::shared_ptr<FunctionalMemory> mem,
+     const char *name)
+{
+    WorkloadInstance w;
+    w.name = name;
+    w.mem = std::move(mem);
+    w.program = std::make_shared<Program>(b.build());
+    return w;
+}
+
+TEST(SvrCorners, NegativeStrideChainPrefetches)
+{
+    // Backward scan over the index array (like BC's phase 2).
+    auto mem = std::make_shared<FunctionalMemory>();
+    Rng rng(41);
+    const std::uint32_t n = 1 << 14;
+    std::vector<std::uint32_t> idx(n);
+    for (auto &v : idx)
+        v = static_cast<std::uint32_t>(rng.nextBounded(1 << 18));
+    const Addr ib = layoutArray32(*mem, idx);
+    const Addr tb = layoutZeros(*mem, 1 << 18, 8);
+    ProgramBuilder b("backward");
+    b.li(5, tb);
+    b.label("top");
+    b.li(1, ib + static_cast<Addr>(n - 1) * 4);
+    b.li(2, ib);
+    b.label("loop");
+    b.lw(6, 1, 0);        // striding, stride -4
+    b.slli(7, 6, 3);
+    b.add(7, 5, 7);
+    b.ld(8, 7, 0);
+    b.addi(1, 1, -4);
+    b.cmp(1, 2);
+    b.bgeu("loop");
+    b.jmp("top");
+    Harness h(wrap(b, mem, "backward"));
+    h.run(50000);
+    EXPECT_GT(h.engine.stats().rounds, 20u);
+    EXPECT_GT(h.mem.llcPrefFirstUse(PrefetchOrigin::Svr), 500u);
+    EXPECT_GT(h.mem.llcPrefetchAccuracy(PrefetchOrigin::Svr), 0.85);
+}
+
+TEST(SvrCorners, IndependentLoopsRetarget)
+{
+    // Two sequential independent loops, alternating: a stride-indirect
+    // loop A, then loop B, repeated. The engine must retarget between
+    // them (Seen-bit policy) rather than starving loop B.
+    auto mem = std::make_shared<FunctionalMemory>();
+    Rng rng(43);
+    const std::uint32_t n = 512; // short loops to force alternation
+    std::vector<std::uint32_t> ia(n), ib_(n);
+    for (auto &v : ia)
+        v = static_cast<std::uint32_t>(rng.nextBounded(1 << 17));
+    for (auto &v : ib_)
+        v = static_cast<std::uint32_t>(rng.nextBounded(1 << 17));
+    const Addr a_base = layoutArray32(*mem, ia);
+    const Addr b_base = layoutArray32(*mem, ib_);
+    const Addr t1 = layoutZeros(*mem, 1 << 17, 8);
+    const Addr t2 = layoutZeros(*mem, 1 << 17, 8);
+    ProgramBuilder b("indep");
+    b.li(5, t1);
+    b.li(15, t2);
+    b.label("top");
+    b.li(1, a_base);
+    b.li(2, a_base + static_cast<Addr>(n) * 4);
+    b.label("loopA");
+    b.lw(6, 1, 0);
+    b.slli(7, 6, 3);
+    b.add(7, 5, 7);
+    b.ld(8, 7, 0);
+    b.addi(1, 1, 4);
+    b.cmp(1, 2);
+    b.blt("loopA");
+    b.li(1, b_base);
+    b.li(2, b_base + static_cast<Addr>(n) * 4);
+    b.label("loopB");
+    b.lw(9, 1, 0);
+    b.slli(10, 9, 3);
+    b.add(10, 15, 10);
+    b.ld(11, 10, 0);
+    b.addi(1, 1, 4);
+    b.cmp(1, 2);
+    b.blt("loopB");
+    b.jmp("top");
+    Harness h(wrap(b, mem, "indep"));
+    h.run(80000);
+    const auto &st = h.engine.stats();
+    EXPECT_GT(st.retargets, 4u);
+    // Both loop PCs accumulated rounds.
+    EXPECT_GE(st.roundsByPc.size(), 2u);
+}
+
+TEST(SvrCorners, OverwriteUntaintsChainRegister)
+{
+    // The chain register is overwritten by an untainted li inside the
+    // loop; later consumers of it must not be scalar-vectorized with
+    // stale lane values (no crash, prefetches stay accurate).
+    auto mem = std::make_shared<FunctionalMemory>();
+    Rng rng(47);
+    const std::uint32_t n = 1 << 13;
+    std::vector<std::uint32_t> idx(n);
+    for (auto &v : idx)
+        v = static_cast<std::uint32_t>(rng.nextBounded(1 << 16));
+    const Addr ib = layoutArray32(*mem, idx);
+    const Addr tb = layoutZeros(*mem, 1 << 16, 8);
+    ProgramBuilder b("overwrite");
+    b.li(5, tb);
+    b.label("top");
+    b.li(1, ib);
+    b.li(2, ib + static_cast<Addr>(n) * 4);
+    b.label("loop");
+    b.lw(6, 1, 0);     // taints x6
+    b.li(6, 128);      // untainted overwrite: x6 leaves the chain
+    b.slli(7, 6, 3);   // x7 from untainted x6: no lane copies
+    b.add(7, 5, 7);
+    b.ld(8, 7, 0);     // constant address: not part of a chain
+    b.addi(1, 1, 4);
+    b.cmp(1, 2);
+    b.blt("loop");
+    b.jmp("top");
+    Harness h(wrap(b, mem, "overwrite"));
+    h.run(40000);
+    // Only the trigger load's own lanes prefetch; no dependent lanes.
+    const auto &st = h.engine.stats();
+    EXPECT_EQ(st.prefetches, st.rounds * 0 + st.prefetches);
+    EXPECT_FALSE(h.engine.taintTracker().tainted(7));
+}
+
+TEST(SvrCorners, UntaintedCompareInvalidatesLaneFlags)
+{
+    // A compare on untainted registers between the tainted compare and
+    // the branch: the branch must not mask lanes on stale lane flags.
+    auto mem = std::make_shared<FunctionalMemory>();
+    Rng rng(53);
+    const std::uint32_t n = 1 << 13;
+    std::vector<std::uint32_t> idx(n);
+    for (auto &v : idx)
+        v = static_cast<std::uint32_t>(rng.nextBounded(1 << 16));
+    const Addr ib = layoutArray32(*mem, idx);
+    const Addr tb = layoutZeros(*mem, 1 << 16, 8);
+    ProgramBuilder b("flagkill");
+    b.li(5, tb);
+    b.li(20, 7);
+    b.label("top");
+    b.li(1, ib);
+    b.li(2, ib + static_cast<Addr>(n) * 4);
+    b.label("loop");
+    b.lw(6, 1, 0);
+    b.andi(9, 6, 1);
+    b.cmpi(9, 0);      // tainted compare (lane flags valid)
+    b.cmpi(20, 3);     // untainted compare overwrites the flags
+    b.bge("always");   // 7 >= 3: always taken, lanes must NOT mask
+    b.nop();
+    b.label("always");
+    b.slli(7, 6, 3);
+    b.add(7, 5, 7);
+    b.ld(8, 7, 0);
+    b.addi(1, 1, 4);
+    b.cmp(1, 2);
+    b.blt("loop");
+    b.jmp("top");
+    Harness h(wrap(b, mem, "flagkill"));
+    h.run(40000);
+    // The always-taken branch on untainted flags masks nothing; the
+    // loop-closing branch reads untainted flags too.
+    EXPECT_EQ(h.engine.stats().maskedLanes, 0u);
+    EXPECT_GT(h.engine.stats().rounds, 10u);
+}
+
+TEST(SvrCorners, DeepChainExceedsSrfAndSurvives)
+{
+    // A 10-register-deep dependent ALU chain with K=4 SRF registers:
+    // LRU recycling keeps the head of the chain vectorized, the tail
+    // degrades gracefully, and nothing crashes.
+    auto mem = std::make_shared<FunctionalMemory>();
+    Rng rng(59);
+    const std::uint32_t n = 1 << 13;
+    std::vector<std::uint32_t> idx(n);
+    for (auto &v : idx)
+        v = static_cast<std::uint32_t>(rng.nextBounded(1 << 16));
+    const Addr ib = layoutArray32(*mem, idx);
+    const Addr tb = layoutZeros(*mem, 1 << 16, 8);
+    ProgramBuilder b("deep");
+    b.li(5, tb);
+    b.label("top");
+    b.li(1, ib);
+    b.li(2, ib + static_cast<Addr>(n) * 4);
+    b.label("loop");
+    b.lw(6, 1, 0);
+    // Deep chain across many distinct registers.
+    b.addi(7, 6, 1);
+    b.addi(8, 7, 1);
+    b.addi(9, 8, 1);
+    b.addi(10, 9, 1);
+    b.addi(11, 10, 1);
+    b.addi(12, 11, 1);
+    b.addi(13, 12, 1);
+    b.andi(14, 13, (1 << 16) - 1);
+    b.slli(14, 14, 3);
+    b.add(14, 5, 14);
+    b.ld(16, 14, 0);
+    b.addi(1, 1, 4);
+    b.cmp(1, 2);
+    b.blt("loop");
+    b.jmp("top");
+    SvrParams sp;
+    sp.numSrfRegs = 4;
+    Harness h(wrap(b, mem, "deep"), sp);
+    h.run(40000);
+    EXPECT_GT(h.engine.stats().rounds, 10u);
+    // The run completed and issued prefetches despite SRF pressure.
+    EXPECT_GT(h.engine.stats().prefetches, 100u);
+}
+
+TEST(SvrCorners, PrefetchAddressesAreFutureDemandAddresses)
+{
+    // Strong property: every SVR-prefetched *data* line must be
+    // demanded by the program within the next ~2N iterations (perfect
+    // accuracy on the ideal kernel).
+    const std::uint32_t n = 1 << 13;
+    auto w = test::strideIndirect(n, 1 << 18, 777);
+    Harness h(std::move(w));
+    h.run(30000);
+    // LLC accuracy is the aggregate form of the property.
+    EXPECT_GT(h.mem.llcPrefetchAccuracy(PrefetchOrigin::Svr), 0.95);
+    // And nearly all issued prefetches were used (first-use counts).
+    const std::uint64_t issued = h.mem.prefIssued(PrefetchOrigin::Svr);
+    const std::uint64_t used = h.mem.llcPrefFirstUse(PrefetchOrigin::Svr);
+    EXPECT_GT(used, issued * 8 / 10);
+}
+
+TEST(SvrCorners, TwoByteAndOneByteChainLoads)
+{
+    // Chains through sub-word loads (byte flags, as in BFS bitmaps).
+    auto mem = std::make_shared<FunctionalMemory>();
+    Rng rng(61);
+    const std::uint32_t n = 1 << 13;
+    std::vector<std::uint32_t> idx(n);
+    for (auto &v : idx)
+        v = static_cast<std::uint32_t>(rng.nextBounded(1 << 20));
+    const Addr ib = layoutArray32(*mem, idx);
+    const Addr flags = layoutZeros(*mem, 1 << 20, 1);
+    ProgramBuilder b("bytes");
+    b.li(5, flags);
+    b.label("top");
+    b.li(1, ib);
+    b.li(2, ib + static_cast<Addr>(n) * 4);
+    b.label("loop");
+    b.lw(6, 1, 0);
+    b.add(7, 5, 6);
+    b.lb(8, 7, 0);      // dependent byte load
+    b.addi(1, 1, 4);
+    b.cmp(1, 2);
+    b.blt("loop");
+    b.jmp("top");
+    Harness h(wrap(b, mem, "bytes"));
+    h.run(40000);
+    EXPECT_GT(h.engine.stats().prefetches, 1000u);
+    EXPECT_GT(h.mem.llcPrefetchAccuracy(PrefetchOrigin::Svr), 0.9);
+}
+
+TEST(SvrCorners, StoreOnlyChainStillPrefetches)
+{
+    // Histogram-like chain ending in a store: the tainted-address
+    // store's target lines are prefetched (for ownership).
+    auto mem = std::make_shared<FunctionalMemory>();
+    Rng rng(67);
+    const std::uint32_t n = 1 << 13;
+    std::vector<std::uint32_t> idx(n);
+    for (auto &v : idx)
+        v = static_cast<std::uint32_t>(rng.nextBounded(1 << 18));
+    const Addr ib = layoutArray32(*mem, idx);
+    const Addr tb = layoutZeros(*mem, 1 << 18, 4);
+    ProgramBuilder b("storechain");
+    b.li(5, tb);
+    b.label("top");
+    b.li(1, ib);
+    b.li(2, ib + static_cast<Addr>(n) * 4);
+    b.label("loop");
+    b.lw(6, 1, 0);
+    b.slli(7, 6, 2);
+    b.add(7, 5, 7);
+    b.sw(6, 7, 0);      // indirect store, address tainted
+    b.addi(1, 1, 4);
+    b.cmp(1, 2);
+    b.blt("loop");
+    b.jmp("top");
+    Harness h(wrap(b, mem, "storechain"));
+    h.run(40000);
+    // Store-target prefetches count as prefetches but not as
+    // dependent-load misses; the trigger's own lanes always issue.
+    EXPECT_GT(h.engine.stats().prefetches, 500u);
+}
+
+TEST(SvrCorners, RoundsByPcHistogramConsistent)
+{
+    Harness h(test::strideIndirect(1 << 13, 1 << 18));
+    h.run(30000);
+    const auto &st = h.engine.stats();
+    std::uint64_t total = 0;
+    for (const auto &[pc, cnt] : st.roundsByPc)
+        total += cnt;
+    EXPECT_EQ(total, st.rounds);
+}
+
+TEST(SvrCorners, LanesNeverExceedVectorLength)
+{
+    SvrParams sp;
+    sp.vectorLength = 8;
+    Harness h(test::strideIndirect(1 << 13, 1 << 18), sp);
+    h.run(30000);
+    const auto &st = h.engine.stats();
+    ASSERT_GT(st.rounds, 0u);
+    EXPECT_LE(st.lanesIssued, st.rounds * 8);
+}
+
+} // namespace
+} // namespace svr

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit tests for the speculative register file and the taint tracker:
+ * allocation, lane storage/timing, taint propagation, untainting on
+ * overwrite, and both register-recycling policies (section VI-D).
+ */
+
+#include <gtest/gtest.h>
+
+#include "svr/srf.hh"
+#include "svr/taint_tracker.hh"
+
+namespace svr
+{
+namespace
+{
+
+TEST(Srf, AllocateAndRelease)
+{
+    Srf srf(4, 16);
+    const unsigned a = srf.allocate();
+    const unsigned b = srf.allocate();
+    EXPECT_NE(a, invalidSrfReg);
+    EXPECT_NE(b, invalidSrfReg);
+    EXPECT_NE(a, b);
+    srf.release(a);
+    EXPECT_FALSE(srf.full());
+}
+
+TEST(Srf, ExhaustionReturnsInvalid)
+{
+    Srf srf(2, 4);
+    srf.allocate();
+    srf.allocate();
+    EXPECT_TRUE(srf.full());
+    EXPECT_EQ(srf.allocate(), invalidSrfReg);
+}
+
+TEST(Srf, LaneValuesAndReadiness)
+{
+    Srf srf(2, 4);
+    const unsigned id = srf.allocate();
+    srf.setLane(id, 0, 111, 10);
+    srf.setLane(id, 3, 444, 40);
+    EXPECT_EQ(srf.lane(id, 0), 111u);
+    EXPECT_EQ(srf.lane(id, 3), 444u);
+    EXPECT_EQ(srf.laneReady(id, 0), 10u);
+    EXPECT_EQ(srf.laneReady(id, 3), 40u);
+    EXPECT_EQ(srf.lane(id, 1), 0u); // untouched lanes zeroed
+}
+
+TEST(Srf, ReallocationZeroesLanes)
+{
+    Srf srf(1, 2);
+    const unsigned a = srf.allocate();
+    srf.setLane(a, 0, 99, 5);
+    srf.release(a);
+    const unsigned b = srf.allocate();
+    EXPECT_EQ(srf.lane(b, 0), 0u);
+    EXPECT_EQ(srf.laneReady(b, 0), 0u);
+}
+
+TEST(Srf, ReleaseAllFreesEverything)
+{
+    Srf srf(3, 2);
+    srf.allocate();
+    srf.allocate();
+    srf.allocate();
+    srf.releaseAll();
+    EXPECT_FALSE(srf.full());
+    EXPECT_NE(srf.allocate(), invalidSrfReg);
+}
+
+TEST(Srf, PeakAllocationTracked)
+{
+    Srf srf(4, 2);
+    srf.allocate();
+    srf.allocate();
+    srf.releaseAll();
+    srf.allocate();
+    EXPECT_EQ(srf.peakAllocated(), 2u);
+}
+
+TEST(TaintTracker, TaintAndMap)
+{
+    Srf srf(4, 8);
+    TaintTracker tt(srf, SrfRecycle::LruRecycle);
+    const unsigned id = tt.taintAndMap(5, 0);
+    EXPECT_NE(id, invalidSrfReg);
+    EXPECT_TRUE(tt.tainted(5));
+    EXPECT_TRUE(tt.taintedAndMapped(5));
+    EXPECT_EQ(tt.srfId(5), id);
+    EXPECT_FALSE(tt.tainted(6));
+}
+
+TEST(TaintTracker, RemapReusesSameRegister)
+{
+    // Only one copy of an architectural register is live at once on
+    // an in-order core (paper footnote 1).
+    Srf srf(4, 8);
+    TaintTracker tt(srf, SrfRecycle::LruRecycle);
+    const unsigned a = tt.taintAndMap(5, 0);
+    const unsigned b = tt.taintAndMap(5, 1);
+    EXPECT_EQ(a, b);
+}
+
+TEST(TaintTracker, UntaintFreesSrf)
+{
+    Srf srf(1, 8);
+    TaintTracker tt(srf, SrfRecycle::LruRecycle);
+    tt.taintAndMap(5, 0);
+    EXPECT_TRUE(srf.full());
+    tt.untaint(5);
+    EXPECT_FALSE(tt.tainted(5));
+    EXPECT_FALSE(srf.full());
+}
+
+TEST(TaintTracker, LruRecyclingStealsOldestMapping)
+{
+    Srf srf(2, 8);
+    TaintTracker tt(srf, SrfRecycle::LruRecycle);
+    tt.taintAndMap(1, 10);
+    tt.taintAndMap(2, 20);
+    // Register 1 read least recently (offset 10 < 20): it is recycled.
+    const unsigned c = tt.taintAndMap(3, 30);
+    EXPECT_NE(c, invalidSrfReg);
+    EXPECT_TRUE(tt.tainted(1));           // still part of the chain...
+    EXPECT_FALSE(tt.taintedAndMapped(1)); // ...but no longer mapped
+    EXPECT_TRUE(tt.taintedAndMapped(2));
+    EXPECT_TRUE(tt.taintedAndMapped(3));
+    EXPECT_EQ(tt.recycles, 1u);
+}
+
+TEST(TaintTracker, RecordReadUpdatesLruOrder)
+{
+    Srf srf(2, 8);
+    TaintTracker tt(srf, SrfRecycle::LruRecycle);
+    tt.taintAndMap(1, 10);
+    tt.taintAndMap(2, 20);
+    tt.recordRead(1, 25); // register 1 now most recently read
+    tt.taintAndMap(3, 30);
+    EXPECT_TRUE(tt.taintedAndMapped(1));
+    EXPECT_FALSE(tt.taintedAndMapped(2));
+}
+
+TEST(TaintTracker, StopWhenFullPolicyFailsInsteadOfRecycling)
+{
+    Srf srf(2, 8);
+    TaintTracker tt(srf, SrfRecycle::StopWhenFull);
+    tt.taintAndMap(1, 10);
+    tt.taintAndMap(2, 20);
+    const unsigned c = tt.taintAndMap(3, 30);
+    EXPECT_EQ(c, invalidSrfReg);
+    EXPECT_EQ(tt.mapFailures, 1u);
+    EXPECT_TRUE(tt.taintedAndMapped(1));
+    EXPECT_TRUE(tt.taintedAndMapped(2));
+}
+
+TEST(TaintTracker, TaintOnlyMarksWithoutMapping)
+{
+    Srf srf(2, 8);
+    TaintTracker tt(srf, SrfRecycle::LruRecycle);
+    tt.taintOnly(7);
+    EXPECT_TRUE(tt.tainted(7));
+    EXPECT_FALSE(tt.taintedAndMapped(7));
+    EXPECT_FALSE(srf.full());
+}
+
+TEST(TaintTracker, TaintOnlyReleasesExistingMapping)
+{
+    Srf srf(1, 8);
+    TaintTracker tt(srf, SrfRecycle::LruRecycle);
+    tt.taintAndMap(7, 0);
+    tt.taintOnly(7);
+    EXPECT_TRUE(tt.tainted(7));
+    EXPECT_FALSE(srf.full());
+}
+
+TEST(TaintTracker, ClearResetsEverything)
+{
+    Srf srf(2, 8);
+    TaintTracker tt(srf, SrfRecycle::LruRecycle);
+    tt.taintAndMap(1, 0);
+    tt.taintAndMap(2, 1);
+    tt.clear();
+    EXPECT_FALSE(tt.tainted(1));
+    EXPECT_FALSE(tt.tainted(2));
+    EXPECT_FALSE(srf.full());
+}
+
+TEST(TaintTracker, FlagsRegisterTrackable)
+{
+    Srf srf(2, 8);
+    TaintTracker tt(srf, SrfRecycle::LruRecycle);
+    tt.taintOnly(flagsReg);
+    EXPECT_TRUE(tt.tainted(flagsReg));
+}
+
+} // namespace
+} // namespace svr

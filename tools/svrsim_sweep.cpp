@@ -1,0 +1,137 @@
+/**
+ * @file
+ * svrsim_sweep — run a cartesian sweep of (workload x machine) and
+ * emit CSV or JSON for downstream analysis.
+ *
+ * Usage:
+ *   svrsim_sweep [--suite graph|hpcdb|full|spec|quick]
+ *                [--configs LIST] [--window INSTRS] [--json]
+ *
+ * LIST is comma-separated from: ino, imp, ooo, svrN (e.g. svr16).
+ * Default: --suite quick --configs ino,imp,ooo,svr16,svr64
+ *
+ * Examples:
+ *   svrsim_sweep --suite full --configs ino,svr16 > results.csv
+ *   svrsim_sweep --suite quick --json > results.json
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "workloads/suites.hh"
+
+using namespace svr;
+
+namespace
+{
+
+SimConfig
+parseConfig(const std::string &name)
+{
+    if (name == "ino")
+        return presets::inorder();
+    if (name == "imp")
+        return presets::impCore();
+    if (name == "ooo")
+        return presets::outOfOrder();
+    if (name.rfind("svr", 0) == 0) {
+        const unsigned n =
+            static_cast<unsigned>(std::stoul(name.substr(3)));
+        return presets::svrCore(n);
+    }
+    fatal("unknown config '%s'", name.c_str());
+}
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        const std::size_t end = s.find(sep, start);
+        if (end == std::string::npos) {
+            out.push_back(s.substr(start));
+            break;
+        }
+        out.push_back(s.substr(start, end - start));
+        start = end + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string suite = "quick";
+    std::string configs_arg = "ino,imp,ooo,svr16,svr64";
+    std::uint64_t window = presets::simWindow();
+    bool json = false;
+
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--suite") {
+            suite = next();
+        } else if (arg == "--configs") {
+            configs_arg = next();
+        } else if (arg == "--window") {
+            window = std::stoull(next());
+        } else if (arg == "--json") {
+            json = true;
+        } else {
+            fatal("unknown argument '%s' (see header comment)",
+                  arg.c_str());
+        }
+    }
+
+    std::vector<WorkloadSpec> workloads;
+    if (suite == "graph")
+        workloads = graphSuite();
+    else if (suite == "hpcdb")
+        workloads = hpcdbSuite();
+    else if (suite == "full")
+        workloads = fullSuite();
+    else if (suite == "spec")
+        workloads = specSuite();
+    else if (suite == "quick")
+        workloads = quickSuite();
+    else
+        fatal("unknown suite '%s'", suite.c_str());
+
+    std::vector<SimConfig> configs;
+    for (const std::string &name : split(configs_arg, ',')) {
+        if (name.empty())
+            continue;
+        SimConfig c = parseConfig(name);
+        c.maxInstructions = window;
+        configs.push_back(c);
+    }
+
+    setInformEnabled(false);
+    std::vector<SimResult> results;
+    for (const auto &spec : workloads) {
+        for (const auto &config : configs)
+            results.push_back(simulate(config, spec));
+        std::fprintf(stderr, "done: %s\n", spec.name.c_str());
+    }
+
+    if (json) {
+        std::fputs(toJson(results).c_str(), stdout);
+    } else {
+        std::printf("%s\n", csvHeader().c_str());
+        for (const auto &r : results)
+            std::printf("%s\n", csvRow(r).c_str());
+    }
+    return 0;
+}
