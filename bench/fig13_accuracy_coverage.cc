@@ -55,12 +55,16 @@ main()
 
     std::map<std::string, std::map<std::string, SimResult>> results;
     for (const auto &[group, workloads] : groups) {
+        // Shard this group's (workload x config) cells across the
+        // parallel experiment engine; rows come back in order.
+        const auto matrix = runMatrix(workloads, configs);
         std::map<std::string, double> acc;
         std::map<std::string, int> cnt;
-        for (const auto &w : workloads) {
-            for (const auto &c : configs) {
-                const SimResult r = simulate(c, w);
-                results[group + "/" + w.name][c.label] = r;
+        for (std::size_t wi = 0; wi < workloads.size(); wi++) {
+            for (std::size_t ci = 0; ci < configs.size(); ci++) {
+                const SimConfig &c = configs[ci];
+                const SimResult &r = matrix[wi].results[ci];
+                results[group + "/" + workloads[wi].name][c.label] = r;
                 const double a = c.core == CoreType::InOrderImp
                                      ? r.impAccuracyLlc
                                      : r.svrAccuracyLlc;

@@ -19,25 +19,27 @@ main()
     banner("Figure 16", "scalars per vector unit (execute width)");
 
     const auto workloads = quickSuite();
+    const unsigned widths[] = {1u, 2u, 4u, 8u};
 
-    std::printf("\n%-10s %12s %12s\n", "SVU width", "SVR16", "SVR64");
-    std::vector<double> base_ipc;
-    for (const auto &w : workloads)
-        base_ipc.push_back(simulate(presets::inorder(), w).ipc());
-
-    for (unsigned width : {1u, 2u, 4u, 8u}) {
-        double speedup[2];
-        int idx = 0;
+    // One matrix over [InO, SVR16/64 x widths], sharded across the
+    // experiment engine's thread pool. Config 0 is the baseline;
+    // config 1 + 2*wi + ni is SVR{16,64} at widths[wi].
+    std::vector<SimConfig> configs = {presets::inorder()};
+    for (unsigned width : widths) {
         for (unsigned n : {16u, 64u}) {
             SimConfig c = presets::svrCore(n);
             c.svr.svuWidth = width;
-            std::vector<double> s;
-            for (std::size_t i = 0; i < workloads.size(); i++)
-                s.push_back(simulate(c, workloads[i]).ipc() / base_ipc[i]);
-            speedup[idx++] = harmonicMean(s);
+            c.label += "w" + std::to_string(width);
+            configs.push_back(c);
         }
-        std::printf("%-10u %11.2fx %11.2fx\n", width, speedup[0],
-                    speedup[1]);
+    }
+    const auto matrix = runMatrix(workloads, configs);
+
+    const auto speedups = meanSpeedup(matrix, 0);
+    std::printf("\n%-10s %12s %12s\n", "SVU width", "SVR16", "SVR64");
+    for (std::size_t wi = 0; wi < std::size(widths); wi++) {
+        std::printf("%-10u %11.2fx %11.2fx\n", widths[wi],
+                    speedups[1 + 2 * wi], speedups[2 + 2 * wi]);
     }
 
     std::printf("\npaper: performance is almost identical from width 1 "

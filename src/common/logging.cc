@@ -1,18 +1,25 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace svr
 {
 
 namespace
 {
-bool informEnabled = true;
+std::atomic<bool> informEnabled{true};
+
+// Serializes whole report lines so concurrent workers (the experiment
+// engine's progress output) never interleave mid-line.
+std::mutex reportMutex;
 
 void
 vreport(const char *tag, const char *fmt, va_list args)
 {
+    std::lock_guard<std::mutex> lock(reportMutex);
     std::fprintf(stderr, "%s: ", tag);
     std::vfprintf(stderr, fmt, args);
     std::fprintf(stderr, "\n");
@@ -51,7 +58,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (!informEnabled)
+    if (!informEnabled.load(std::memory_order_relaxed))
         return;
     va_list args;
     va_start(args, fmt);
@@ -62,7 +69,7 @@ inform(const char *fmt, ...)
 void
 setInformEnabled(bool enabled)
 {
-    informEnabled = enabled;
+    informEnabled.store(enabled, std::memory_order_relaxed);
 }
 
 } // namespace svr

@@ -85,4 +85,57 @@ Rng::nextPowerLaw(std::uint64_t max, double alpha)
     return k;
 }
 
+std::uint64_t
+Rng::hashName(std::string_view name)
+{
+    // FNV-1a, 64-bit. Seeds derived from workload/config names must
+    // stay stable across releases or golden stats silently shift.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+Rng
+Rng::split(std::uint64_t stream) const
+{
+    // Fold the full 256-bit state and the stream index into a fresh
+    // 64-bit seed; the constructor's SplitMix64 expansion decorrelates
+    // children whose inputs differ in only a few bits.
+    std::uint64_t sm = s[0] ^ rotl(s[1], 13) ^ rotl(s[2], 29) ^
+                       rotl(s[3], 43);
+    std::uint64_t seed = splitMix64(sm);
+    sm ^= stream;
+    seed ^= splitMix64(sm);
+    return Rng(seed);
+}
+
+Rng
+Rng::split(std::string_view name) const
+{
+    return split(hashName(name));
+}
+
+std::uint64_t
+Rng::cellSeed(std::uint64_t base_seed, std::string_view workload,
+              std::string_view config)
+{
+    std::uint64_t sm = base_seed;
+    std::uint64_t seed = splitMix64(sm);
+    sm ^= hashName(workload);
+    seed ^= splitMix64(sm);
+    sm ^= hashName(config);
+    seed ^= splitMix64(sm);
+    return seed;
+}
+
+Rng
+Rng::forCell(std::uint64_t base_seed, std::string_view workload,
+             std::string_view config)
+{
+    return Rng(cellSeed(base_seed, workload, config));
+}
+
 } // namespace svr

@@ -10,6 +10,7 @@
 #define SVR_COMMON_RNG_HH
 
 #include <cstdint>
+#include <string_view>
 
 namespace svr
 {
@@ -40,6 +41,34 @@ class Rng
      * distributions matching real social graphs.
      */
     std::uint64_t nextPowerLaw(std::uint64_t max, double alpha);
+
+    /**
+     * Derive an independent child generator for substream @p stream
+     * without disturbing this generator's state. Distinct stream
+     * indices yield decorrelated sequences; the same index always
+     * yields the same child, so substreams replay deterministically.
+     */
+    Rng split(std::uint64_t stream) const;
+
+    /** Named substream: split(hashName(name)). */
+    Rng split(std::string_view name) const;
+
+    /** FNV-1a hash of a name, for seed derivation. Stable forever. */
+    static std::uint64_t hashName(std::string_view name);
+
+    /**
+     * The derived seed for one experiment cell: mixes @p base_seed
+     * with the workload and config names. Independent of cell index,
+     * so adding/reordering cells in a matrix never shifts another
+     * cell's stream — the foundation of parallel replay.
+     */
+    static std::uint64_t cellSeed(std::uint64_t base_seed,
+                                  std::string_view workload,
+                                  std::string_view config);
+
+    /** Ready-to-use generator for one experiment cell. */
+    static Rng forCell(std::uint64_t base_seed, std::string_view workload,
+                       std::string_view config);
 
   private:
     std::uint64_t s[4];

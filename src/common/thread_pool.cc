@@ -1,0 +1,157 @@
+#include "common/thread_pool.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace svr
+{
+
+unsigned
+ThreadPool::defaultJobs()
+{
+    if (const char *env = std::getenv("SVRSIM_JOBS")) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return v > 256 ? 256u : static_cast<unsigned>(v);
+        warn("ignoring SVRSIM_JOBS='%s' (want a positive integer)", env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1u;
+}
+
+ThreadPool::ThreadPool(unsigned jobs)
+{
+    if (jobs == 0)
+        jobs = defaultJobs();
+    if (jobs <= 1)
+        return; // inline mode: no queues, no threads
+    queues_.resize(jobs);
+    workers_.reserve(jobs);
+    for (unsigned i = 0; i < jobs; i++)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    if (workers_.empty())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        stop_ = true;
+    }
+    workAvailable_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::runTask(std::function<void()> &task)
+{
+    try {
+        task();
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mtx_);
+        if (!firstError_)
+            firstError_ = std::current_exception();
+    }
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        pending_--;
+        if (pending_ == 0)
+            allDone_.notify_all();
+    }
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (workers_.empty()) {
+        // Inline mode: run now, in submission order, with the same
+        // capture-and-rethrow-at-wait() semantics as the pooled path.
+        {
+            std::lock_guard<std::mutex> lock(mtx_);
+            pending_++;
+        }
+        runTask(task);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        if (stop_)
+            panic("ThreadPool::submit after shutdown");
+        queues_[nextQueue_].tasks.push_back(std::move(task));
+        nextQueue_ = (nextQueue_ + 1) % queues_.size();
+        queued_++;
+        pending_++;
+    }
+    workAvailable_.notify_one();
+}
+
+bool
+ThreadPool::takeTask(unsigned self, std::function<void()> &out)
+{
+    // Caller holds mtx_. Own queue first (front: oldest local work),
+    // then steal from the back of the first non-empty sibling.
+    if (!queues_[self].tasks.empty()) {
+        out = std::move(queues_[self].tasks.front());
+        queues_[self].tasks.pop_front();
+        queued_--;
+        return true;
+    }
+    for (std::size_t k = 1; k < queues_.size(); k++) {
+        const std::size_t victim = (self + k) % queues_.size();
+        if (!queues_[victim].tasks.empty()) {
+            out = std::move(queues_[victim].tasks.back());
+            queues_[victim].tasks.pop_back();
+            queued_--;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mtx_);
+            workAvailable_.wait(lock,
+                                [this] { return stop_ || queued_ > 0; });
+            if (!takeTask(self, task)) {
+                if (stop_)
+                    return;
+                continue;
+            }
+        }
+        runTask(task);
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lock(mtx_);
+        allDone_.wait(lock, [this] { return pending_ == 0; });
+        err = firstError_;
+        firstError_ = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &body)
+{
+    for (std::size_t i = 0; i < count; i++)
+        submit([&body, i] { body(i); });
+    wait();
+}
+
+} // namespace svr

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * A small work-stealing thread pool for embarrassingly parallel
+ * simulation work (the experiment matrix, sweeps).
+ *
+ * Each worker owns a deque of tasks; submission round-robins across
+ * the deques, workers pop their own queue front-first and steal from
+ * the back of a sibling's queue when idle. Exceptions thrown by tasks
+ * are captured and the first one is rethrown from wait(), so a
+ * fatal()/throw inside a cell surfaces on the submitting thread.
+ *
+ * Determinism contract: the pool never reorders *results* — callers
+ * write each task's output into a preallocated slot keyed by task
+ * index, so the output is bit-identical for any worker count or
+ * scheduling. With jobs <= 1 the pool spawns no threads and submit()
+ * runs tasks inline, which is the exact serial execution order.
+ */
+
+#ifndef SVR_COMMON_THREAD_POOL_HH
+#define SVR_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace svr
+{
+
+class ThreadPool
+{
+  public:
+    /**
+     * Create a pool with @p jobs workers. jobs == 0 means "auto":
+     * the SVRSIM_JOBS environment variable if set, else the hardware
+     * concurrency. jobs == 1 runs everything inline on the caller.
+     */
+    explicit ThreadPool(unsigned jobs = 0);
+
+    /** Joins all workers; pending tasks are completed first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Worker threads backing this pool (0 when running inline). */
+    unsigned numWorkers() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Effective parallelism: max(1, numWorkers()). */
+    unsigned concurrency() const
+    {
+        return numWorkers() > 0 ? numWorkers() : 1u;
+    }
+
+    /**
+     * Resolve the "auto" job count: SVRSIM_JOBS if set to a positive
+     * integer (values > 256 are clamped, garbage is ignored with a
+     * warning), else std::thread::hardware_concurrency(), else 1.
+     */
+    static unsigned defaultJobs();
+
+    /** Enqueue one task. Thread-safe. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every submitted task has finished, then rethrow the
+     * first captured task exception, if any. The pool remains usable
+     * afterwards.
+     */
+    void wait();
+
+    /**
+     * Run body(0..count-1), distributing indices across the workers,
+     * and wait for completion (exceptions rethrown as in wait()).
+     * Indices are *submitted* in order, so the inline (jobs <= 1)
+     * path executes them exactly in sequence.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &body);
+
+  private:
+    /** One worker's task deque (owner pops front, thieves pop back). */
+    struct Queue
+    {
+        std::deque<std::function<void()>> tasks;
+    };
+
+    void workerLoop(unsigned self);
+    bool takeTask(unsigned self, std::function<void()> &out);
+    void runTask(std::function<void()> &task);
+
+    // One mutex guards all queues and counters: tasks here are whole
+    // simulations (milliseconds to seconds each), so queue contention
+    // is irrelevant and coarse locking keeps the pool trivially
+    // data-race-free under TSan.
+    std::mutex mtx_;
+    std::condition_variable workAvailable_;
+    std::condition_variable allDone_;
+    std::vector<Queue> queues_;
+    std::vector<std::thread> workers_;
+    std::size_t nextQueue_ = 0; //!< round-robin submission cursor
+    std::size_t queued_ = 0;    //!< tasks sitting in deques
+    std::size_t pending_ = 0;   //!< tasks submitted but not finished
+    std::exception_ptr firstError_;
+    bool stop_ = false;
+};
+
+} // namespace svr
+
+#endif // SVR_COMMON_THREAD_POOL_HH

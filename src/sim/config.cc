@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "common/logging.hh"
+
 namespace svr
 {
 
@@ -67,6 +69,34 @@ svrCore(unsigned n)
     c.core = CoreType::Svr;
     c.svr.vectorLength = n;
     return c;
+}
+
+SimConfig
+byName(const std::string &name)
+{
+    if (name == "ino")
+        return inorder();
+    if (name == "imp")
+        return impCore();
+    if (name == "ooo")
+        return outOfOrder();
+    if (name.rfind("svr", 0) == 0) {
+        const std::string digits = name.substr(3);
+        if (digits.empty() ||
+            digits.find_first_not_of("0123456789") != std::string::npos) {
+            fatal("bad config '%s': svr needs a numeric vector length "
+                  "(e.g. svr16)",
+                  name.c_str());
+        }
+        char *end = nullptr;
+        const unsigned long n = std::strtoul(digits.c_str(), &end, 10);
+        if (n == 0 || n > 65536)
+            fatal("bad config '%s': vector length must be in [1, 65536]",
+                  name.c_str());
+        return svrCore(static_cast<unsigned>(n));
+    }
+    fatal("unknown config '%s' (want ino, imp, ooo, or svrN)",
+          name.c_str());
 }
 
 } // namespace presets

@@ -61,6 +61,14 @@ SimConfig outOfOrder();
 SimConfig svrCore(unsigned n = 16);
 
 /**
+ * Parse a preset name as used by the sweep tools: "ino", "imp",
+ * "ooo", or "svrN" with numeric N >= 1 (e.g. "svr16"). Calls fatal()
+ * on anything else — including malformed svr widths like "svr",
+ * "svrx", or "svr0" — instead of leaking std::invalid_argument.
+ */
+SimConfig byName(const std::string &name);
+
+/**
  * Simulation window length, overridable with the SVR_WINDOW
  * environment variable (instructions per run; default 400000).
  */

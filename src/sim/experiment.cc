@@ -1,31 +1,95 @@
 #include "sim/experiment.hh"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 
 #include "common/logging.hh"
+#include "common/rng.hh"
 #include "common/stats.hh"
+#include "common/thread_pool.hh"
 
 namespace svr
 {
 
 std::vector<MatrixRow>
 runMatrix(const std::vector<WorkloadSpec> &workloads,
+          const std::vector<SimConfig> &configs, const MatrixOptions &opts,
+          MatrixTiming *timing)
+{
+    using Clock = std::chrono::steady_clock;
+
+    const std::size_t num_workloads = workloads.size();
+    const std::size_t num_configs = configs.size();
+    const std::size_t num_cells = num_workloads * num_configs;
+
+    // Preallocate every result slot up front: each cell writes only
+    // matrix[wi].results[ci], so workers never touch shared state and
+    // the output order is fixed regardless of scheduling.
+    std::vector<MatrixRow> matrix(num_workloads);
+    std::vector<std::atomic<std::size_t>> cells_left(num_workloads);
+    for (std::size_t wi = 0; wi < num_workloads; wi++) {
+        matrix[wi].workload = workloads[wi].name;
+        matrix[wi].results.resize(num_configs);
+        matrix[wi].timings.resize(num_configs);
+        cells_left[wi].store(num_configs, std::memory_order_relaxed);
+    }
+
+    ThreadPool pool(opts.jobs);
+    const auto t_start = Clock::now();
+    pool.parallelFor(num_cells, [&](std::size_t idx) {
+        const std::size_t wi = idx / num_configs;
+        const std::size_t ci = idx % num_configs;
+        const WorkloadSpec &spec = workloads[wi];
+        const SimConfig &config = configs[ci];
+
+        // Every cell gets its own seed-derived stream, keyed by name
+        // rather than index, so the stream survives matrix reshapes.
+        const std::uint64_t stream =
+            Rng::cellSeed(opts.baseSeed, spec.name, config.label);
+
+        const auto c_start = Clock::now();
+        const WorkloadInstance w = spec.make();
+        matrix[wi].results[ci] = simulate(config, w);
+        const std::chrono::duration<double, std::milli> c_elapsed =
+            Clock::now() - c_start;
+        matrix[wi].timings[ci] = {c_elapsed.count(), stream};
+
+        if (cells_left[wi].fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+            opts.progress) {
+            inform("done: %-12s (%zu configs)", spec.name.c_str(),
+                   num_configs);
+        }
+    });
+    const std::chrono::duration<double> elapsed = Clock::now() - t_start;
+
+    MatrixTiming t;
+    t.wallSeconds = elapsed.count();
+    t.cells = num_cells;
+    t.jobs = pool.concurrency();
+    if (opts.summary) {
+        inform("matrix: %zu cells in %.2fs (%.2f cells/sec, %u jobs)",
+               t.cells, t.wallSeconds, t.cellsPerSec(), t.jobs);
+    }
+    if (timing)
+        *timing = t;
+    return matrix;
+}
+
+std::vector<MatrixRow>
+runMatrix(const std::vector<WorkloadSpec> &workloads,
           const std::vector<SimConfig> &configs)
 {
-    std::vector<MatrixRow> matrix;
-    matrix.reserve(workloads.size());
-    for (const auto &spec : workloads) {
-        MatrixRow row;
-        row.workload = spec.name;
-        for (const auto &config : configs) {
-            const WorkloadInstance w = spec.make();
-            row.results.push_back(simulate(config, w));
-        }
-        inform("done: %-12s (%zu configs)", spec.name.c_str(),
-               configs.size());
-        matrix.push_back(std::move(row));
-    }
-    return matrix;
+    return runMatrix(workloads, configs, MatrixOptions{});
+}
+
+std::vector<SimResult>
+flattenMatrix(const std::vector<MatrixRow> &matrix)
+{
+    std::vector<SimResult> out;
+    for (const auto &row : matrix)
+        out.insert(out.end(), row.results.begin(), row.results.end());
+    return out;
 }
 
 std::vector<double>

@@ -1,12 +1,22 @@
 /**
  * @file
  * Experiment helpers shared by the bench harnesses: run a matrix of
- * (workload x config), aggregate, and print paper-style tables.
+ * (workload x config) — in parallel across a work-stealing thread
+ * pool — aggregate, and print paper-style tables.
+ *
+ * Determinism contract: runMatrix() output (results, their order, and
+ * every per-cell metric) is bit-identical for any job count. Each
+ * cell is an independent simulation with its own seed-derived RNG
+ * stream (Rng::cellSeed(base, workload, config)), and results are
+ * written into preallocated slots keyed by (workload, config) index,
+ * so scheduling never reorders or perturbs anything. Only the
+ * progress lines on stderr and the wall-clock timings may vary.
  */
 
 #ifndef SVR_SIM_EXPERIMENT_HH
 #define SVR_SIM_EXPERIMENT_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -16,19 +26,65 @@
 namespace svr
 {
 
+/** Host-side measurement of one simulated cell (not deterministic). */
+struct CellTiming
+{
+    double millis = 0.0;          //!< wall-clock time for the cell
+    std::uint64_t streamSeed = 0; //!< derived RNG stream seed (replayable)
+};
+
 /** All results for one workload across the config set. */
 struct MatrixRow
 {
     std::string workload;
-    std::vector<SimResult> results; //!< one per config, same order
+    std::vector<SimResult> results;   //!< one per config, same order
+    std::vector<CellTiming> timings;  //!< parallel to results
+};
+
+/** Knobs for the parallel experiment engine. */
+struct MatrixOptions
+{
+    /** Worker threads; 0 = SVRSIM_JOBS env, else hardware threads. */
+    unsigned jobs = 0;
+    /** Base seed every per-cell RNG stream is derived from. */
+    std::uint64_t baseSeed = 0x5eed5eed5eed5eedULL;
+    /** Emit one inform() line per finished workload. */
+    bool progress = true;
+    /** Emit the aggregate "N cells in S s (R cells/sec)" line. */
+    bool summary = true;
+};
+
+/** Host-side wall-clock summary of one runMatrix() call. */
+struct MatrixTiming
+{
+    double wallSeconds = 0.0;
+    std::size_t cells = 0;
+    unsigned jobs = 1;
+    double cellsPerSec() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(cells) / wallSeconds
+                   : 0.0;
+    }
 };
 
 /**
- * Simulate every workload under every config.
- * Prints one progress line per workload via inform().
+ * Simulate every workload under every config, sharding the cells
+ * across the thread pool. Results are ordered workload-major exactly
+ * like the historical serial loop. If @p timing is non-null it
+ * receives the aggregate wall-clock summary.
  */
 std::vector<MatrixRow> runMatrix(const std::vector<WorkloadSpec> &workloads,
+                                 const std::vector<SimConfig> &configs,
+                                 const MatrixOptions &opts,
+                                 MatrixTiming *timing = nullptr);
+
+/** runMatrix() with default options (auto jobs, progress lines). */
+std::vector<MatrixRow> runMatrix(const std::vector<WorkloadSpec> &workloads,
                                  const std::vector<SimConfig> &configs);
+
+/** Flatten a matrix into workload-major result order (sweep output). */
+std::vector<SimResult> flattenMatrix(const std::vector<MatrixRow> &matrix);
 
 /** Harmonic-mean IPC per config over the matrix. */
 std::vector<double> harmonicMeanIpc(const std::vector<MatrixRow> &matrix);

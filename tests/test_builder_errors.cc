@@ -10,6 +10,7 @@
 #include "isa/program.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
+#include "sim/config.hh"
 #include "svr/srf.hh"
 #include "workloads/suites.hh"
 
@@ -86,6 +87,48 @@ TEST(ConfigErrorsDeathTest, UnknownWorkload)
 {
     EXPECT_EXIT(findWorkload("no-such-workload"),
                 ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST(ConfigErrorsDeathTest, ConfigNameUnknown)
+{
+    EXPECT_EXIT(presets::byName("bogus"), ::testing::ExitedWithCode(1),
+                "unknown config");
+}
+
+// Historically the sweep tool fed these to std::stoul and died on an
+// uncaught std::invalid_argument; they must be fatal() user errors.
+TEST(ConfigErrorsDeathTest, ConfigNameSvrNonNumericWidth)
+{
+    EXPECT_EXIT(presets::byName("svrx"), ::testing::ExitedWithCode(1),
+                "numeric vector length");
+}
+
+TEST(ConfigErrorsDeathTest, ConfigNameSvrMissingWidth)
+{
+    EXPECT_EXIT(presets::byName("svr"), ::testing::ExitedWithCode(1),
+                "numeric vector length");
+}
+
+TEST(ConfigErrorsDeathTest, ConfigNameSvrTrailingGarbage)
+{
+    EXPECT_EXIT(presets::byName("svr16x"), ::testing::ExitedWithCode(1),
+                "numeric vector length");
+}
+
+TEST(ConfigErrorsDeathTest, ConfigNameSvrZeroWidth)
+{
+    EXPECT_EXIT(presets::byName("svr0"), ::testing::ExitedWithCode(1),
+                "vector length must be");
+}
+
+TEST(ConfigErrors, ByNameParsesValidNames)
+{
+    EXPECT_EQ(presets::byName("ino").label, "InO");
+    EXPECT_EQ(presets::byName("imp").label, "IMP");
+    EXPECT_EQ(presets::byName("ooo").label, "OoO");
+    const SimConfig c = presets::byName("svr32");
+    EXPECT_EQ(c.label, "SVR32");
+    EXPECT_EQ(c.svr.vectorLength, 32u);
 }
 
 } // namespace

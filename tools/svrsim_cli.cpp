@@ -8,11 +8,13 @@
  *              [--n N] [--window INSTRS] [--mshrs M] [--bw GIBPS]
  *              [--ptws P] [--loop-bound MODE] [--no-waiting]
  *              [--svu-width W] [--srf K] [--dvr-recycling]
+ *              [--compare] [--jobs J]
  *
  * Examples:
  *   svrsim_cli --workload PR_KR --core svr --n 64
  *   svrsim_cli --workload HJ8 --core imp --window 1000000
  *   svrsim_cli --workload Camel --core svr --loop-bound maxlength
+ *   svrsim_cli --workload BFS_UR --compare --jobs 4
  */
 
 #include <cstdio>
@@ -20,6 +22,7 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "sim/experiment.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
 #include "workloads/suites.hh"
@@ -48,7 +51,10 @@ usage()
         "  --svu-width W          SVU scalars per cycle (default 1)\n"
         "  --srf K                speculative registers (default 8)\n"
         "  --dvr-recycling        DVR-style stop-when-full SRF policy\n"
-        "  --json                 emit the result as JSON\n",
+        "  --json                 emit the result as JSON\n"
+        "  --compare              run ino/imp/ooo/svrN side by side\n"
+        "                         (parallel; see also SVRSIM_JOBS)\n"
+        "  --jobs J               worker threads for --compare\n",
         static_cast<unsigned long long>(presets::simWindow()));
 }
 
@@ -78,6 +84,8 @@ main(int argc, char **argv)
     std::string workload = "PR_KR";
     std::string core = "svr";
     bool json = false;
+    bool compare = false;
+    unsigned jobs = 0;
     unsigned n = 16;
     SimConfig config = presets::svrCore(16);
     config.maxInstructions = presets::simWindow();
@@ -130,6 +138,10 @@ main(int argc, char **argv)
             config.svr.recycle = SrfRecycle::StopWhenFull;
         } else if (arg == "--json") {
             json = true;
+        } else if (arg == "--compare") {
+            compare = true;
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(std::stoul(next()));
         } else {
             usage();
             fatal("unknown argument '%s'", arg.c_str());
@@ -152,6 +164,44 @@ main(int argc, char **argv)
                        : std::string(coreTypeName(config.core));
 
     setInformEnabled(false);
+
+    if (compare) {
+        // One workload across the paper's comparison set, sharded
+        // over the experiment engine's thread pool.
+        std::vector<SimConfig> configs = {
+            presets::inorder(), presets::impCore(), presets::outOfOrder(),
+            presets::svrCore(n)};
+        for (auto &c : configs)
+            c.maxInstructions = config.maxInstructions;
+        std::vector<std::string> labels;
+        for (const auto &c : configs)
+            labels.push_back(c.label);
+
+        MatrixOptions opts;
+        opts.jobs = jobs;
+        opts.progress = false;
+        MatrixTiming timing;
+        const auto matrix =
+            runMatrix({findWorkload(workload)}, configs, opts, &timing);
+
+        printMetricTable(matrix, labels, "IPC",
+                         [](const SimResult &res) { return res.ipc(); });
+        printMetricTable(matrix, labels, "DRAM transfers (K lines)",
+                         [](const SimResult &res) {
+                             return static_cast<double>(res.dramTransfers) /
+                                    1000.0;
+                         });
+        printMetricTable(matrix, labels, "energy per instr [nJ]",
+                         [](const SimResult &res) {
+                             return res.energyPerInstr();
+                         });
+        std::fprintf(stderr, "matrix: %zu cells in %.2fs "
+                             "(%.2f cells/sec, %u jobs)\n",
+                     timing.cells, timing.wallSeconds,
+                     timing.cellsPerSec(), timing.jobs);
+        return 0;
+    }
+
     const SimResult r = simulate(config, findWorkload(workload));
 
     if (json) {

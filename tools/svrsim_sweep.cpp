@@ -5,14 +5,19 @@
  *
  * Usage:
  *   svrsim_sweep [--suite graph|hpcdb|full|spec|quick]
- *                [--configs LIST] [--window INSTRS] [--json]
+ *                [--configs LIST] [--window INSTRS] [--jobs N] [--json]
  *
  * LIST is comma-separated from: ino, imp, ooo, svrN (e.g. svr16).
  * Default: --suite quick --configs ino,imp,ooo,svr16,svr64
  *
+ * Cells are sharded across a work-stealing thread pool (--jobs, or
+ * the SVRSIM_JOBS environment variable, default: all hardware
+ * threads). Output on stdout is byte-identical for any job count;
+ * progress and the cells/sec summary go to stderr.
+ *
  * Examples:
  *   svrsim_sweep --suite full --configs ino,svr16 > results.csv
- *   svrsim_sweep --suite quick --json > results.json
+ *   SVRSIM_JOBS=8 svrsim_sweep --suite quick --json > results.json
  */
 
 #include <cstdio>
@@ -21,6 +26,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "sim/experiment.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
 #include "workloads/suites.hh"
@@ -29,23 +35,6 @@ using namespace svr;
 
 namespace
 {
-
-SimConfig
-parseConfig(const std::string &name)
-{
-    if (name == "ino")
-        return presets::inorder();
-    if (name == "imp")
-        return presets::impCore();
-    if (name == "ooo")
-        return presets::outOfOrder();
-    if (name.rfind("svr", 0) == 0) {
-        const unsigned n =
-            static_cast<unsigned>(std::stoul(name.substr(3)));
-        return presets::svrCore(n);
-    }
-    fatal("unknown config '%s'", name.c_str());
-}
 
 std::vector<std::string>
 split(const std::string &s, char sep)
@@ -72,6 +61,7 @@ main(int argc, char **argv)
     std::string suite = "quick";
     std::string configs_arg = "ino,imp,ooo,svr16,svr64";
     std::uint64_t window = presets::simWindow();
+    unsigned jobs = 0; // 0 = SVRSIM_JOBS / hardware default
     bool json = false;
 
     for (int i = 1; i < argc; i++) {
@@ -87,6 +77,8 @@ main(int argc, char **argv)
             configs_arg = next();
         } else if (arg == "--window") {
             window = std::stoull(next());
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(std::stoul(next()));
         } else if (arg == "--json") {
             json = true;
         } else {
@@ -113,18 +105,15 @@ main(int argc, char **argv)
     for (const std::string &name : split(configs_arg, ',')) {
         if (name.empty())
             continue;
-        SimConfig c = parseConfig(name);
+        SimConfig c = presets::byName(name);
         c.maxInstructions = window;
         configs.push_back(c);
     }
 
-    setInformEnabled(false);
-    std::vector<SimResult> results;
-    for (const auto &spec : workloads) {
-        for (const auto &config : configs)
-            results.push_back(simulate(config, spec));
-        std::fprintf(stderr, "done: %s\n", spec.name.c_str());
-    }
+    MatrixOptions opts;
+    opts.jobs = jobs;
+    const auto matrix = runMatrix(workloads, configs, opts);
+    const std::vector<SimResult> results = flattenMatrix(matrix);
 
     if (json) {
         std::fputs(toJson(results).c_str(), stdout);
