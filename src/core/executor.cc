@@ -1,30 +1,40 @@
 #include "core/executor.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace svr
 {
 
+namespace
+{
+
+bool
+validRegField(RegId r)
+{
+    return r == invalidReg || r < numArchRegs;
+}
+
+} // namespace
+
 Executor::Executor(const Program &program, FunctionalMemory &memory)
-    : prog(program), mem(memory)
+    : prog(program), code(program.data()), mem(memory)
 {
-}
-
-RegVal
-Executor::readReg(RegId r) const
-{
-    if (r >= numArchRegs)
-        panic("Executor::readReg: bad register %u", r);
-    return r == 0 ? 0 : regs[r];
-}
-
-void
-Executor::writeReg(RegId r, RegVal value)
-{
-    if (r >= numArchRegs)
-        panic("Executor::writeReg: bad register %u", r);
-    if (r != 0)
-        regs[r] = value;
+    // An empty program is immediately halted; step() may then assume
+    // pcIdx is always a valid index into the cached code array.
+    isHalted = prog.size() == 0;
+    // Validate every register field once at load time; the per-step
+    // accessors are then debug-only asserts on the hot path.
+    for (std::size_t i = 0; i < prog.size(); i++) {
+        const Instruction &inst = prog.at(i);
+        if (!validRegField(inst.rd) || !validRegField(inst.rs1) ||
+            !validRegField(inst.rs2)) {
+            panic("Executor: program '%s' instruction %zu has a bad "
+                  "register field (rd=%u rs1=%u rs2=%u)",
+                  prog.name().c_str(), i, inst.rd, inst.rs1, inst.rs2);
+        }
+    }
 }
 
 void
@@ -33,7 +43,7 @@ Executor::restart()
     regs.fill(0);
     flagState = Flags{};
     pcIdx = 0;
-    isHalted = false;
+    isHalted = prog.size() == 0;
     seq = 0;
 }
 
@@ -44,18 +54,17 @@ Executor::step()
         panic("Executor::step called while halted (program '%s')",
               prog.name().c_str());
 
-    const Instruction &inst = prog.at(pcIdx);
+    const Instruction &inst = code[pcIdx];
     DynInst dyn;
     dyn.seq = seq++;
     dyn.pc = Program::pcOf(pcIdx);
     dyn.index = static_cast<std::uint32_t>(pcIdx);
     dyn.si = &inst;
-    dyn.src1 = inst.rs1 != invalidReg && inst.rs1 < numArchRegs
-                   ? readReg(inst.rs1)
-                   : 0;
-    dyn.src2 = inst.rs2 != invalidReg && inst.rs2 < numArchRegs
-                   ? readReg(inst.rs2)
-                   : 0;
+    // Register fields were validated at load time: they are either a
+    // real register or invalidReg, which min() maps branchlessly onto
+    // the padded always-zero slot.
+    dyn.src1 = regs[std::min<unsigned>(inst.rs1, numArchRegs)];
+    dyn.src2 = regs[std::min<unsigned>(inst.rs2, numArchRegs)];
 
     std::size_t next_pc = pcIdx + 1;
 

@@ -8,6 +8,7 @@
 #define SVR_CORE_EXECUTOR_HH
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 
 #include "common/types.hh"
@@ -29,6 +30,11 @@ namespace svr
 class Executor
 {
   public:
+    /**
+     * Binds the program and validates every static instruction's
+     * register fields once, so the per-step register accessors can be
+     * debug-only asserts instead of range checks on the hot path.
+     */
     Executor(const Program &program, FunctionalMemory &memory);
 
     /** Execute the next instruction; undefined when halted(). */
@@ -40,11 +46,26 @@ class Executor
     /** Dynamic instruction count so far. */
     SeqNum instructionsExecuted() const { return seq; }
 
-    /** Read architectural register @p r (x0 reads as zero). */
-    RegVal readReg(RegId r) const;
+    /**
+     * Read architectural register @p r (x0 reads as zero). Range
+     * validity is established when the Program is loaded; debug
+     * builds assert it here.
+     */
+    RegVal
+    readReg(RegId r) const
+    {
+        assert(r < numArchRegs && "Executor::readReg: bad register");
+        return regs[r]; // x0 is never written, so regs[0] stays 0
+    }
 
     /** Write architectural register @p r (x0 writes are ignored). */
-    void writeReg(RegId r, RegVal value);
+    void
+    writeReg(RegId r, RegVal value)
+    {
+        assert(r < numArchRegs && "Executor::writeReg: bad register");
+        if (r != 0)
+            regs[r] = value;
+    }
 
     /** Current flags register. */
     const Flags &flags() const { return flagState; }
@@ -63,8 +84,19 @@ class Executor
 
   private:
     const Program &prog;
+    /**
+     * Raw instruction storage, cached from prog.data() (stable for the
+     * Program's lifetime) so step() indexes without a call or bounds
+     * check; pcIdx < prog.size() is a step() loop invariant.
+     */
+    const Instruction *code;
     FunctionalMemory &mem;
-    std::array<RegVal, numArchRegs> regs{};
+    /**
+     * Register file padded with one extra always-zero slot: step()
+     * maps invalidReg operand fields onto it with an unconditional
+     * min(), reading 0 without a branch. writeReg() never touches it.
+     */
+    std::array<RegVal, numArchRegs + 1> regs{};
     Flags flagState;
     std::size_t pcIdx = 0;
     bool isHalted = false;

@@ -1,116 +1,20 @@
 #include "isa/instruction.hh"
 
-#include <bit>
-#include <cmath>
-
 #include "common/logging.hh"
 
 namespace svr
 {
 
-bool
-Instruction::isLoad() const
+namespace detail
 {
-    switch (op) {
-      case Opcode::Ld:
-      case Opcode::Lw:
-      case Opcode::Lh:
-      case Opcode::Lb:
-        return true;
-      default:
-        return false;
-    }
+
+void
+badEvalOpcode(const char *fn, Opcode op)
+{
+    panic("%s called on opcode %s", fn, opcodeName(op));
 }
 
-bool
-Instruction::isStore() const
-{
-    switch (op) {
-      case Opcode::Sd:
-      case Opcode::Sw:
-      case Opcode::Sh:
-      case Opcode::Sb:
-        return true;
-      default:
-        return false;
-    }
-}
-
-unsigned
-Instruction::memBytes() const
-{
-    switch (op) {
-      case Opcode::Ld:
-      case Opcode::Sd:
-        return 8;
-      case Opcode::Lw:
-      case Opcode::Sw:
-        return 4;
-      case Opcode::Lh:
-      case Opcode::Sh:
-        return 2;
-      case Opcode::Lb:
-      case Opcode::Sb:
-        return 1;
-      default:
-        return 0;
-    }
-}
-
-bool
-Instruction::isCondBranch() const
-{
-    switch (op) {
-      case Opcode::Beq:
-      case Opcode::Bne:
-      case Opcode::Blt:
-      case Opcode::Bge:
-      case Opcode::Bltu:
-      case Opcode::Bgeu:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-Instruction::isControl() const
-{
-    return isCondBranch() || op == Opcode::Jmp || op == Opcode::Halt;
-}
-
-bool
-Instruction::isCompare() const
-{
-    return op == Opcode::Cmp || op == Opcode::Cmpi || op == Opcode::Fcmp;
-}
-
-bool
-Instruction::isFloat() const
-{
-    switch (op) {
-      case Opcode::Fadd:
-      case Opcode::Fsub:
-      case Opcode::Fmul:
-      case Opcode::Fdiv:
-      case Opcode::Fmin:
-      case Opcode::Fmax:
-      case Opcode::Fcmp:
-      case Opcode::Cvtif:
-      case Opcode::Cvtfi:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-Instruction::writesIntReg() const
-{
-    if (isStore() || isCompare() || isControl() || op == Opcode::Nop)
-        return false;
-    return rd != invalidReg;
-}
+} // namespace detail
 
 RegId
 Instruction::dest() const
@@ -154,137 +58,6 @@ Instruction::sources() const
         break;
     }
     return srcs;
-}
-
-unsigned
-Instruction::execLatency() const
-{
-    switch (op) {
-      case Opcode::Mul:
-        return 3;
-      case Opcode::Divu:
-      case Opcode::Remu:
-        return 12;
-      case Opcode::Fadd:
-      case Opcode::Fsub:
-      case Opcode::Fmin:
-      case Opcode::Fmax:
-      case Opcode::Cvtif:
-      case Opcode::Cvtfi:
-        return 3;
-      case Opcode::Fmul:
-        return 4;
-      case Opcode::Fdiv:
-        return 12;
-      default:
-        return 1;
-    }
-}
-
-namespace
-{
-double
-asDouble(RegVal v)
-{
-    return std::bit_cast<double>(v);
-}
-
-RegVal
-fromDouble(double d)
-{
-    return std::bit_cast<RegVal>(d);
-}
-} // namespace
-
-RegVal
-evalAlu(const Instruction &inst, RegVal a, RegVal b)
-{
-    const RegVal imm = static_cast<RegVal>(inst.imm);
-    switch (inst.op) {
-      case Opcode::Add: return a + b;
-      case Opcode::Sub: return a - b;
-      case Opcode::Mul: return a * b;
-      // Division by zero yields all-ones (RISC-V semantics); transient
-      // SVR lanes may divide garbage, which must be well-defined.
-      case Opcode::Divu: return b == 0 ? ~RegVal(0) : a / b;
-      case Opcode::Remu: return b == 0 ? a : a % b;
-      case Opcode::And: return a & b;
-      case Opcode::Or: return a | b;
-      case Opcode::Xor: return a ^ b;
-      case Opcode::Sll: return a << (b & 63);
-      case Opcode::Srl: return a >> (b & 63);
-      case Opcode::Sra:
-        return static_cast<RegVal>(static_cast<std::int64_t>(a) >> (b & 63));
-      case Opcode::Addi: return a + imm;
-      case Opcode::Andi: return a & imm;
-      case Opcode::Ori: return a | imm;
-      case Opcode::Xori: return a ^ imm;
-      case Opcode::Slli: return a << (imm & 63);
-      case Opcode::Srli: return a >> (imm & 63);
-      case Opcode::Srai:
-        return static_cast<RegVal>(static_cast<std::int64_t>(a) >>
-                                   (imm & 63));
-      case Opcode::Li: return imm;
-      case Opcode::Fadd: return fromDouble(asDouble(a) + asDouble(b));
-      case Opcode::Fsub: return fromDouble(asDouble(a) - asDouble(b));
-      case Opcode::Fmul: return fromDouble(asDouble(a) * asDouble(b));
-      case Opcode::Fdiv: return fromDouble(asDouble(a) / asDouble(b));
-      case Opcode::Fmin:
-        return fromDouble(std::fmin(asDouble(a), asDouble(b)));
-      case Opcode::Fmax:
-        return fromDouble(std::fmax(asDouble(a), asDouble(b)));
-      case Opcode::Cvtif:
-        return fromDouble(static_cast<double>(static_cast<std::int64_t>(a)));
-      case Opcode::Cvtfi:
-        return static_cast<RegVal>(static_cast<std::int64_t>(asDouble(a)));
-      case Opcode::Nop: return 0;
-      default:
-        panic("evalAlu called on non-ALU opcode %s", opcodeName(inst.op));
-    }
-}
-
-Flags
-evalCompare(const Instruction &inst, RegVal a, RegVal b)
-{
-    Flags f;
-    switch (inst.op) {
-      case Opcode::Cmp:
-      case Opcode::Cmpi: {
-        const RegVal rhs =
-            inst.op == Opcode::Cmpi ? static_cast<RegVal>(inst.imm) : b;
-        f.eq = a == rhs;
-        f.lt = static_cast<std::int64_t>(a) < static_cast<std::int64_t>(rhs);
-        f.ltu = a < rhs;
-        break;
-      }
-      case Opcode::Fcmp: {
-        const double da = asDouble(a);
-        const double db = asDouble(b);
-        f.eq = da == db;
-        f.lt = da < db;
-        f.ltu = f.lt;
-        break;
-      }
-      default:
-        panic("evalCompare called on non-compare opcode %s",
-              opcodeName(inst.op));
-    }
-    return f;
-}
-
-bool
-evalCond(Opcode op, const Flags &flags)
-{
-    switch (op) {
-      case Opcode::Beq: return flags.eq;
-      case Opcode::Bne: return !flags.eq;
-      case Opcode::Blt: return flags.lt;
-      case Opcode::Bge: return !flags.lt;
-      case Opcode::Bltu: return flags.ltu;
-      case Opcode::Bgeu: return !flags.ltu;
-      default:
-        panic("evalCond called on non-branch opcode %s", opcodeName(op));
-    }
 }
 
 const char *

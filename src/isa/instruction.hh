@@ -14,6 +14,8 @@
 #define SVR_ISA_INSTRUCTION_HH
 
 #include <array>
+#include <bit>
+#include <cmath>
 #include <cstdint>
 #include <string>
 
@@ -50,6 +52,24 @@ enum class Opcode : std::uint8_t
     NumOpcodes,
 };
 
+// The hot-path classification predicates below use opcode-range
+// compares; pin the enum runs they rely on.
+static_assert(static_cast<int>(Opcode::Lb) - static_cast<int>(Opcode::Ld) ==
+              3);
+static_assert(static_cast<int>(Opcode::Sb) - static_cast<int>(Opcode::Sd) ==
+              3);
+static_assert(static_cast<int>(Opcode::Sd) - static_cast<int>(Opcode::Lb) ==
+              1);
+static_assert(static_cast<int>(Opcode::Bgeu) -
+                  static_cast<int>(Opcode::Beq) ==
+              5);
+static_assert(static_cast<int>(Opcode::Halt) -
+                  static_cast<int>(Opcode::Beq) ==
+              7);
+static_assert(static_cast<int>(Opcode::Cvtfi) -
+                  static_cast<int>(Opcode::Fadd) ==
+              7);
+
 /** Condition flags produced by compare instructions. */
 struct Flags
 {
@@ -78,24 +98,80 @@ struct Instruction
     RegId rs2 = invalidReg;
     std::int64_t imm = 0;
 
+    // The classification predicates and eval helpers below are defined
+    // inline: the functional Executor and the timing models call them
+    // once (or more) per dynamic instruction, so out-of-line calls here
+    // dominate the interpreter loop.
+
     /** True for all load opcodes. */
-    bool isLoad() const;
+    bool
+    isLoad() const
+    {
+        return op >= Opcode::Ld && op <= Opcode::Lb;
+    }
     /** True for all store opcodes. */
-    bool isStore() const;
+    bool
+    isStore() const
+    {
+        return op >= Opcode::Sd && op <= Opcode::Sb;
+    }
     /** True for loads and stores. */
-    bool isMem() const { return isLoad() || isStore(); }
+    bool isMem() const { return op >= Opcode::Ld && op <= Opcode::Sb; }
     /** Access size in bytes for memory ops (0 otherwise). */
-    unsigned memBytes() const;
+    unsigned
+    memBytes() const
+    {
+        switch (op) {
+          case Opcode::Ld:
+          case Opcode::Sd:
+            return 8;
+          case Opcode::Lw:
+          case Opcode::Sw:
+            return 4;
+          case Opcode::Lh:
+          case Opcode::Sh:
+            return 2;
+          case Opcode::Lb:
+          case Opcode::Sb:
+            return 1;
+          default:
+            return 0;
+        }
+    }
     /** True for conditional branches. */
-    bool isCondBranch() const;
+    bool
+    isCondBranch() const
+    {
+        return op >= Opcode::Beq && op <= Opcode::Bgeu;
+    }
     /** True for any control-flow instruction (branch, jmp, halt). */
-    bool isControl() const;
+    bool
+    isControl() const
+    {
+        return op >= Opcode::Beq && op <= Opcode::Halt;
+    }
     /** True for compare instructions (they write the flags register). */
-    bool isCompare() const;
+    bool
+    isCompare() const
+    {
+        return op == Opcode::Cmp || op == Opcode::Cmpi ||
+               op == Opcode::Fcmp;
+    }
     /** True for FP-datapath instructions. */
-    bool isFloat() const;
+    bool
+    isFloat() const
+    {
+        return (op >= Opcode::Fadd && op <= Opcode::Cvtfi) ||
+               op == Opcode::Fcmp;
+    }
     /** True if the instruction produces a value in rd. */
-    bool writesIntReg() const;
+    bool
+    writesIntReg() const
+    {
+        if (isStore() || isCompare() || isControl() || op == Opcode::Nop)
+            return false;
+        return rd != invalidReg;
+    }
     /**
      * Destination register id including the flags pseudo-register
      * (invalidReg when the instruction writes nothing).
@@ -107,17 +183,144 @@ struct Instruction
      */
     std::array<RegId, 3> sources() const;
     /** Execution latency in cycles on the modelled pipeline. */
-    unsigned execLatency() const;
+    unsigned
+    execLatency() const
+    {
+        switch (op) {
+          case Opcode::Mul:
+            return 3;
+          case Opcode::Divu:
+          case Opcode::Remu:
+            return 12;
+          case Opcode::Fadd:
+          case Opcode::Fsub:
+          case Opcode::Fmin:
+          case Opcode::Fmax:
+          case Opcode::Cvtif:
+          case Opcode::Cvtfi:
+            return 3;
+          case Opcode::Fmul:
+            return 4;
+          case Opcode::Fdiv:
+            return 12;
+          default:
+            return 1;
+        }
+    }
 };
 
+namespace detail
+{
+/** Cold panic for eval helpers applied to the wrong opcode class. */
+[[noreturn]] void badEvalOpcode(const char *fn, Opcode op);
+
+inline double
+asDouble(RegVal v)
+{
+    return std::bit_cast<double>(v);
+}
+
+inline RegVal
+fromDouble(double d)
+{
+    return std::bit_cast<RegVal>(d);
+}
+} // namespace detail
+
 /** Evaluate a (non-memory, non-control) ALU/FP operation functionally. */
-RegVal evalAlu(const Instruction &inst, RegVal a, RegVal b);
+inline RegVal
+evalAlu(const Instruction &inst, RegVal a, RegVal b)
+{
+    using detail::asDouble;
+    using detail::fromDouble;
+    const RegVal imm = static_cast<RegVal>(inst.imm);
+    switch (inst.op) {
+      case Opcode::Add: return a + b;
+      case Opcode::Sub: return a - b;
+      case Opcode::Mul: return a * b;
+      // Division by zero yields all-ones (RISC-V semantics); transient
+      // SVR lanes may divide garbage, which must be well-defined.
+      case Opcode::Divu: return b == 0 ? ~RegVal(0) : a / b;
+      case Opcode::Remu: return b == 0 ? a : a % b;
+      case Opcode::And: return a & b;
+      case Opcode::Or: return a | b;
+      case Opcode::Xor: return a ^ b;
+      case Opcode::Sll: return a << (b & 63);
+      case Opcode::Srl: return a >> (b & 63);
+      case Opcode::Sra:
+        return static_cast<RegVal>(static_cast<std::int64_t>(a) >> (b & 63));
+      case Opcode::Addi: return a + imm;
+      case Opcode::Andi: return a & imm;
+      case Opcode::Ori: return a | imm;
+      case Opcode::Xori: return a ^ imm;
+      case Opcode::Slli: return a << (imm & 63);
+      case Opcode::Srli: return a >> (imm & 63);
+      case Opcode::Srai:
+        return static_cast<RegVal>(static_cast<std::int64_t>(a) >>
+                                   (imm & 63));
+      case Opcode::Li: return imm;
+      case Opcode::Fadd: return fromDouble(asDouble(a) + asDouble(b));
+      case Opcode::Fsub: return fromDouble(asDouble(a) - asDouble(b));
+      case Opcode::Fmul: return fromDouble(asDouble(a) * asDouble(b));
+      case Opcode::Fdiv: return fromDouble(asDouble(a) / asDouble(b));
+      case Opcode::Fmin:
+        return fromDouble(std::fmin(asDouble(a), asDouble(b)));
+      case Opcode::Fmax:
+        return fromDouble(std::fmax(asDouble(a), asDouble(b)));
+      case Opcode::Cvtif:
+        return fromDouble(static_cast<double>(static_cast<std::int64_t>(a)));
+      case Opcode::Cvtfi:
+        return static_cast<RegVal>(static_cast<std::int64_t>(asDouble(a)));
+      case Opcode::Nop: return 0;
+      default:
+        detail::badEvalOpcode("evalAlu", inst.op);
+    }
+}
 
 /** Evaluate a compare instruction's flag result. */
-Flags evalCompare(const Instruction &inst, RegVal a, RegVal b);
+inline Flags
+evalCompare(const Instruction &inst, RegVal a, RegVal b)
+{
+    Flags f;
+    switch (inst.op) {
+      case Opcode::Cmp:
+      case Opcode::Cmpi: {
+        const RegVal rhs =
+            inst.op == Opcode::Cmpi ? static_cast<RegVal>(inst.imm) : b;
+        f.eq = a == rhs;
+        f.lt = static_cast<std::int64_t>(a) < static_cast<std::int64_t>(rhs);
+        f.ltu = a < rhs;
+        break;
+      }
+      case Opcode::Fcmp: {
+        const double da = detail::asDouble(a);
+        const double db = detail::asDouble(b);
+        f.eq = da == db;
+        f.lt = da < db;
+        f.ltu = f.lt;
+        break;
+      }
+      default:
+        detail::badEvalOpcode("evalCompare", inst.op);
+    }
+    return f;
+}
 
 /** Evaluate a conditional branch's taken/not-taken outcome. */
-bool evalCond(Opcode op, const Flags &flags);
+inline bool
+evalCond(Opcode op, const Flags &flags)
+{
+    switch (op) {
+      case Opcode::Beq: return flags.eq;
+      case Opcode::Bne: return !flags.eq;
+      case Opcode::Blt: return flags.lt;
+      case Opcode::Bge: return !flags.lt;
+      case Opcode::Bltu: return flags.ltu;
+      case Opcode::Bgeu: return !flags.ltu;
+      default:
+        detail::badEvalOpcode("evalCond", op);
+    }
+}
 
 /** Opcode mnemonic for disassembly and debugging. */
 const char *opcodeName(Opcode op);

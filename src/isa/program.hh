@@ -42,6 +42,13 @@ class Program
     /** Instruction at static index @p idx. */
     const Instruction &at(std::size_t idx) const;
 
+    /**
+     * Raw instruction storage (stable for the Program's lifetime).
+     * The Executor caches this to keep bounds checks off the per-step
+     * hot path; use at() anywhere the index is not already validated.
+     */
+    const Instruction *data() const { return code.data(); }
+
     /** Synthetic PC of static index @p idx. */
     static Addr pcOf(std::size_t idx) { return codeBase + idx * instrBytes; }
 

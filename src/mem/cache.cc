@@ -1,6 +1,8 @@
 #include "mem/cache.hh"
 
 #include <algorithm>
+#include <bit>
+#include <utility>
 
 #include "common/logging.hh"
 
@@ -21,7 +23,15 @@ Cache::Cache(const CacheParams &params) : p(params)
     lines.resize(num_lines);
     if (p.numMshrs == 0)
         fatal("Cache '%s': need at least one MSHR", p.name.c_str());
-    mshrFreeAt.assign(p.numMshrs, 0);
+    mshrFreeHeap.assign(p.numMshrs, 0);
+
+    // Index sized for <= 50% load at numMshrs entries; it grows if
+    // undrained entries ever exceed that (entries outlive their slot).
+    const std::size_t cap =
+        std::bit_ceil<std::size_t>(std::max<std::size_t>(16, 2 * p.numMshrs));
+    pendingSlots.assign(cap, -1);
+    pendingSlotMask = cap - 1;
+    pending.reserve(cap);
 }
 
 unsigned
@@ -29,6 +39,52 @@ Cache::setIndex(Addr line_addr) const
 {
     return static_cast<unsigned>((line_addr / cacheLineBytes) &
                                  (numSets - 1));
+}
+
+std::size_t
+Cache::hashSlot(Addr line_addr) const
+{
+    std::uint64_t h =
+        (line_addr / cacheLineBytes) * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 32;
+    return static_cast<std::size_t>(h) & pendingSlotMask;
+}
+
+int
+Cache::findPending(Addr line_addr) const
+{
+    std::size_t s = hashSlot(line_addr);
+    while (true) {
+        const std::int32_t idx = pendingSlots[s];
+        if (idx < 0)
+            return -1;
+        if (pending[static_cast<std::size_t>(idx)].line == line_addr)
+            return idx;
+        s = (s + 1) & pendingSlotMask;
+    }
+}
+
+void
+Cache::indexPending(Addr line_addr, int idx)
+{
+    std::size_t s = hashSlot(line_addr);
+    while (pendingSlots[s] >= 0)
+        s = (s + 1) & pendingSlotMask;
+    pendingSlots[s] = idx;
+}
+
+void
+Cache::rebuildPendingIndex()
+{
+    if (pending.size() * 2 > pendingSlots.size()) {
+        const std::size_t cap = pendingSlots.size() * 2;
+        pendingSlots.assign(cap, -1);
+        pendingSlotMask = cap - 1;
+    } else {
+        std::fill(pendingSlots.begin(), pendingSlots.end(), -1);
+    }
+    for (std::size_t i = 0; i < pending.size(); i++)
+        indexPending(pending[i].line, static_cast<int>(i));
 }
 
 bool
@@ -51,6 +107,11 @@ Cache::lookup(Addr line_addr, bool is_demand, bool &out_first_use,
                 out_first_use = true;
                 prefetchFirstUse[static_cast<unsigned>(line.origin)]++;
             }
+            // Keep ways MRU-first so the hot line is checked first on
+            // the next lookup (position never affects victim choice:
+            // valid lines have unique lastUse values).
+            if (w != 0)
+                std::swap(base[0], line);
             return true;
         }
     }
@@ -114,6 +175,9 @@ Cache::insert(Addr line_addr, PrefetchOrigin origin, bool dirty)
     victim->lastUse = ++useClock;
     victim->origin = origin;
     victim->prefUsed = false;
+    // Fresh fills are MRU: move to the front of the set.
+    if (victim != base)
+        std::swap(*base, *victim);
     return result;
 }
 
@@ -136,10 +200,12 @@ Cache::reset()
     for (auto &line : lines)
         line = Line{};
     useClock = 0;
-    std::fill(mshrFreeAt.begin(), mshrFreeAt.end(), 0);
-    outstanding.clear();
+    std::fill(mshrFreeHeap.begin(), mshrFreeHeap.end(), 0);
+    pending.clear();
+    std::fill(pendingSlots.begin(), pendingSlots.end(), -1);
+    earliestDone = neverDone;
     hits = misses = writebacks = 0;
-    for (unsigned i = 0; i < 4; i++) {
+    for (unsigned i = 0; i < numPrefetchOrigins; i++) {
         prefetchFirstUse[i] = 0;
         prefetchEvictedUnused[i] = 0;
     }
@@ -148,70 +214,103 @@ Cache::reset()
 Cycle
 Cache::outstandingMiss(Addr line_addr, Cycle now) const
 {
-    auto it = outstanding.find(line_addr);
-    if (it == outstanding.end())
+    const int idx = findPending(line_addr);
+    if (idx < 0)
         return 0;
-    return it->second.done > now ? it->second.done : 0;
+    const Cycle done = pending[static_cast<std::size_t>(idx)].done;
+    return done > now ? done : 0;
 }
 
 Cycle
 Cache::mshrAvailable(Cycle now) const
 {
-    Cycle earliest = mshrFreeAt[0];
-    for (Cycle c : mshrFreeAt)
-        earliest = std::min(earliest, c);
-    return std::max(now, earliest);
+    return std::max(now, mshrFreeHeap[0]);
 }
 
 void
 Cache::allocateMshr(Addr line_addr, Cycle start, Cycle done)
 {
-    // Occupy the MSHR that frees earliest.
-    auto it = std::min_element(mshrFreeAt.begin(), mshrFreeAt.end());
-    if (*it > start)
+    // Occupy the MSHR that frees earliest (the heap root).
+    if (mshrFreeHeap[0] > start)
         panic("Cache '%s': MSHR allocated before one is free", p.name.c_str());
-    *it = done;
-    outstanding[line_addr] = {done, PrefetchOrigin::None, false, false};
+    mshrFreeHeap[0] = done;
+    const std::size_t n = mshrFreeHeap.size();
+    std::size_t i = 0;
+    while (true) {
+        const std::size_t l = 2 * i + 1;
+        const std::size_t r = l + 1;
+        std::size_t min = i;
+        if (l < n && mshrFreeHeap[l] < mshrFreeHeap[min])
+            min = l;
+        if (r < n && mshrFreeHeap[r] < mshrFreeHeap[min])
+            min = r;
+        if (min == i)
+            break;
+        std::swap(mshrFreeHeap[i], mshrFreeHeap[min]);
+        i = min;
+    }
+
+    const int idx = findPending(line_addr);
+    if (idx >= 0) {
+        // Re-allocation of a line whose previous miss completed but is
+        // not drained yet: restart its entry, as map assignment did.
+        pending[static_cast<std::size_t>(idx)] = {
+            line_addr, done, PrefetchOrigin::None, false, false};
+    } else {
+        if ((pending.size() + 1) * 2 > pendingSlots.size()) {
+            pending.push_back(
+                {line_addr, done, PrefetchOrigin::None, false, false});
+            rebuildPendingIndex(); // grows and re-indexes
+        } else {
+            indexPending(line_addr, static_cast<int>(pending.size()));
+            pending.push_back(
+                {line_addr, done, PrefetchOrigin::None, false, false});
+        }
+    }
+    if (done < earliestDone)
+        earliestDone = done;
 }
 
 void
 Cache::setPendingFill(Addr line_addr, PrefetchOrigin origin, bool dirty,
                       bool from_dram)
 {
-    auto it = outstanding.find(line_addr);
-    if (it == outstanding.end())
+    const int idx = findPending(line_addr);
+    if (idx < 0)
         panic("Cache '%s': setPendingFill on non-outstanding line",
               p.name.c_str());
-    it->second.origin = origin;
-    it->second.dirty = it->second.dirty || dirty;
-    it->second.fromDram = from_dram;
+    PendingMiss &m = pending[static_cast<std::size_t>(idx)];
+    m.origin = origin;
+    m.dirty = m.dirty || dirty;
+    m.fromDram = from_dram;
 }
 
 PrefetchOrigin
 Cache::pendingOrigin(Addr line_addr) const
 {
-    auto it = outstanding.find(line_addr);
-    return it == outstanding.end() ? PrefetchOrigin::None
-                                   : it->second.origin;
+    const int idx = findPending(line_addr);
+    return idx < 0 ? PrefetchOrigin::None
+                   : pending[static_cast<std::size_t>(idx)].origin;
 }
 
 void
 Cache::convertPendingToDemand(Addr line_addr)
 {
-    auto it = outstanding.find(line_addr);
-    if (it == outstanding.end() ||
-        it->second.origin == PrefetchOrigin::None) {
+    const int idx = findPending(line_addr);
+    if (idx < 0)
         return;
-    }
-    prefetchFirstUse[static_cast<unsigned>(it->second.origin)]++;
-    it->second.origin = PrefetchOrigin::None;
+    PendingMiss &m = pending[static_cast<std::size_t>(idx)];
+    if (m.origin == PrefetchOrigin::None)
+        return;
+    prefetchFirstUse[static_cast<unsigned>(m.origin)]++;
+    m.origin = PrefetchOrigin::None;
 }
 
 bool
 Cache::pendingFromDram(Addr line_addr) const
 {
-    auto it = outstanding.find(line_addr);
-    return it != outstanding.end() && it->second.fromDram;
+    const int idx = findPending(line_addr);
+    return idx >= 0 && pending[static_cast<std::size_t>(idx)].fromDram;
 }
 
 void

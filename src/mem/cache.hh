@@ -4,6 +4,12 @@
  * per-line prefetch tags (who brought the line in, and whether it has
  * been demanded since) — the tags drive both SVR's accuracy governor
  * and the paper's Figure 13 accuracy metric.
+ *
+ * Hot-path layout (see ARCHITECTURE.md §7): ways are kept MRU-first
+ * inside each set, outstanding misses live in an insertion-ordered
+ * array with an open-addressed index, and MSHR occupancy is a min-heap
+ * of free times, so the per-access cost is O(1) hash work instead of
+ * map lookups plus linear scans.
  */
 
 #ifndef SVR_MEM_CACHE_HH
@@ -11,7 +17,6 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
@@ -27,6 +32,9 @@ enum class PrefetchOrigin : std::uint8_t
     Svr,    //!< SVR scalar-vector runahead prefetch
     Imp,    //!< indirect memory prefetcher
 };
+
+/** Number of PrefetchOrigin values (bounds per-origin counter arrays). */
+inline constexpr unsigned numPrefetchOrigins = 4;
 
 /** Cache geometry and timing parameters. */
 struct CacheParams
@@ -102,22 +110,32 @@ class Cache
 
     /**
      * Fill all outstanding misses that completed at or before @p now
-     * into the array, invoking @p on_evict for each victim.
+     * into the array, invoking @p on_evict for each victim. Misses
+     * fill in allocation order; the common nothing-completed case is a
+     * single compare against the cached earliest completion time.
      */
     template <typename EvictFn>
     void
     drainCompletedMisses(Cycle now, EvictFn &&on_evict)
     {
-        for (auto it = outstanding.begin(); it != outstanding.end();) {
-            if (it->second.done <= now) {
-                EvictResult ev =
-                    insert(it->first, it->second.origin, it->second.dirty);
+        if (now < earliestDone)
+            return;
+        std::size_t out = 0;
+        Cycle next_earliest = neverDone;
+        for (std::size_t i = 0; i < pending.size(); i++) {
+            const PendingMiss &m = pending[i];
+            if (m.done <= now) {
+                EvictResult ev = insert(m.line, m.origin, m.dirty);
                 on_evict(ev);
-                it = outstanding.erase(it);
             } else {
-                ++it;
+                if (m.done < next_earliest)
+                    next_earliest = m.done;
+                pending[out++] = m;
             }
         }
+        pending.resize(out);
+        earliestDone = next_earliest;
+        rebuildPendingIndex();
     }
 
     /** Record fill metadata for a pending miss (origin/dirty/source). */
@@ -146,16 +164,16 @@ class Cache
     void markPrefetchUsed(Addr line_addr);
 
     /** Count of pending (not yet drained) misses. */
-    std::size_t pendingMisses() const { return outstanding.size(); }
+    std::size_t pendingMisses() const { return pending.size(); }
 
     // -- Statistics --------------------------------------------------------
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t writebacks = 0;
     /** Demand hits that were the first use of a prefetched line. */
-    std::uint64_t prefetchFirstUse[4] = {0, 0, 0, 0};
+    std::uint64_t prefetchFirstUse[numPrefetchOrigins] = {};
     /** Evictions of never-used prefetched lines. */
-    std::uint64_t prefetchEvictedUnused[4] = {0, 0, 0, 0};
+    std::uint64_t prefetchEvictedUnused[numPrefetchOrigins] = {};
 
   private:
     struct Line
@@ -168,22 +186,48 @@ class Cache
         bool prefUsed = false;
     };
 
+    /**
+     * One outstanding miss. Entries outlive the MSHR slot that issued
+     * them: the slot frees at `done`, but the entry stays until the
+     * next drainCompletedMisses() call fills it into the array.
+     */
     struct PendingMiss
     {
+        Addr line = 0;
         Cycle done = 0;
         PrefetchOrigin origin = PrefetchOrigin::None;
         bool dirty = false;
         bool fromDram = false;
     };
 
+    static constexpr Cycle neverDone = ~static_cast<Cycle>(0);
+
     unsigned setIndex(Addr line_addr) const;
+
+    /** Index into `pending` for @p line_addr, or -1 if absent. */
+    int findPending(Addr line_addr) const;
+    /** Hash slot a probe for @p line_addr starts at. */
+    std::size_t hashSlot(Addr line_addr) const;
+    /** Point the open-addressed index at pending[idx]. */
+    void indexPending(Addr line_addr, int idx);
+    /** Rebuild the index from `pending` (after drain/growth). */
+    void rebuildPendingIndex();
 
     CacheParams p;
     unsigned numSets;
-    std::vector<Line> lines; // numSets * assoc
+    std::vector<Line> lines; // numSets * assoc, MRU-first within a set
     std::uint64_t useClock = 0;
-    std::vector<Cycle> mshrFreeAt;
-    std::unordered_map<Addr, PendingMiss> outstanding;
+
+    /** Min-heap of MSHR free times (slots are interchangeable). */
+    std::vector<Cycle> mshrFreeHeap;
+
+    /** Outstanding misses in allocation order (drain order). */
+    std::vector<PendingMiss> pending;
+    /** Open-addressed index: slot -> index into `pending`, -1 empty. */
+    std::vector<std::int32_t> pendingSlots;
+    std::size_t pendingSlotMask = 0;
+    /** Min completion time over `pending` (neverDone when empty). */
+    Cycle earliestDone = neverDone;
 };
 
 } // namespace svr

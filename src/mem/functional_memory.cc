@@ -1,56 +1,79 @@
 #include "mem/functional_memory.hh"
 
-#include <bit>
-#include <cstring>
-
 #include "common/logging.hh"
 
 namespace svr
 {
 
-FunctionalMemory::FunctionalMemory() = default;
-
-const FunctionalMemory::Page *
-FunctionalMemory::findPage(Addr page_addr) const
+FunctionalMemory::FunctionalMemory()
 {
-    auto it = pages.find(page_addr);
-    return it == pages.end() ? nullptr : it->second.get();
+    // ~0 can never equal a real page number (it would need an address
+    // above 2^64), so empty slots can never produce a false hit.
+    tcTag.fill(~static_cast<Addr>(0));
+    dcTag.fill(~static_cast<Addr>(0));
 }
 
-FunctionalMemory::Page &
-FunctionalMemory::getPage(Addr page_addr)
+void
+FunctionalMemory::badSize(const char *what, unsigned bytes)
 {
-    auto &slot = pages[page_addr];
-    if (!slot)
-        slot = std::make_unique<Page>(pageBytes, 0);
-    return *slot;
+    panic("FunctionalMemory::%s: bad size %u", what, bytes);
+}
+
+std::uint8_t *
+FunctionalMemory::translateOrCreate(Addr addr)
+{
+    const Addr page_num = addr >> pageShift;
+    const std::size_t slot = page_num & (tcEntries - 1);
+    if (tcTag[slot] == page_num)
+        return tcData[slot];
+    const Addr dir_num = page_num >> dirBits;
+    const std::size_t dslot = dir_num & (dcEntries - 1);
+    Dir *dir;
+    if (dcTag[dslot] == dir_num) {
+        dir = dcDir[dslot];
+    } else {
+        auto &entry = dirs[dir_num];
+        if (!entry)
+            entry = std::make_unique<Dir>();
+        dir = entry.get();
+        dcTag[dslot] = dir_num;
+        dcDir[dslot] = dir;
+    }
+    auto &page = (*dir)[page_num & (dirFanout - 1)];
+    if (!page) {
+        page = std::make_unique<Page>();
+        page->fill(0);
+        numPages++;
+    }
+    tcTag[slot] = page_num;
+    tcData[slot] = page->data();
+    return tcData[slot];
 }
 
 std::uint64_t
-FunctionalMemory::read(Addr addr, unsigned bytes) const
+FunctionalMemory::readSlow(Addr addr, unsigned bytes) const
 {
-    if (bytes != 1 && bytes != 2 && bytes != 4 && bytes != 8)
-        panic("FunctionalMemory::read: bad size %u", bytes);
+    checkSize("read", bytes);
     std::uint64_t result = 0;
-    // Handle (rare) page-straddling accesses byte by byte.
+    // Page-straddling accesses (and big-endian hosts) go byte by byte.
     for (unsigned i = 0; i < bytes; i++) {
         const Addr a = addr + i;
-        const Page *page = findPage(pageAlign(a));
-        const std::uint8_t byte = page ? (*page)[a - pageAlign(a)] : 0;
+        const std::uint8_t *page = translate(pageAlign(a));
+        const std::uint8_t byte = page ? page[a & (pageBytes - 1)] : 0;
         result |= static_cast<std::uint64_t>(byte) << (8 * i);
     }
     return result;
 }
 
 void
-FunctionalMemory::write(Addr addr, std::uint64_t value, unsigned bytes)
+FunctionalMemory::writeSlow(Addr addr, std::uint64_t value, unsigned bytes)
 {
-    if (bytes != 1 && bytes != 2 && bytes != 4 && bytes != 8)
-        panic("FunctionalMemory::write: bad size %u", bytes);
+    checkSize("write", bytes);
     for (unsigned i = 0; i < bytes; i++) {
         const Addr a = addr + i;
-        Page &page = getPage(pageAlign(a));
-        page[a - pageAlign(a)] = static_cast<std::uint8_t>(value >> (8 * i));
+        std::uint8_t *page = translateOrCreate(pageAlign(a));
+        page[a & (pageBytes - 1)] =
+            static_cast<std::uint8_t>(value >> (8 * i));
     }
 }
 

@@ -168,7 +168,7 @@ class MemorySystem
     StridePrefetcher stridePf;
     DemandObserver *observer = nullptr;
     DramTraffic traffic;
-    std::uint64_t prefIssuedCount[4] = {0, 0, 0, 0};
+    std::uint64_t prefIssuedCount[numPrefetchOrigins] = {};
     std::vector<Addr> scratchPrefetches;
 };
 

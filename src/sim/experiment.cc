@@ -67,9 +67,14 @@ runMatrix(const std::vector<WorkloadSpec> &workloads,
     t.wallSeconds = elapsed.count();
     t.cells = num_cells;
     t.jobs = pool.concurrency();
+    for (const auto &row : matrix)
+        for (const auto &res : row.results)
+            t.instructions += res.core.instructions;
     if (opts.summary) {
-        inform("matrix: %zu cells in %.2fs (%.2f cells/sec, %u jobs)",
-               t.cells, t.wallSeconds, t.cellsPerSec(), t.jobs);
+        inform("matrix: %zu cells in %.2fs (%.2f cells/sec, "
+               "%.2f Msimips, %u jobs)",
+               t.cells, t.wallSeconds, t.cellsPerSec(), t.msimips(),
+               t.jobs);
     }
     if (timing)
         *timing = t;

@@ -60,10 +60,24 @@ struct MatrixTiming
     double wallSeconds = 0.0;
     std::size_t cells = 0;
     unsigned jobs = 1;
+    /** Simulated instructions summed over every cell. */
+    std::uint64_t instructions = 0;
     double cellsPerSec() const
     {
         return wallSeconds > 0.0
                    ? static_cast<double>(cells) / wallSeconds
+                   : 0.0;
+    }
+    /**
+     * Aggregate simulated instructions per host second, in millions —
+     * every sweep doubles as a sim-speed measurement (tracked over
+     * time in BENCH_simspeed.json).
+     */
+    double msimips() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(instructions) /
+                         (wallSeconds * 1e6)
                    : 0.0;
     }
 };

@@ -1,5 +1,6 @@
 #include "sim/simulator.hh"
 
+#include <chrono>
 #include <memory>
 
 #include "common/logging.hh"
@@ -26,6 +27,7 @@ simulate(const SimConfig &config, const WorkloadInstance &w)
     MemorySystem mem(config.mem);
     Executor exec(*w.program, *w.mem);
 
+    const auto t_start = std::chrono::steady_clock::now();
     switch (config.core) {
       case CoreType::InOrder: {
         InOrderCore core(config.inorder, mem);
@@ -55,6 +57,9 @@ simulate(const SimConfig &config, const WorkloadInstance &w)
       default:
         fatal("simulate: bad core type");
     }
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - t_start;
+    r.hostMillis = elapsed.count();
 
     r.l1dHits = mem.l1d().hits;
     r.l1dMisses = mem.l1d().misses;
@@ -63,7 +68,7 @@ simulate(const SimConfig &config, const WorkloadInstance &w)
     r.dramTransfers = mem.dram().transfers();
     r.traffic = mem.dramTraffic();
     r.tlbWalks = mem.translation().walks;
-    for (unsigned i = 0; i < 4; i++)
+    for (unsigned i = 0; i < numPrefetchOrigins; i++)
         r.prefIssued[i] = mem.prefIssued(static_cast<PrefetchOrigin>(i));
     r.svrAccuracyLlc = mem.llcPrefetchAccuracy(PrefetchOrigin::Svr);
     r.impAccuracyLlc = mem.llcPrefetchAccuracy(PrefetchOrigin::Imp);

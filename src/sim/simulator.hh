@@ -38,15 +38,32 @@ struct SimResult
     std::uint64_t tlbWalks = 0;
 
     // Prefetch effectiveness (Figure 13).
-    std::uint64_t prefIssued[4] = {0, 0, 0, 0}; //!< by PrefetchOrigin
+    std::uint64_t prefIssued[numPrefetchOrigins] = {}; //!< by PrefetchOrigin
     double svrAccuracyLlc = 1.0;
     double impAccuracyLlc = 1.0;
     double strideAccuracyLlc = 1.0;
 
     EnergyBreakdown energy;
 
+    /**
+     * Host wall-clock time spent inside the timing loop [ms]. Host-
+     * side measurement only: deliberately kept out of toJson()/csv
+     * reports, whose byte-identity across job counts is a test
+     * invariant (see tests/test_parallel_experiment.cc).
+     */
+    double hostMillis = 0.0;
+
     double ipc() const { return core.ipc(); }
     double cpi() const { return core.cpi(); }
+    /** Simulated instructions per host second, in millions. */
+    double
+    hostMsimips() const
+    {
+        return hostMillis > 0.0
+                   ? static_cast<double>(core.instructions) /
+                         (hostMillis * 1e3)
+                   : 0.0;
+    }
     /** Whole-system energy per committed instruction [nJ]. */
     double energyPerInstr() const
     {

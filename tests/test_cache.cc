@@ -204,6 +204,48 @@ TEST(Cache, ResetClearsEverything)
     EXPECT_EQ(c.pendingMisses(), 0u);
 }
 
+TEST(Cache, MshrReallocationOverwritesPending)
+{
+    Cache c(smallCache());
+    c.allocateMshr(0, 0, 50);
+    c.setPendingFill(0, PrefetchOrigin::Svr, false, true);
+    // Re-allocating the same line overwrites the completion time and
+    // resets the fill metadata (the historical map-assignment
+    // semantics), without duplicating the entry.
+    c.allocateMshr(0, 10, 80);
+    EXPECT_EQ(c.outstandingMiss(0, 20), 80u);
+    EXPECT_EQ(c.pendingOrigin(0), PrefetchOrigin::None);
+    EXPECT_FALSE(c.pendingFromDram(0));
+    EXPECT_EQ(c.pendingMisses(), 1u);
+}
+
+TEST(Cache, PendingTableGrowsBeyondMshrCount)
+{
+    // Pending entries outlive the MSHR slot that issued them (the slot
+    // frees at `done`; the entry stays until the next drain), so with
+    // lazy draining the table must grow well past numMshrs.
+    Cache c(smallCache(2));
+    Cycle now = 0;
+    for (unsigned i = 0; i < 64; i++) {
+        const Cycle start = c.mshrAvailable(now);
+        c.allocateMshr(i * 64, start, start + 5);
+        now = start + 5;
+    }
+    EXPECT_EQ(c.pendingMisses(), 64u);
+    for (unsigned i = 0; i < 64; i++)
+        EXPECT_EQ(c.outstandingMiss(i * 64, 0), 5u * (i + 1));
+
+    unsigned fills = 0;
+    c.drainCompletedMisses(now + 10, [&](const EvictResult &) { fills++; });
+    EXPECT_EQ(fills, 64u);
+    EXPECT_EQ(c.pendingMisses(), 0u);
+    // Misses fill in allocation order, so the survivors in each 2-way
+    // set are the last two lines allocated into it.
+    EXPECT_TRUE(c.contains(63 * 64));
+    EXPECT_TRUE(c.contains(59 * 64));
+    EXPECT_FALSE(c.contains(3 * 64));
+}
+
 TEST(Cache, InsertExistingLineMergesDirty)
 {
     Cache c(smallCache());

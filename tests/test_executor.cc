@@ -257,5 +257,22 @@ TEST(Executor, FloatingPointProgram)
     EXPECT_DOUBLE_EQ(std::bit_cast<double>(e.readReg(4)), 10.0);
 }
 
+TEST(ExecutorDeathTest, RejectsBadRegisterFieldAtLoad)
+{
+    // The per-step register accessors are debug-only asserts, so the
+    // range check happens once when the Executor binds the program.
+    // ProgramBuilder already validates registers; forge a raw Program
+    // to reach the Executor-side check.
+    std::vector<Instruction> code(2);
+    code[0].op = Opcode::Add;
+    code[0].rd = 1;
+    code[0].rs1 = 77; // neither a real register nor invalidReg
+    code[0].rs2 = 2;
+    code[1].op = Opcode::Halt;
+    const Program p("bad-reg", std::move(code));
+    FunctionalMemory m;
+    EXPECT_DEATH({ Executor e(p, m); }, "bad *register field");
+}
+
 } // namespace
 } // namespace svr

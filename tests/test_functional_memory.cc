@@ -49,6 +49,76 @@ TEST(FunctionalMemory, PageStraddlingAccess)
     EXPECT_EQ(m.pagesTouched(), 2u);
 }
 
+TEST(FunctionalMemory, StraddleEveryWidthAtEveryOffset)
+{
+    // Every multi-byte width at every split point across the page
+    // boundary exercises the byte-loop slow path on both sides.
+    for (unsigned bytes : {2u, 4u, 8u}) {
+        for (unsigned on_second = 1; on_second < bytes; on_second++) {
+            FunctionalMemory m;
+            const Addr addr = 3 * pageBytes - (bytes - on_second);
+            const std::uint64_t val =
+                0x1122334455667788ULL >> (8 * (8 - bytes));
+            m.write(addr, val, bytes);
+            EXPECT_EQ(m.read(addr, bytes), val)
+                << "bytes=" << bytes << " on_second=" << on_second;
+            // Byte-level agreement across the boundary.
+            for (unsigned i = 0; i < bytes; i++)
+                EXPECT_EQ(m.read(addr + i, 1), (val >> (8 * i)) & 0xff);
+            EXPECT_EQ(m.pagesTouched(), 2u);
+        }
+    }
+}
+
+TEST(FunctionalMemory, StraddleReadIntoUnmappedPageZeroFills)
+{
+    FunctionalMemory m;
+    // Fill the last 8 bytes of a page; the next page stays unmapped.
+    m.write(pageBytes - 8, ~0ULL, 8);
+    EXPECT_EQ(m.pagesTouched(), 1u);
+    // A straddling read gets real bytes low, zeros high...
+    EXPECT_EQ(m.read(pageBytes - 4, 8), 0x00000000ffffffffULL);
+    // ...and does not materialize the unmapped page.
+    EXPECT_EQ(m.pagesTouched(), 1u);
+}
+
+TEST(FunctionalMemory, ReadsNeverMaterializePages)
+{
+    FunctionalMemory m;
+    // Fast path (within a page) and slow path (straddling), mapped
+    // nowhere: all zeros, no pages created.
+    EXPECT_EQ(m.read(0x5000, 8), 0u);
+    EXPECT_EQ(m.read(7 * pageBytes - 3, 8), 0u);
+    EXPECT_EQ(m.read(0x5000, 1), 0u);
+    EXPECT_EQ(m.pagesTouched(), 0u);
+}
+
+TEST(FunctionalMemory, DirectoryBoundaryCrossing)
+{
+    // Directories cover 2 MiB; a write straddling that boundary spans
+    // two pages in two different directories.
+    FunctionalMemory m;
+    const Addr dir_span = Addr(1) << 21;
+    const Addr addr = 5 * dir_span - 4;
+    m.write(addr, 0x0102030405060708ULL, 8);
+    EXPECT_EQ(m.read(addr, 8), 0x0102030405060708ULL);
+    EXPECT_EQ(m.pagesTouched(), 2u);
+}
+
+TEST(FunctionalMemory, ManyAlternatingPagesStayConsistent)
+{
+    // More distinct hot pages than the internal translation caches
+    // hold, revisited repeatedly: caching must never change values.
+    FunctionalMemory m;
+    constexpr unsigned numPages = 64;
+    for (unsigned i = 0; i < numPages; i++)
+        m.write(Addr(i) * pageBytes + 16, i + 1, 8);
+    for (unsigned pass = 0; pass < 3; pass++)
+        for (unsigned i = 0; i < numPages; i++)
+            EXPECT_EQ(m.read(Addr(i) * pageBytes + 16, 8), i + 1u);
+    EXPECT_EQ(m.pagesTouched(), numPages);
+}
+
 TEST(FunctionalMemory, Doubles)
 {
     FunctionalMemory m;

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * bench_report — standalone sim-speed measurement (no google-benchmark
+ * dependency). Runs every core model over the camel kernel, times the
+ * hottest primitives, and writes the results as BENCH_simspeed.json so
+ * sim-speed can be tracked over time alongside the repo.
+ *
+ * Usage:
+ *   bench_report [--quick] [--out PATH]
+ *
+ *   --quick   small windows / single repetition (CI smoke)
+ *   --out     output path (default: BENCH_simspeed.json in cwd)
+ *
+ * The committed BENCH_simspeed.json is regenerated with the
+ * SVR_BENCH_JSON target: `cmake --build build --target SVR_BENCH_JSON`.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/executor.hh"
+#include "mem/cache.hh"
+#include "mem/functional_memory.hh"
+#include "sim/config.hh"
+#include "sim/simulator.hh"
+#include "workloads/hpcdb_kernels.hh"
+#include "workloads/workload.hh"
+
+using namespace svr;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    const std::chrono::duration<double> d = Clock::now() - t0;
+    return d.count();
+}
+
+/** The same kernel bench/micro_simspeed.cc measures (never stores). */
+WorkloadInstance
+benchWorkload()
+{
+    HpcDbSizes s;
+    s.camelIndex = 1 << 18;
+    s.camelTable = 1 << 19;
+    return makeCamel(s);
+}
+
+struct CoreSpeed
+{
+    std::string label;
+    double millis = 0.0;   //!< best-of-reps timing-loop wall time
+    double msimips = 0.0;  //!< simulated Minstructions per host second
+};
+
+/** Best-of-@p reps simulation of @p config over @p w. */
+CoreSpeed
+measureCore(SimConfig config, const WorkloadInstance &w, std::uint64_t window,
+            unsigned reps)
+{
+    config.maxInstructions = window;
+    CoreSpeed out;
+    out.label = config.label;
+    for (unsigned r = 0; r < reps; r++) {
+        const SimResult res = simulate(config, w);
+        if (out.millis == 0.0 || res.hostMillis < out.millis) {
+            out.millis = res.hostMillis;
+            out.msimips = res.hostMsimips();
+        }
+    }
+    return out;
+}
+
+/** ns per call over @p iters invocations of @p fn (best of @p reps). */
+template <typename Fn>
+double
+nsPerCall(unsigned reps, std::uint64_t iters, Fn &&fn)
+{
+    double best = 0.0;
+    for (unsigned r = 0; r < reps; r++) {
+        const auto t0 = Clock::now();
+        for (std::uint64_t i = 0; i < iters; i++)
+            fn(i);
+        const double ns = secondsSince(t0) * 1e9 /
+                          static_cast<double>(iters);
+        if (best == 0.0 || ns < best)
+            best = ns;
+    }
+    return best;
+}
+
+double
+functionalStepNs(const WorkloadInstance &w, unsigned reps,
+                 std::uint64_t iters)
+{
+    Executor exec(*w.program, *w.mem);
+    volatile RegVal sink = 0;
+    return nsPerCall(reps, iters, [&](std::uint64_t) {
+        if (exec.halted())
+            exec.restart();
+        sink = exec.step().result;
+    });
+}
+
+double
+functionalReadNs(unsigned reps, std::uint64_t iters)
+{
+    FunctionalMemory mem;
+    constexpr std::uint64_t tableBytes = 8 << 20;
+    const Addr base = mem.alloc(tableBytes);
+    for (Addr off = 0; off < tableBytes; off += 8)
+        mem.write(base + off, off, 8);
+    std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+    volatile std::uint64_t sink = 0;
+    return nsPerCall(reps, iters, [&](std::uint64_t) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        sink = mem.read(base + ((x >> 24) & (tableBytes - 1) & ~Addr(7)), 8);
+    });
+}
+
+double
+functionalWriteNs(unsigned reps, std::uint64_t iters)
+{
+    FunctionalMemory mem;
+    constexpr std::uint64_t tableBytes = 8 << 20;
+    const Addr base = mem.alloc(tableBytes);
+    std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+    return nsPerCall(reps, iters, [&](std::uint64_t) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        mem.write(base + ((x >> 24) & (tableBytes - 1) & ~Addr(7)), x, 8);
+    });
+}
+
+double
+cacheLookupNs(unsigned reps, std::uint64_t iters, Addr working_set)
+{
+    Cache cache(CacheParams{"bench", 64 * 1024, 4, 3, 16});
+    for (Addr a = 0; a < 64 * 1024; a += 64)
+        cache.insert(a, PrefetchOrigin::None, false);
+    Addr a = 0;
+    volatile bool sink = false;
+    return nsPerCall(reps, iters, [&](std::uint64_t) {
+        bool first = false;
+        PrefetchOrigin origin;
+        sink = cache.lookup(a, true, first, origin);
+        a = (a + 64) & (working_set - 1);
+    });
+}
+
+double
+mshrAllocDrainNs(unsigned reps, std::uint64_t iters)
+{
+    Cache cache(CacheParams{"bench", 64 * 1024, 4, 3, 16});
+    Cycle now = 0;
+    Addr line = 0;
+    return nsPerCall(reps, iters, [&](std::uint64_t) {
+        const Cycle start = cache.mshrAvailable(now);
+        cache.allocateMshr(line, start, start + 40);
+        cache.drainCompletedMisses(now, [](const EvictResult &) {});
+        now += 10;
+        line = (line + 64) & ((1 << 20) - 1);
+    });
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string out_path = "BENCH_simspeed.json";
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_report [--quick] [--out PATH]\n");
+            return 1;
+        }
+    }
+
+    setInformEnabled(false);
+
+    const std::uint64_t window = quick ? 20000 : 100000;
+    const unsigned reps = quick ? 1 : 3;
+    const std::uint64_t prim_iters = quick ? 200000 : 2000000;
+
+    const WorkloadInstance w = benchWorkload();
+
+    std::vector<SimConfig> configs = {presets::inorder(), presets::impCore(),
+                                      presets::outOfOrder(),
+                                      presets::svrCore(16),
+                                      presets::svrCore(64)};
+    std::vector<CoreSpeed> cores;
+    for (const auto &config : configs) {
+        cores.push_back(measureCore(config, w, window, reps));
+        std::fprintf(stderr, "  %-8s %8.2f ms  %8.2f Msimips\n",
+                     cores.back().label.c_str(), cores.back().millis,
+                     cores.back().msimips);
+    }
+
+    const double step_ns = functionalStepNs(w, reps, prim_iters);
+    const double read_ns = functionalReadNs(reps, prim_iters);
+    const double write_ns = functionalWriteNs(reps, prim_iters);
+    const double hot_ns = cacheLookupNs(reps, prim_iters, 8 * 64);
+    const double cyc_ns = cacheLookupNs(reps, prim_iters, 64 * 1024);
+    const double mshr_ns = mshrAllocDrainNs(reps, prim_iters);
+    std::fprintf(stderr,
+                 "  step %.1f ns, read %.1f ns, write %.1f ns, "
+                 "lookup hot/cyclic %.1f/%.1f ns, mshr %.1f ns\n",
+                 step_ns, read_ns, write_ns, hot_ns, cyc_ns, mshr_ns);
+
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    if (!f)
+        fatal("bench_report: cannot open '%s' for writing",
+              out_path.c_str());
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema\": \"svrsim-bench-simspeed-v1\",\n");
+    std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+    std::fprintf(f, "  \"workload\": \"camel\",\n");
+    std::fprintf(f, "  \"window_instructions\": %llu,\n",
+                 static_cast<unsigned long long>(window));
+    std::fprintf(f, "  \"cores\": [\n");
+    for (std::size_t i = 0; i < cores.size(); i++) {
+        std::fprintf(f,
+                     "    {\"label\": \"%s\", \"timing_millis\": %.3f, "
+                     "\"msimips\": %.3f}%s\n",
+                     cores[i].label.c_str(), cores[i].millis,
+                     cores[i].msimips, i + 1 < cores.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"primitives_ns\": {\n");
+    std::fprintf(f, "    \"functional_step\": %.3f,\n", step_ns);
+    std::fprintf(f, "    \"functional_read64\": %.3f,\n", read_ns);
+    std::fprintf(f, "    \"functional_write64\": %.3f,\n", write_ns);
+    std::fprintf(f, "    \"cache_lookup_hot\": %.3f,\n", hot_ns);
+    std::fprintf(f, "    \"cache_lookup_cyclic\": %.3f,\n", cyc_ns);
+    std::fprintf(f, "    \"mshr_alloc_drain\": %.3f\n", mshr_ns);
+    std::fprintf(f, "  }\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "bench_report: wrote %s\n", out_path.c_str());
+    return 0;
+}

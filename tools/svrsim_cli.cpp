@@ -196,9 +196,9 @@ main(int argc, char **argv)
                              return res.energyPerInstr();
                          });
         std::fprintf(stderr, "matrix: %zu cells in %.2fs "
-                             "(%.2f cells/sec, %u jobs)\n",
+                             "(%.2f cells/sec, %.2f Msimips, %u jobs)\n",
                      timing.cells, timing.wallSeconds,
-                     timing.cellsPerSec(), timing.jobs);
+                     timing.cellsPerSec(), timing.msimips(), timing.jobs);
         return 0;
     }
 
