@@ -1,0 +1,77 @@
+#include "common/io.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/error.hh"
+
+namespace svr
+{
+
+namespace
+{
+
+[[noreturn]] void
+ioError(const char *op, const std::string &path, int err)
+{
+    throw simErrorf(ErrCode::IoError, {}, "%s '%s' failed: %s", op,
+                    path.c_str(), std::strerror(err));
+}
+
+} // namespace
+
+void
+writeFileAtomic(const std::string &path, std::string_view content,
+                const FaultPlan &faults)
+{
+    if (faults.shouldFailIo(path)) {
+        throw simErrorf(ErrCode::IoError, {},
+                        "injected IO fault writing '%s'", path.c_str());
+    }
+
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        ioError("open", tmp, errno);
+    if (!content.empty() &&
+        std::fwrite(content.data(), 1, content.size(), f) !=
+            content.size()) {
+        const int err = errno;
+        std::fclose(f);
+        std::remove(tmp.c_str());
+        ioError("write", tmp, err);
+    }
+    if (std::fflush(f) != 0 || std::fclose(f) != 0) {
+        const int err = errno;
+        std::remove(tmp.c_str());
+        ioError("flush", tmp, err);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int err = errno;
+        std::remove(tmp.c_str());
+        ioError("rename", path, err);
+    }
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        ioError("open", path, errno);
+    std::string out;
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    if (std::ferror(f)) {
+        const int err = errno;
+        std::fclose(f);
+        ioError("read", path, err);
+    }
+    std::fclose(f);
+    return out;
+}
+
+} // namespace svr

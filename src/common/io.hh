@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Crash-safe artifact IO. Every JSON/CSV/journal artifact the tools
+ * emit goes through writeFileAtomic(): the content is written to
+ * "<path>.tmp", flushed, closed, and renamed over the target, so a
+ * crash at any point leaves either the old artifact or the new one —
+ * never a torn file. Failures raise SimError(IoError) with errno
+ * detail, and a FaultPlan io@ rule can force them for testing.
+ */
+
+#ifndef SVR_COMMON_IO_HH
+#define SVR_COMMON_IO_HH
+
+#include <string>
+#include <string_view>
+
+#include "common/fault.hh"
+
+namespace svr
+{
+
+/**
+ * Atomically replace @p path with @p content via tmp+rename.
+ * Throws SimError(IoError) on any failure (including an injected
+ * io@ fault in @p faults matching @p path).
+ */
+void writeFileAtomic(const std::string &path, std::string_view content,
+                     const FaultPlan &faults = {});
+
+/**
+ * Read all of @p path into a string. Throws SimError(IoError) when
+ * the file cannot be opened or read.
+ */
+std::string readFile(const std::string &path);
+
+} // namespace svr
+
+#endif // SVR_COMMON_IO_HH

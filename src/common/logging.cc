@@ -16,6 +16,11 @@ std::atomic<bool> informEnabled{true};
 // engine's progress output) never interleave mid-line.
 std::mutex reportMutex;
 
+// Per-thread capture state: when active, panic()/fatal() throw a
+// SimError instead of killing the process (ScopedErrorCapture).
+thread_local bool captureActive = false;
+thread_local ErrCode captureFatalCode = ErrCode::ConfigInvalid;
+
 void
 vreport(const char *tag, const char *fmt, va_list args)
 {
@@ -24,6 +29,14 @@ vreport(const char *tag, const char *fmt, va_list args)
     std::vfprintf(stderr, fmt, args);
     std::fprintf(stderr, "\n");
 }
+
+std::string
+vformat(const char *fmt, va_list args)
+{
+    char buf[512];
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    return buf;
+}
 } // namespace
 
 void
@@ -31,6 +44,11 @@ panic(const char *fmt, ...)
 {
     va_list args;
     va_start(args, fmt);
+    if (captureActive) {
+        const std::string msg = vformat(fmt, args);
+        va_end(args);
+        throw SimError(ErrCode::InternalInvariant, msg);
+    }
     vreport("panic", fmt, args);
     va_end(args);
     std::abort();
@@ -41,6 +59,11 @@ fatal(const char *fmt, ...)
 {
     va_list args;
     va_start(args, fmt);
+    if (captureActive) {
+        const std::string msg = vformat(fmt, args);
+        va_end(args);
+        throw SimError(captureFatalCode, msg);
+    }
     vreport("fatal", fmt, args);
     va_end(args);
     std::exit(1);
@@ -70,6 +93,25 @@ void
 setInformEnabled(bool enabled)
 {
     informEnabled.store(enabled, std::memory_order_relaxed);
+}
+
+ScopedErrorCapture::ScopedErrorCapture(ErrCode fatalCode)
+    : prevCode(captureFatalCode), prevActive(captureActive)
+{
+    captureActive = true;
+    captureFatalCode = fatalCode;
+}
+
+ScopedErrorCapture::~ScopedErrorCapture()
+{
+    captureActive = prevActive;
+    captureFatalCode = prevCode;
+}
+
+bool
+errorCaptureActive()
+{
+    return captureActive;
 }
 
 } // namespace svr

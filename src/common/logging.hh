@@ -2,6 +2,12 @@
  * @file
  * gem5-style status/error reporting: panic() for simulator bugs, fatal()
  * for user/configuration errors, warn()/inform() for status messages.
+ *
+ * When a ScopedErrorCapture is active on the calling thread, panic()
+ * and fatal() throw a structured SimError (common/error.hh) instead of
+ * killing the process, so the experiment engine can isolate a bad cell
+ * without rewriting every legacy error site. Outside a capture scope
+ * the historical abort()/exit(1) behaviour is unchanged.
  */
 
 #ifndef SVR_COMMON_LOGGING_HH
@@ -10,11 +16,14 @@
 #include <cstdarg>
 #include <string>
 
+#include "common/error.hh"
+
 namespace svr
 {
 
 /**
- * Abort the simulation because of an internal simulator bug.
+ * Abort the simulation because of an internal simulator bug; throws
+ * SimError(InternalInvariant) under ScopedErrorCapture.
  * Never returns.
  */
 [[noreturn]] void panic(const char *fmt, ...)
@@ -22,7 +31,8 @@ namespace svr
 
 /**
  * Exit the simulation because of a user error (bad configuration,
- * invalid arguments). Never returns.
+ * invalid arguments); throws a SimError under ScopedErrorCapture
+ * (code chosen by the innermost scope). Never returns.
  */
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
@@ -35,6 +45,30 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Enable/disable inform() output (benches silence it). */
 void setInformEnabled(bool enabled);
+
+/**
+ * RAII guard converting panic()/fatal() on this thread into thrown
+ * SimErrors for its lifetime. panic() always maps to
+ * InternalInvariant; fatal() maps to @p fatalCode, so a capture
+ * around a workload factory yields WorkloadBuild while one around
+ * simulate() yields ConfigInvalid. Scopes nest; the innermost wins.
+ */
+class ScopedErrorCapture
+{
+  public:
+    explicit ScopedErrorCapture(ErrCode fatalCode = ErrCode::ConfigInvalid);
+    ~ScopedErrorCapture();
+
+    ScopedErrorCapture(const ScopedErrorCapture &) = delete;
+    ScopedErrorCapture &operator=(const ScopedErrorCapture &) = delete;
+
+  private:
+    ErrCode prevCode;
+    bool prevActive;
+};
+
+/** True when a ScopedErrorCapture is active on this thread. */
+bool errorCaptureActive();
 
 } // namespace svr
 

@@ -55,6 +55,8 @@ ThreadPool::runTask(std::function<void()> &task)
         std::lock_guard<std::mutex> lock(mtx_);
         if (!firstError_)
             firstError_ = std::current_exception();
+        else
+            suppressedErrors_++;
     }
     {
         std::lock_guard<std::mutex> lock(mtx_);
@@ -135,14 +137,23 @@ void
 ThreadPool::wait()
 {
     std::exception_ptr err;
+    std::size_t suppressed = 0;
     {
         std::unique_lock<std::mutex> lock(mtx_);
         allDone_.wait(lock, [this] { return pending_ == 0; });
         err = firstError_;
         firstError_ = nullptr;
+        suppressed = suppressedErrors_;
+        suppressedErrors_ = 0;
     }
-    if (err)
+    if (err) {
+        if (suppressed > 0) {
+            warn("ThreadPool: %zu additional task error(s) suppressed "
+                 "(rethrowing the first)",
+                 suppressed);
+        }
         std::rethrow_exception(err);
+    }
 }
 
 void

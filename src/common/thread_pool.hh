@@ -71,8 +71,9 @@ class ThreadPool
 
     /**
      * Block until every submitted task has finished, then rethrow the
-     * first captured task exception, if any. The pool remains usable
-     * afterwards.
+     * first captured task exception, if any; further task exceptions
+     * from the same batch are counted and reported with warn() so
+     * they never vanish silently. The pool remains usable afterwards.
      */
     void wait();
 
@@ -109,6 +110,7 @@ class ThreadPool
     std::size_t queued_ = 0;    //!< tasks sitting in deques
     std::size_t pending_ = 0;   //!< tasks submitted but not finished
     std::exception_ptr firstError_;
+    std::size_t suppressedErrors_ = 0; //!< task errors after the first
     bool stop_ = false;
 };
 

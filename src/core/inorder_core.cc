@@ -20,8 +20,26 @@ InOrderCore::InOrderCore(const InOrderParams &params, MemorySystem &memory)
         fatal("InOrderCore: width must be nonzero");
 }
 
+namespace
+{
+
+/** Context for a watchdog trip at the point the budget broke. */
+ErrContext
+tripContext(Cycle cycle, Addr pc, std::uint64_t instructions)
+{
+    ErrContext ctx;
+    ctx.cycle = cycle;
+    ctx.pc = pc;
+    ctx.instructions = instructions;
+    ctx.hasCycle = ctx.hasPc = ctx.hasInstructions = true;
+    return ctx;
+}
+
+} // namespace
+
 CoreStats
-InOrderCore::run(Executor &exec, std::uint64_t max_instrs)
+InOrderCore::run(Executor &exec, std::uint64_t max_instrs,
+                 const WatchdogParams &wd)
 {
     CoreStats stats;
     bpred.reset();
@@ -63,6 +81,26 @@ InOrderCore::run(Executor &exec, std::uint64_t max_instrs)
             ready = svu_ready;
             stall_is_svu = true;
             stall_is_fetch = false;
+        }
+
+        // Watchdog: a single stall longer than the budget means the
+        // core is livelocked (reported at the last-progress cycle); a
+        // ready cycle past the total budget means the run blew its
+        // cycle allowance.
+        if (wd.maxStallCycles && ready - issue_cycle > wd.maxStallCycles) {
+            throw simErrorf(
+                ErrCode::NoForwardProgress,
+                tripContext(issue_cycle, dyn.pc, stats.instructions),
+                "no instruction retired for %llu cycles (budget %llu)",
+                static_cast<unsigned long long>(ready - issue_cycle),
+                static_cast<unsigned long long>(wd.maxStallCycles));
+        }
+        if (wd.maxCycles && ready > wd.maxCycles) {
+            throw simErrorf(
+                ErrCode::CycleBudgetExceeded,
+                tripContext(ready, dyn.pc, stats.instructions),
+                "cycle budget %llu exceeded",
+                static_cast<unsigned long long>(wd.maxCycles));
         }
 
         if (ready > issue_cycle) {

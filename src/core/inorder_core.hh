@@ -16,6 +16,7 @@
 #include "core/core_stats.hh"
 #include "core/executor.hh"
 #include "core/runahead_iface.hh"
+#include "core/watchdog.hh"
 #include "mem/memory_system.hh"
 
 namespace svr
@@ -48,9 +49,12 @@ class InOrderCore
 
     /**
      * Run the timing simulation until @p max_instrs program
-     * instructions have committed or the program halts.
+     * instructions have committed or the program halts. A nonzero
+     * budget in @p wd raises SimError(CycleBudgetExceeded /
+     * NoForwardProgress) when exceeded.
      */
-    CoreStats run(Executor &exec, std::uint64_t max_instrs);
+    CoreStats run(Executor &exec, std::uint64_t max_instrs,
+                  const WatchdogParams &wd = {});
 
     const BranchPredictor &branchPredictor() const { return bpred; }
 

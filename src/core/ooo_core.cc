@@ -12,6 +12,18 @@ namespace svr
 namespace
 {
 enum class ValueSource : std::uint8_t { Core, L2, Dram };
+
+/** Context for a watchdog trip at the point the budget broke. */
+ErrContext
+tripContext(Cycle cycle, Addr pc, std::uint64_t instructions)
+{
+    ErrContext ctx;
+    ctx.cycle = cycle;
+    ctx.pc = pc;
+    ctx.instructions = instructions;
+    ctx.hasCycle = ctx.hasPc = ctx.hasInstructions = true;
+    return ctx;
+}
 } // namespace
 
 OoOCore::OoOCore(const OoOParams &params, MemorySystem &memory)
@@ -22,7 +34,8 @@ OoOCore::OoOCore(const OoOParams &params, MemorySystem &memory)
 }
 
 CoreStats
-OoOCore::run(Executor &exec, std::uint64_t max_instrs)
+OoOCore::run(Executor &exec, std::uint64_t max_instrs,
+             const WatchdogParams &wd)
 {
     CoreStats stats;
     bpred.reset();
@@ -176,6 +189,18 @@ OoOCore::run(Executor &exec, std::uint64_t max_instrs)
         Cycle commit_at = commit_cycle;
         if (complete + 1 > commit_at) {
             const Cycle delta = complete + 1 - commit_at;
+            // Watchdog: a commit gap past the stall budget means the
+            // window is livelocked; a commit point past the cycle
+            // budget means the run blew its allowance.
+            if (wd.maxStallCycles && delta > wd.maxStallCycles) {
+                throw simErrorf(
+                    ErrCode::NoForwardProgress,
+                    tripContext(commit_at, dyn.pc, stats.instructions),
+                    "no instruction committed for %llu cycles "
+                    "(budget %llu)",
+                    static_cast<unsigned long long>(delta),
+                    static_cast<unsigned long long>(wd.maxStallCycles));
+            }
             switch (src) {
               case ValueSource::Dram:
                 stats.stackDram += delta;
@@ -200,6 +225,14 @@ OoOCore::run(Executor &exec, std::uint64_t max_instrs)
         robCommit[i % p.robSize] = commit_at;
         if (inst.isMem())
             lsqCommit[mem_ops++ % p.lsqSize] = commit_at;
+
+        if (wd.maxCycles && commit_at > wd.maxCycles) {
+            throw simErrorf(
+                ErrCode::CycleBudgetExceeded,
+                tripContext(commit_at, dyn.pc, stats.instructions),
+                "cycle budget %llu exceeded",
+                static_cast<unsigned long long>(wd.maxCycles));
+        }
 
         stats.instructions++;
     }

@@ -13,6 +13,7 @@
 #include "core/branch_predictor.hh"
 #include "core/core_stats.hh"
 #include "core/executor.hh"
+#include "core/watchdog.hh"
 #include "mem/memory_system.hh"
 
 namespace svr
@@ -40,8 +41,13 @@ class OoOCore
   public:
     OoOCore(const OoOParams &params, MemorySystem &memory);
 
-    /** Run until @p max_instrs commit or the program halts. */
-    CoreStats run(Executor &exec, std::uint64_t max_instrs);
+    /**
+     * Run until @p max_instrs commit or the program halts. A nonzero
+     * budget in @p wd raises SimError(CycleBudgetExceeded /
+     * NoForwardProgress) when exceeded.
+     */
+    CoreStats run(Executor &exec, std::uint64_t max_instrs,
+                  const WatchdogParams &wd = {});
 
     const BranchPredictor &branchPredictor() const { return bpred; }
 

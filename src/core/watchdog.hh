@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Forward-progress watchdog budgets for the core timing loops. A run
+ * that exceeds its cycle budget, or stalls longer than the stall
+ * budget without retiring an instruction, raises a structured
+ * SimError (CycleBudgetExceeded / NoForwardProgress) carrying the
+ * cycle, PC, and retired-instruction context — so a livelocked cell
+ * becomes a deterministic failure record instead of a hung sweep.
+ */
+
+#ifndef SVR_CORE_WATCHDOG_HH
+#define SVR_CORE_WATCHDOG_HH
+
+#include <cstdint>
+
+namespace svr
+{
+
+/** Sentinel for "explicitly unlimited" at the SimConfig level. */
+constexpr std::uint64_t watchdogOff = ~std::uint64_t{0};
+
+/**
+ * Per-run watchdog budgets as the cores consume them: 0 disables a
+ * check. (SimConfig uses 0 to mean "auto"; simulate() resolves that
+ * to concrete budgets before constructing a core.)
+ */
+struct WatchdogParams
+{
+    std::uint64_t maxCycles = 0;      //!< total cycle budget (0 = off)
+    std::uint64_t maxStallCycles = 0; //!< max gap without a retire (0 = off)
+};
+
+} // namespace svr
+
+#endif // SVR_CORE_WATCHDOG_HH

@@ -2,10 +2,72 @@
 
 #include <cstdlib>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace svr
 {
+
+namespace
+{
+
+/** One cache level's geometry sanity checks. */
+void
+validateCache(const SimConfig &config, const CacheParams &c)
+{
+    if (c.sizeBytes == 0 || c.assoc == 0 || c.numMshrs == 0) {
+        throw simErrorf(ErrCode::ConfigInvalid,
+                        {.config = config.label},
+                        "config '%s': cache '%s' needs nonzero size/"
+                        "assoc/MSHRs (got %llu/%u/%u)",
+                        config.label.c_str(), c.name.c_str(),
+                        static_cast<unsigned long long>(c.sizeBytes),
+                        c.assoc, c.numMshrs);
+    }
+}
+
+[[noreturn]] void
+invalid(const SimConfig &config, const char *what)
+{
+    throw simErrorf(ErrCode::ConfigInvalid, {.config = config.label},
+                    "config '%s': %s", config.label.c_str(), what);
+}
+
+} // namespace
+
+void
+validateConfig(const SimConfig &config)
+{
+    if (config.maxInstructions == 0)
+        invalid(config, "maxInstructions must be nonzero");
+    if (config.inorder.width == 0)
+        invalid(config, "in-order width must be nonzero");
+    if (config.ooo.width == 0 || config.ooo.robSize == 0 ||
+        config.ooo.rsSize == 0 || config.ooo.lsqSize == 0) {
+        invalid(config, "OoO width/ROB/RS/LSQ must all be nonzero");
+    }
+    validateCache(config, config.mem.l1i);
+    validateCache(config, config.mem.l1d);
+    validateCache(config, config.mem.l2);
+    if (config.mem.dram.bandwidthGiBps <= 0.0 ||
+        config.mem.dram.coreFreqGHz <= 0.0 ||
+        config.mem.dram.latencyNs < 0.0) {
+        invalid(config, "DRAM bandwidth/frequency must be positive");
+    }
+    if (config.mem.translation.numWalkers == 0 ||
+        config.mem.translation.dtlbEntries == 0 ||
+        config.mem.translation.stlbEntries == 0 ||
+        config.mem.translation.stlbAssoc == 0) {
+        invalid(config, "translation walkers/TLB geometry must be "
+                        "nonzero");
+    }
+    if (config.core == CoreType::Svr &&
+        (config.svr.vectorLength == 0 || config.svr.numSrfRegs == 0 ||
+         config.svr.svuWidth == 0 || config.svr.prmTimeout == 0)) {
+        invalid(config, "SVR vector length/SRF regs/SVU width/PRM "
+                        "timeout must be nonzero");
+    }
+}
 
 const char *
 coreTypeName(CoreType t)

@@ -11,6 +11,7 @@
 
 #include "core/inorder_core.hh"
 #include "core/ooo_core.hh"
+#include "core/watchdog.hh"
 #include "energy/energy_model.hh"
 #include "imp/imp_prefetcher.hh"
 #include "mem/memory_system.hh"
@@ -43,7 +44,23 @@ struct SimConfig
     ImpParams imp;
     EnergyParams energy;
     std::uint64_t maxInstructions = 400000;
+
+    /**
+     * Watchdog budgets. At this level 0 means "auto": simulate()
+     * derives a generous cycle budget from maxInstructions and a
+     * fixed stall budget. Use watchdogOff to disable a check
+     * entirely (e.g. single-run debugging of a pathological config).
+     */
+    WatchdogParams watchdog;
 };
+
+/**
+ * Reject degenerate configurations (zero-instruction windows, zero
+ * cache geometry, zero SVR resources, zero DRAM bandwidth, ...) with
+ * SimError(ConfigInvalid) before a run starts. simulate() calls this
+ * on every config; tools may call it early for fail-fast CLI checks.
+ */
+void validateConfig(const SimConfig &config);
 
 namespace presets
 {

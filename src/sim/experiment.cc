@@ -3,7 +3,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <mutex>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
@@ -11,6 +13,61 @@
 
 namespace svr
 {
+
+namespace
+{
+
+/**
+ * Run one cell with fault isolation: legacy panic()/fatal() sites are
+ * captured as SimErrors (WorkloadBuild around the factory,
+ * ConfigInvalid around simulate()), injected faults fire here, and
+ * each SimError is retried up to opts.maxAttempts times. On final
+ * failure either rethrows (fail-fast) or returns a deterministic
+ * failure record (keep-going).
+ */
+SimResult
+runCell(const WorkloadSpec &spec, const SimConfig &config,
+        const MatrixOptions &opts)
+{
+    for (unsigned attempt = 1;; attempt++) {
+        try {
+            WorkloadInstance w;
+            {
+                ScopedErrorCapture scope(ErrCode::WorkloadBuild);
+                w = spec.make();
+            }
+            ScopedErrorCapture scope(ErrCode::ConfigInvalid);
+            if (opts.faultPlan.shouldThrow(spec.name, config.label,
+                                           attempt, opts.baseSeed)) {
+                throw simErrorf(ErrCode::InternalInvariant, {},
+                                "injected fault (attempt %u)", attempt);
+            }
+            SimResult res =
+                opts.faultPlan.shouldHang(spec.name, config.label)
+                    ? simulateInjectedHang(config, w)
+                    : simulate(config, w);
+            res.attempts = attempt;
+            return res;
+        } catch (const SimError &e) {
+            if (attempt < opts.maxAttempts)
+                continue;
+            const SimError err =
+                SimError::withCell(e, spec.name, config.label);
+            if (!opts.keepGoing)
+                throw err;
+            SimResult res;
+            res.workload = spec.name;
+            res.config = config.label;
+            res.failed = true;
+            res.errCode = errCodeName(err.code());
+            res.errMessage = err.what();
+            res.attempts = attempt;
+            return res;
+        }
+    }
+}
+
+} // namespace
 
 std::vector<MatrixRow>
 runMatrix(const std::vector<WorkloadSpec> &workloads,
@@ -36,6 +93,8 @@ runMatrix(const std::vector<WorkloadSpec> &workloads,
     }
 
     ThreadPool pool(opts.jobs);
+    std::mutex done_mutex; // serializes the onCellDone journal hook
+    std::atomic<std::size_t> restored_cells{0};
     const auto t_start = Clock::now();
     pool.parallelFor(num_cells, [&](std::size_t idx) {
         const std::size_t wi = idx / num_configs;
@@ -49,11 +108,29 @@ runMatrix(const std::vector<WorkloadSpec> &workloads,
             Rng::cellSeed(opts.baseSeed, spec.name, config.label);
 
         const auto c_start = Clock::now();
-        const WorkloadInstance w = spec.make();
-        matrix[wi].results[ci] = simulate(config, w);
+        SimResult res;
+        const bool restored =
+            opts.restoreCell &&
+            opts.restoreCell(spec.name, config.label, res);
+        if (!restored) {
+            res = runCell(spec, config, opts);
+            // The cell identity is the spec name, not whatever the
+            // workload instance called itself — journal keys and the
+            // restoreCell() lookup must agree on it.
+            res.workload = spec.name;
+            res.config = config.label;
+        } else {
+            restored_cells.fetch_add(1, std::memory_order_relaxed);
+        }
+        matrix[wi].results[ci] = std::move(res);
         const std::chrono::duration<double, std::milli> c_elapsed =
             Clock::now() - c_start;
         matrix[wi].timings[ci] = {c_elapsed.count(), stream};
+
+        if (!restored && opts.onCellDone) {
+            std::lock_guard<std::mutex> lock(done_mutex);
+            opts.onCellDone(matrix[wi].results[ci]);
+        }
 
         if (cells_left[wi].fetch_sub(1, std::memory_order_acq_rel) == 1 &&
             opts.progress) {
@@ -67,14 +144,25 @@ runMatrix(const std::vector<WorkloadSpec> &workloads,
     t.wallSeconds = elapsed.count();
     t.cells = num_cells;
     t.jobs = pool.concurrency();
-    for (const auto &row : matrix)
-        for (const auto &res : row.results)
+    t.restoredCells = restored_cells.load(std::memory_order_relaxed);
+    for (const auto &row : matrix) {
+        for (const auto &res : row.results) {
             t.instructions += res.core.instructions;
+            if (res.failed)
+                t.failedCells++;
+        }
+    }
     if (opts.summary) {
         inform("matrix: %zu cells in %.2fs (%.2f cells/sec, "
                "%.2f Msimips, %u jobs)",
                t.cells, t.wallSeconds, t.cellsPerSec(), t.msimips(),
                t.jobs);
+        if (t.failedCells > 0)
+            warn("matrix: %zu cell(s) failed (see failure records)",
+                 t.failedCells);
+        if (t.restoredCells > 0)
+            inform("matrix: %zu cell(s) restored from journal",
+                   t.restoredCells);
     }
     if (timing)
         *timing = t;

@@ -17,9 +17,11 @@
 #define SVR_SIM_EXPERIMENT_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "common/fault.hh"
 #include "sim/simulator.hh"
 #include "workloads/workload.hh"
 
@@ -52,6 +54,39 @@ struct MatrixOptions
     bool progress = true;
     /** Emit the aggregate "N cells in S s (R cells/sec)" line. */
     bool summary = true;
+
+    /**
+     * Fault isolation. With keepGoing a cell whose simulation throws
+     * a SimError becomes a deterministic failure record (see
+     * SimResult::failed) and the rest of the matrix still runs;
+     * without it (default) the first failed cell aborts runMatrix()
+     * with that SimError, preserving the historical fail-fast
+     * behaviour. Each cell gets up to maxAttempts tries before its
+     * failure is recorded.
+     */
+    bool keepGoing = false;
+    unsigned maxAttempts = 1;
+
+    /** Injected faults (tests / SVRSIM_FAULT); empty = none. */
+    FaultPlan faultPlan;
+
+    /**
+     * Resume hook: return true and fill @p out to skip simulating a
+     * cell (its result was journaled by an earlier run). Called from
+     * worker threads; must be thread-safe (a read-only map is).
+     */
+    std::function<bool(const std::string &workload,
+                       const std::string &config, SimResult &out)>
+        restoreCell;
+
+    /**
+     * Completion hook for crash-safe journaling: called once per
+     * freshly simulated (not restored) cell, serialized under an
+     * engine-internal mutex. Call order depends on scheduling — only
+     * the set of calls is deterministic, so consumers must not
+     * derive ordered output from it.
+     */
+    std::function<void(const SimResult &result)> onCellDone;
 };
 
 /** Host-side wall-clock summary of one runMatrix() call. */
@@ -62,6 +97,10 @@ struct MatrixTiming
     unsigned jobs = 1;
     /** Simulated instructions summed over every cell. */
     std::uint64_t instructions = 0;
+    /** Cells recorded as failed (keep-going mode). */
+    std::size_t failedCells = 0;
+    /** Cells restored from a journal instead of simulated. */
+    std::size_t restoredCells = 0;
     double cellsPerSec() const
     {
         return wallSeconds > 0.0

@@ -1,0 +1,318 @@
+#include "sim/journal.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+
+namespace svr
+{
+
+namespace
+{
+
+/** %-escape so a value is one whitespace-free token ("-" = empty). */
+std::string
+escapeField(const std::string &s)
+{
+    if (s.empty())
+        return "-";
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '%' || c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+            char buf[4];
+            std::snprintf(buf, sizeof(buf), "%%%02X",
+                          static_cast<unsigned char>(c));
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+unescapeField(const std::string &s)
+{
+    if (s == "-")
+        return "";
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); i++) {
+        if (s[i] == '%' && i + 2 < s.size()) {
+            const char hex[3] = {s[i + 1], s[i + 2], '\0'};
+            out += static_cast<char>(std::strtoul(hex, nullptr, 16));
+            i += 2;
+        } else {
+            out += s[i];
+        }
+    }
+    return out;
+}
+
+/** Exact double round-trip: %.17g out, correctly-rounded strtod in. */
+void
+putDouble(std::ostringstream &os, double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << ' ' << buf;
+}
+
+/** Token-stream reader that remembers whether anything went wrong. */
+struct Reader
+{
+    std::istringstream is;
+    bool ok = true;
+
+    explicit Reader(const std::string &line) : is(line) {}
+
+    std::string
+    str()
+    {
+        std::string tok;
+        if (!(is >> tok))
+            ok = false;
+        return unescapeField(tok);
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t v = 0;
+        if (!(is >> v))
+            ok = false;
+        return v;
+    }
+
+    double
+    f64()
+    {
+        std::string tok;
+        if (!(is >> tok)) {
+            ok = false;
+            return 0.0;
+        }
+        char *end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        if (end == tok.c_str() || *end != '\0')
+            ok = false;
+        return v;
+    }
+};
+
+[[noreturn]] void
+ioError(const char *op, const std::string &path, int err)
+{
+    throw simErrorf(ErrCode::IoError, {}, "journal: %s '%s' failed: %s",
+                    op, path.c_str(), std::strerror(err));
+}
+
+std::string
+headerLine(const SweepKey &key)
+{
+    std::ostringstream os;
+    os << "J1 " << escapeField(key.suite) << ' '
+       << escapeField(key.configs) << ' ' << key.window << ' '
+       << key.seed;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+journalLine(const SimResult &r)
+{
+    std::ostringstream os;
+    os << "R1 " << escapeField(r.workload) << ' '
+       << escapeField(r.config) << ' ' << (r.failed ? 1 : 0) << ' '
+       << r.attempts << ' ' << escapeField(r.errCode);
+    os << ' ' << r.core.instructions << ' ' << r.core.cycles << ' '
+       << r.core.loads << ' ' << r.core.stores << ' ' << r.core.branches
+       << ' ' << r.core.branchMispredicts << ' '
+       << r.core.transientScalars << ' ' << r.core.svrPrefetches << ' '
+       << r.core.svrRounds << ' ' << r.core.stackL2 << ' '
+       << r.core.stackDram << ' ' << r.core.stackBranch << ' '
+       << r.core.stackSvu << ' ' << r.core.stackOther;
+    os << ' ' << r.l1dHits << ' ' << r.l1dMisses << ' ' << r.l2Hits
+       << ' ' << r.l2Misses << ' ' << r.dramTransfers << ' '
+       << r.traffic.demandData << ' ' << r.traffic.demandIfetch << ' '
+       << r.traffic.prefStride << ' ' << r.traffic.prefSvr << ' '
+       << r.traffic.prefImp << ' ' << r.traffic.writebacks << ' '
+       << r.tlbWalks;
+    for (unsigned i = 0; i < numPrefetchOrigins; i++)
+        os << ' ' << r.prefIssued[i];
+    putDouble(os, r.svrAccuracyLlc);
+    putDouble(os, r.impAccuracyLlc);
+    putDouble(os, r.strideAccuracyLlc);
+    putDouble(os, r.energy.coreStatic);
+    putDouble(os, r.energy.coreDynamic);
+    putDouble(os, r.energy.svrDynamic);
+    putDouble(os, r.energy.svrStatic);
+    putDouble(os, r.energy.cacheDynamic);
+    putDouble(os, r.energy.dramStatic);
+    putDouble(os, r.energy.dramDynamic);
+    os << ' ' << escapeField(r.errMessage);
+    return os.str();
+}
+
+bool
+parseJournalLine(const std::string &line, SimResult &out)
+{
+    Reader rd(line);
+    std::string tag;
+    if (!(rd.is >> tag) || tag != "R1")
+        return false;
+
+    SimResult r;
+    r.workload = rd.str();
+    r.config = rd.str();
+    r.failed = rd.u64() != 0;
+    r.attempts = static_cast<unsigned>(rd.u64());
+    r.errCode = rd.str();
+    r.core.instructions = rd.u64();
+    r.core.cycles = rd.u64();
+    r.core.loads = rd.u64();
+    r.core.stores = rd.u64();
+    r.core.branches = rd.u64();
+    r.core.branchMispredicts = rd.u64();
+    r.core.transientScalars = rd.u64();
+    r.core.svrPrefetches = rd.u64();
+    r.core.svrRounds = rd.u64();
+    r.core.stackL2 = rd.u64();
+    r.core.stackDram = rd.u64();
+    r.core.stackBranch = rd.u64();
+    r.core.stackSvu = rd.u64();
+    r.core.stackOther = rd.u64();
+    r.l1dHits = rd.u64();
+    r.l1dMisses = rd.u64();
+    r.l2Hits = rd.u64();
+    r.l2Misses = rd.u64();
+    r.dramTransfers = rd.u64();
+    r.traffic.demandData = rd.u64();
+    r.traffic.demandIfetch = rd.u64();
+    r.traffic.prefStride = rd.u64();
+    r.traffic.prefSvr = rd.u64();
+    r.traffic.prefImp = rd.u64();
+    r.traffic.writebacks = rd.u64();
+    r.tlbWalks = rd.u64();
+    for (unsigned i = 0; i < numPrefetchOrigins; i++)
+        r.prefIssued[i] = rd.u64();
+    r.svrAccuracyLlc = rd.f64();
+    r.impAccuracyLlc = rd.f64();
+    r.strideAccuracyLlc = rd.f64();
+    r.energy.coreStatic = rd.f64();
+    r.energy.coreDynamic = rd.f64();
+    r.energy.svrDynamic = rd.f64();
+    r.energy.svrStatic = rd.f64();
+    r.energy.cacheDynamic = rd.f64();
+    r.energy.dramStatic = rd.f64();
+    r.energy.dramDynamic = rd.f64();
+    r.errMessage = rd.str();
+    if (!rd.ok || r.workload.empty() || r.config.empty())
+        return false;
+    out = std::move(r);
+    return true;
+}
+
+SweepJournal::SweepJournal(const std::string &path, const SweepKey &key)
+    : journalPath(path)
+{
+    // Append mode keeps existing records when resuming; the header is
+    // only written when the file is new or empty.
+    file = std::fopen(path.c_str(), "ab");
+    if (!file)
+        ioError("open", path, errno);
+    // Whether 'a' mode positions at 0 or EOF before the first write is
+    // implementation-defined; seek explicitly before the empty check.
+    std::fseek(file, 0, SEEK_END);
+    const long pos = std::ftell(file);
+    if (pos == 0) {
+        const std::string header = headerLine(key) + "\n";
+        if (std::fwrite(header.data(), 1, header.size(), file) !=
+                header.size() ||
+            std::fflush(file) != 0) {
+            const int err = errno;
+            std::fclose(file);
+            file = nullptr;
+            ioError("write header", path, err);
+        }
+    }
+}
+
+SweepJournal::~SweepJournal()
+{
+    if (file)
+        std::fclose(file);
+}
+
+void
+SweepJournal::append(const SimResult &r)
+{
+    const std::string line = journalLine(r) + "\n";
+    if (std::fwrite(line.data(), 1, line.size(), file) != line.size() ||
+        std::fflush(file) != 0) {
+        ioError("append", journalPath, errno);
+    }
+}
+
+JournalCells
+loadJournal(const std::string &path, const SweepKey &expect)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        ioError("open", path, errno);
+    std::string content;
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        content.append(buf, n);
+    const bool read_error = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_error)
+        ioError("read", path, EIO);
+
+    // A record line is only trusted when newline-terminated: a crash
+    // mid-append leaves a torn final line, which we drop.
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t end = content.find('\n', start);
+        if (end == std::string::npos)
+            break;
+        lines.push_back(content.substr(start, end - start));
+        start = end + 1;
+    }
+    if (start < content.size())
+        warn("journal '%s': dropping torn final line", path.c_str());
+
+    if (lines.empty() || lines[0] != headerLine(expect)) {
+        throw simErrorf(
+            ErrCode::ConfigInvalid, {},
+            "journal '%s' belongs to a different sweep (its header "
+            "does not match suite/configs/window/seed); delete it or "
+            "rerun with the original arguments",
+            path.c_str());
+    }
+
+    JournalCells cells;
+    for (std::size_t i = 1; i < lines.size(); i++) {
+        if (lines[i].empty())
+            continue;
+        SimResult r;
+        if (!parseJournalLine(lines[i], r)) {
+            warn("journal '%s': skipping corrupt record line %zu",
+                 path.c_str(), i + 1);
+            continue;
+        }
+        cells[{r.workload, r.config}] = std::move(r);
+    }
+    return cells;
+}
+
+} // namespace svr

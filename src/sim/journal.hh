@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Crash-safe sweep journal. A sweep appends one record per completed
+ * cell to "<out>.journal" (flushed immediately), so a killed run can
+ * be resumed with --resume: already-journaled cells are restored
+ * instead of re-simulated, and the final artifact is byte-identical
+ * to an uninterrupted run because every SimResult field that reaches
+ * the reports round-trips exactly (integers verbatim, doubles as
+ * %.17g).
+ *
+ * Format (plain text, one record per line):
+ *   line 1:  "J1 <suite> <configs> <window> <seed>"  — sweep identity;
+ *            --resume refuses a journal whose identity differs
+ *   others:  "R1 <fixed-order fields> <errMessage...>" — one completed
+ *            cell; strings are %-escaped, errMessage is the
+ *            rest-of-line
+ * A torn final line (crash mid-append) is ignored on load.
+ */
+
+#ifndef SVR_SIM_JOURNAL_HH
+#define SVR_SIM_JOURNAL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "sim/simulator.hh"
+
+namespace svr
+{
+
+/** Identity of one sweep, for journal/resume compatibility checks. */
+struct SweepKey
+{
+    std::string suite;   //!< workload suite name
+    std::string configs; //!< comma-joined config list as given
+    std::uint64_t window = 0;
+    std::uint64_t seed = 0;
+
+    bool
+    operator==(const SweepKey &o) const
+    {
+        return suite == o.suite && configs == o.configs &&
+               window == o.window && seed == o.seed;
+    }
+};
+
+/** Completed cells keyed by (workload, config). */
+using JournalCells =
+    std::map<std::pair<std::string, std::string>, SimResult>;
+
+/** Serialize one cell as an "R1 ..." line (no trailing newline). */
+std::string journalLine(const SimResult &r);
+
+/**
+ * Parse one "R1 ..." line. Returns false on a torn/corrupt line
+ * (callers skip it) — never throws.
+ */
+bool parseJournalLine(const std::string &line, SimResult &out);
+
+/**
+ * Append-only journal writer: opens @p path (creating it with a "J1"
+ * header when new or empty), then append() writes one record and
+ * flushes so a SIGKILL loses at most the in-flight line. All IO
+ * failures throw SimError(IoError).
+ */
+class SweepJournal
+{
+  public:
+    SweepJournal(const std::string &path, const SweepKey &key);
+    ~SweepJournal();
+
+    SweepJournal(const SweepJournal &) = delete;
+    SweepJournal &operator=(const SweepJournal &) = delete;
+
+    void append(const SimResult &r);
+
+    const std::string &path() const { return journalPath; }
+
+  private:
+    std::string journalPath;
+    std::FILE *file = nullptr;
+};
+
+/**
+ * Load the completed cells of an existing journal at @p path. Throws
+ * SimError(IoError) when the file cannot be read and
+ * SimError(ConfigInvalid) when its header does not match @p expect
+ * (resuming a different sweep would silently mix results). Torn or
+ * corrupt record lines are skipped with a warn().
+ */
+JournalCells loadJournal(const std::string &path, const SweepKey &expect);
+
+} // namespace svr
+
+#endif // SVR_SIM_JOURNAL_HH

@@ -41,6 +41,16 @@ emitResult(std::ostringstream &os, const SimResult &r,
     os << indent << "{\n";
     os << in2 << "\"workload\": \"" << jsonEscape(r.workload) << "\",\n";
     os << in2 << "\"config\": \"" << jsonEscape(r.config) << "\",\n";
+    os << in2 << "\"status\": \"" << (r.failed ? "failed" : "ok")
+       << "\",\n";
+    os << in2 << "\"attempts\": " << r.attempts << ",\n";
+    if (r.failed) {
+        os << in2 << "\"error\": {\n";
+        os << in2 << "  \"code\": \"" << jsonEscape(r.errCode) << "\",\n";
+        os << in2 << "  \"message\": \"" << jsonEscape(r.errMessage)
+           << "\"\n";
+        os << in2 << "},\n";
+    }
     os << in2 << "\"instructions\": " << r.core.instructions << ",\n";
     os << in2 << "\"cycles\": " << r.core.cycles << ",\n";
     os << in2 << "\"ipc\": " << r.ipc() << ",\n";
@@ -131,7 +141,8 @@ csvHeader()
            "stack_other,loads,stores,branches,branch_mispredicts,"
            "l1d_hits,l1d_misses,l2_hits,l2_misses,dram_transfers,"
            "tlb_walks,svr_rounds,svr_scalars,svr_prefetches,"
-           "svr_llc_accuracy,energy_per_instr_nj";
+           "svr_llc_accuracy,energy_per_instr_nj,status,attempts,"
+           "error_code";
 }
 
 std::string
@@ -148,7 +159,9 @@ csvRow(const SimResult &r)
        << r.l1dMisses << ',' << r.l2Hits << ',' << r.l2Misses << ','
        << r.dramTransfers << ',' << r.tlbWalks << ',' << r.core.svrRounds
        << ',' << r.core.transientScalars << ',' << r.core.svrPrefetches
-       << ',' << r.svrAccuracyLlc << ',' << r.energyPerInstr();
+       << ',' << r.svrAccuracyLlc << ',' << r.energyPerInstr() << ','
+       << (r.failed ? "failed" : "ok") << ',' << r.attempts << ','
+       << r.errCode;
     return os.str();
 }
 

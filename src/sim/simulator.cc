@@ -13,12 +13,51 @@
 namespace svr
 {
 
+namespace
+{
+
+/**
+ * Resolve SimConfig-level watchdog budgets (0 = auto, watchdogOff =
+ * disabled) into the concrete core-level params (0 = disabled). The
+ * auto cycle budget is deliberately loose — three orders of magnitude
+ * above any plausible CPI — so it only ever fires on a genuinely
+ * stuck run, never on a slow one.
+ */
+WatchdogParams
+resolveWatchdog(const SimConfig &config)
+{
+    WatchdogParams wd;
+    if (config.watchdog.maxCycles == watchdogOff) {
+        wd.maxCycles = 0;
+    } else if (config.watchdog.maxCycles != 0) {
+        wd.maxCycles = config.watchdog.maxCycles;
+    } else {
+        const std::uint64_t window = config.maxInstructions;
+        // Saturate: an enormous window gets an unlimited budget
+        // rather than a wrapped (tiny) one.
+        wd.maxCycles = window > (~std::uint64_t{0} >> 10) ? 0
+                                                          : window << 10;
+    }
+    if (config.watchdog.maxStallCycles == watchdogOff)
+        wd.maxStallCycles = 0;
+    else if (config.watchdog.maxStallCycles != 0)
+        wd.maxStallCycles = config.watchdog.maxStallCycles;
+    else
+        wd.maxStallCycles = std::uint64_t{1} << 22;
+    return wd;
+}
+
+} // namespace
+
 SimResult
 simulate(const SimConfig &config, const WorkloadInstance &w)
 {
+    validateConfig(config);
     if (!w.program || !w.mem)
         fatal("simulate: workload '%s' has no program/memory",
               w.name.c_str());
+
+    const WatchdogParams wd = resolveWatchdog(config);
 
     SimResult r;
     r.workload = w.name;
@@ -31,27 +70,27 @@ simulate(const SimConfig &config, const WorkloadInstance &w)
     switch (config.core) {
       case CoreType::InOrder: {
         InOrderCore core(config.inorder, mem);
-        r.core = core.run(exec, config.maxInstructions);
+        r.core = core.run(exec, config.maxInstructions, wd);
         break;
       }
       case CoreType::InOrderImp: {
         ImpPrefetcher imp(config.imp, *w.mem);
         mem.setObserver(&imp);
         InOrderCore core(config.inorder, mem);
-        r.core = core.run(exec, config.maxInstructions);
+        r.core = core.run(exec, config.maxInstructions, wd);
         mem.setObserver(nullptr);
         break;
       }
       case CoreType::OutOfOrder: {
         OoOCore core(config.ooo, mem);
-        r.core = core.run(exec, config.maxInstructions);
+        r.core = core.run(exec, config.maxInstructions, wd);
         break;
       }
       case CoreType::Svr: {
         SvrEngine engine(config.svr, mem, exec);
         InOrderCore core(config.inorder, mem);
         core.setRunaheadEngine(&engine);
-        r.core = core.run(exec, config.maxInstructions);
+        r.core = core.run(exec, config.maxInstructions, wd);
         break;
       }
       default:
@@ -92,6 +131,50 @@ simulate(const SimConfig &config, const WorkloadSpec &spec)
 {
     const WorkloadInstance w = spec.make();
     return simulate(config, w);
+}
+
+namespace
+{
+
+/**
+ * A runahead engine that blocks issue forever: every onIssue()
+ * pushes the next issue cycle out by the watchdog's whole stall
+ * budget and then some, so the core can never retire again.
+ */
+class StuckEngine : public RunaheadEngine
+{
+  public:
+    Cycle
+    onIssue(const DynInst &, Cycle issue_cycle) override
+    {
+        return issue_cycle + (Cycle{1} << 40);
+    }
+    void reset() override {}
+    std::uint64_t transientScalars() const override { return 0; }
+    std::uint64_t prefetchesIssued() const override { return 0; }
+    std::uint64_t runaheadRounds() const override { return 0; }
+};
+
+} // namespace
+
+SimResult
+simulateInjectedHang(const SimConfig &config, const WorkloadInstance &w)
+{
+    validateConfig(config);
+    if (!w.program || !w.mem)
+        fatal("simulate: workload '%s' has no program/memory",
+              w.name.c_str());
+
+    const WatchdogParams wd = resolveWatchdog(config);
+
+    MemorySystem mem(config.mem);
+    Executor exec(*w.program, *w.mem);
+    StuckEngine stuck;
+    InOrderCore core(config.inorder, mem);
+    core.setRunaheadEngine(&stuck);
+    core.run(exec, config.maxInstructions, wd);
+    panic("injected hang in '%s'/'%s' completed: watchdog disabled?",
+          w.name.c_str(), config.label.c_str());
 }
 
 } // namespace svr

@@ -46,6 +46,19 @@ struct SimResult
     EnergyBreakdown energy;
 
     /**
+     * Failure record. A cell that threw a SimError under --keep-going
+     * is recorded here instead of aborting the sweep: failed=true,
+     * errCode/errMessage carry the structured error, attempts counts
+     * how many tries the engine made. All three are deterministic
+     * (the message never embeds host data), so failed cells are part
+     * of the bit-identical-output contract like everything else.
+     */
+    bool failed = false;
+    std::string errCode;    //!< errCodeName() of the SimError
+    std::string errMessage; //!< decorated what() text
+    unsigned attempts = 1;  //!< simulation attempts for this cell
+
+    /**
      * Host wall-clock time spent inside the timing loop [ms]. Host-
      * side measurement only: deliberately kept out of toJson()/csv
      * reports, whose byte-identity across job counts is a test
@@ -76,6 +89,17 @@ SimResult simulate(const SimConfig &config, const WorkloadInstance &w);
 
 /** Convenience: build a fresh instance from @p spec and simulate. */
 SimResult simulate(const SimConfig &config, const WorkloadSpec &spec);
+
+/**
+ * Fault-injection hook (hang@ rules): run the cell with a
+ * deliberately livelocked runahead engine attached, so the
+ * forward-progress watchdog must trip. Always throws
+ * SimError(NoForwardProgress) — or CycleBudgetExceeded if the stall
+ * check was disabled — unless the watchdog is fully off, in which
+ * case it panics (an injected hang must never complete).
+ */
+SimResult simulateInjectedHang(const SimConfig &config,
+                               const WorkloadInstance &w);
 
 } // namespace svr
 

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hh"
 #include "isa/program.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
@@ -119,6 +120,94 @@ TEST(ConfigErrorsDeathTest, ConfigNameSvrZeroWidth)
 {
     EXPECT_EXIT(presets::byName("svr0"), ::testing::ExitedWithCode(1),
                 "vector length must be");
+}
+
+// validateConfig() throws structured SimErrors (not exit/abort), so a
+// degenerate config is rejected before any run starts and a sweep can
+// record it as a failed cell instead of dying.
+void
+expectConfigInvalid(const SimConfig &config, const char *substr)
+{
+    try {
+        validateConfig(config);
+        FAIL() << "expected SimError(ConfigInvalid) mentioning '"
+               << substr << "'";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.code(), ErrCode::ConfigInvalid);
+        EXPECT_NE(std::string(e.what()).find(substr), std::string::npos)
+            << "what() = " << e.what();
+    }
+}
+
+TEST(ConfigValidation, AcceptsEveryPreset)
+{
+    EXPECT_NO_THROW(validateConfig(presets::inorder()));
+    EXPECT_NO_THROW(validateConfig(presets::impCore()));
+    EXPECT_NO_THROW(validateConfig(presets::outOfOrder()));
+    EXPECT_NO_THROW(validateConfig(presets::svrCore(16)));
+}
+
+TEST(ConfigValidation, RejectsZeroWindow)
+{
+    SimConfig c = presets::inorder();
+    c.maxInstructions = 0;
+    expectConfigInvalid(c, "maxInstructions");
+}
+
+TEST(ConfigValidation, RejectsZeroCacheGeometry)
+{
+    SimConfig c = presets::inorder();
+    c.mem.l1d.assoc = 0;
+    expectConfigInvalid(c, "l1d");
+    c = presets::inorder();
+    c.mem.l2.sizeBytes = 0;
+    expectConfigInvalid(c, "l2");
+    c = presets::inorder();
+    c.mem.l1i.numMshrs = 0;
+    expectConfigInvalid(c, "l1i");
+}
+
+TEST(ConfigValidation, RejectsZeroOooWindow)
+{
+    SimConfig c = presets::outOfOrder();
+    c.ooo.robSize = 0;
+    expectConfigInvalid(c, "ROB");
+}
+
+TEST(ConfigValidation, RejectsBadDram)
+{
+    SimConfig c = presets::inorder();
+    c.mem.dram.bandwidthGiBps = 0.0;
+    expectConfigInvalid(c, "DRAM");
+}
+
+TEST(ConfigValidation, RejectsZeroWalkers)
+{
+    SimConfig c = presets::inorder();
+    c.mem.translation.numWalkers = 0;
+    expectConfigInvalid(c, "walkers");
+}
+
+TEST(ConfigValidation, RejectsDegenerateSvr)
+{
+    SimConfig c = presets::svrCore(16);
+    c.svr.prmTimeout = 0;
+    expectConfigInvalid(c, "PRM");
+    c = presets::svrCore(16);
+    c.svr.numSrfRegs = 0;
+    expectConfigInvalid(c, "SRF");
+    c = presets::svrCore(16);
+    c.svr.svuWidth = 0;
+    expectConfigInvalid(c, "SVU");
+}
+
+TEST(ConfigValidation, SvrFieldsIgnoredOnNonSvrCores)
+{
+    // A zeroed SVR block must not reject an in-order run that never
+    // constructs the engine.
+    SimConfig c = presets::inorder();
+    c.svr.prmTimeout = 0;
+    EXPECT_NO_THROW(validateConfig(c));
 }
 
 TEST(ConfigErrors, ByNameParsesValidNames)

@@ -115,6 +115,44 @@ TEST(ThreadPool, InlineExceptionAlsoSurfacesAtWait)
     EXPECT_THROW(pool.wait(), std::runtime_error);
 }
 
+TEST(ThreadPool, FirstOfManyErrorsIsRethrownOthersAreCounted)
+{
+    // Several jobs throw; wait() must deliver exactly one exception
+    // (the first captured) and never lose the batch or deadlock.
+    ThreadPool pool(1); // inline: deterministic "first"
+    for (int i = 0; i < 5; i++) {
+        pool.submit(
+            [i] { throw std::runtime_error("boom " + std::to_string(i)); });
+    }
+    try {
+        pool.wait();
+        FAIL() << "expected the first task error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "boom 0");
+    }
+    // Suppressed-error state is consumed with the batch.
+    std::atomic<int> done{0};
+    pool.parallelFor(8, [&](std::size_t) { done++; });
+    EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPool, ThrowingJobsDoNotStarveLaterBatches)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 3; round++) {
+        for (int i = 0; i < 32; i++) {
+            pool.submit([i] {
+                if (i % 7 == 0)
+                    throw std::runtime_error("recurring failure");
+            });
+        }
+        EXPECT_THROW(pool.wait(), std::runtime_error);
+    }
+    std::atomic<int> done{0};
+    pool.parallelFor(32, [&](std::size_t) { done++; });
+    EXPECT_EQ(done.load(), 32);
+}
+
 TEST(ThreadPool, DefaultJobsHonorsEnv)
 {
     ::setenv("SVRSIM_JOBS", "3", 1);

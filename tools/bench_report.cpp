@@ -16,11 +16,14 @@
  */
 
 #include <chrono>
+#include <cstdarg>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
+#include "common/io.hh"
 #include "common/logging.hh"
 #include "core/executor.hh"
 #include "mem/cache.hh"
@@ -170,11 +173,27 @@ mshrAllocDrainNs(unsigned reps, std::uint64_t iters)
     });
 }
 
+/** printf-append onto a string (the JSON is built then written atomically). */
+void
+appendf(std::string &out, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    out += buf;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
-{
+try {
     bool quick = false;
     std::string out_path = "BENCH_simspeed.json";
     for (int i = 1; i < argc; i++) {
@@ -220,35 +239,38 @@ main(int argc, char **argv)
                  "lookup hot/cyclic %.1f/%.1f ns, mshr %.1f ns\n",
                  step_ns, read_ns, write_ns, hot_ns, cyc_ns, mshr_ns);
 
-    std::FILE *f = std::fopen(out_path.c_str(), "w");
-    if (!f)
-        fatal("bench_report: cannot open '%s' for writing",
-              out_path.c_str());
-    std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"svrsim-bench-simspeed-v1\",\n");
-    std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
-    std::fprintf(f, "  \"workload\": \"camel\",\n");
-    std::fprintf(f, "  \"window_instructions\": %llu,\n",
-                 static_cast<unsigned long long>(window));
-    std::fprintf(f, "  \"cores\": [\n");
+    std::string json;
+    appendf(json, "{\n");
+    appendf(json, "  \"schema\": \"svrsim-bench-simspeed-v1\",\n");
+    appendf(json, "  \"quick\": %s,\n", quick ? "true" : "false");
+    appendf(json, "  \"workload\": \"camel\",\n");
+    appendf(json, "  \"window_instructions\": %llu,\n",
+            static_cast<unsigned long long>(window));
+    appendf(json, "  \"cores\": [\n");
     for (std::size_t i = 0; i < cores.size(); i++) {
-        std::fprintf(f,
-                     "    {\"label\": \"%s\", \"timing_millis\": %.3f, "
-                     "\"msimips\": %.3f}%s\n",
-                     cores[i].label.c_str(), cores[i].millis,
-                     cores[i].msimips, i + 1 < cores.size() ? "," : "");
+        appendf(json,
+                "    {\"label\": \"%s\", \"timing_millis\": %.3f, "
+                "\"msimips\": %.3f}%s\n",
+                cores[i].label.c_str(), cores[i].millis,
+                cores[i].msimips, i + 1 < cores.size() ? "," : "");
     }
-    std::fprintf(f, "  ],\n");
-    std::fprintf(f, "  \"primitives_ns\": {\n");
-    std::fprintf(f, "    \"functional_step\": %.3f,\n", step_ns);
-    std::fprintf(f, "    \"functional_read64\": %.3f,\n", read_ns);
-    std::fprintf(f, "    \"functional_write64\": %.3f,\n", write_ns);
-    std::fprintf(f, "    \"cache_lookup_hot\": %.3f,\n", hot_ns);
-    std::fprintf(f, "    \"cache_lookup_cyclic\": %.3f,\n", cyc_ns);
-    std::fprintf(f, "    \"mshr_alloc_drain\": %.3f\n", mshr_ns);
-    std::fprintf(f, "  }\n");
-    std::fprintf(f, "}\n");
-    std::fclose(f);
+    appendf(json, "  ],\n");
+    appendf(json, "  \"primitives_ns\": {\n");
+    appendf(json, "    \"functional_step\": %.3f,\n", step_ns);
+    appendf(json, "    \"functional_read64\": %.3f,\n", read_ns);
+    appendf(json, "    \"functional_write64\": %.3f,\n", write_ns);
+    appendf(json, "    \"cache_lookup_hot\": %.3f,\n", hot_ns);
+    appendf(json, "    \"cache_lookup_cyclic\": %.3f,\n", cyc_ns);
+    appendf(json, "    \"mshr_alloc_drain\": %.3f\n", mshr_ns);
+    appendf(json, "  }\n");
+    appendf(json, "}\n");
+
+    // Atomic + checked: a failed disk never leaves a torn or silently
+    // truncated benchmark artifact behind.
+    writeFileAtomic(out_path, json, FaultPlan::fromEnv());
     std::fprintf(stderr, "bench_report: wrote %s\n", out_path.c_str());
     return 0;
+} catch (const SimError &e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
 }

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# End-to-end crash-safety test for svrsim_sweep:
+#
+#   1. clean run            -> reference artifact, no journal left behind
+#   2. SVRSIM_FAULT=kill@.. -> process SIGKILLs itself mid-sweep, leaving
+#                              a journal and NO final artifact
+#   3. --resume (no fault)  -> restores journaled cells, finishes the
+#                              rest, artifact byte-identical to the
+#                              clean run, journal cleaned up
+#   4. SVRSIM_FAULT=throw@.. --keep-going -> exit 3 with a structured
+#                              failure row in the artifact
+#   5. same fault, fail-fast -> exit 1, no artifact
+#
+# Usage: resume_roundtrip_test.sh <svrsim_sweep-binary> <scratch-dir>
+set -eu
+
+SWEEP=$1
+DIR=$2
+ARGS="--suite quick --configs ino,svr16 --window 10000 --json"
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+echo "== step 1: uninterrupted reference run"
+"$SWEEP" $ARGS --out "$DIR/clean.json" 2> /dev/null
+[ -f "$DIR/clean.json" ] || fail "clean run wrote no artifact"
+[ ! -f "$DIR/clean.json.journal" ] || fail "clean run left its journal"
+
+echo "== step 2: injected SIGKILL mid-sweep"
+rc=0
+SVRSIM_FAULT='kill@CC_TW/SVR16' \
+    "$SWEEP" $ARGS --out "$DIR/crash.json" 2> /dev/null || rc=$?
+[ "$rc" -ne 0 ] || fail "killed run exited 0"
+[ ! -f "$DIR/crash.json" ] || fail "killed run wrote a final artifact"
+[ -f "$DIR/crash.json.journal" ] || fail "killed run left no journal"
+
+echo "== step 3: --resume completes and matches byte for byte"
+"$SWEEP" $ARGS --out "$DIR/crash.json" --resume 2> "$DIR/resume.log"
+grep -q "resume:" "$DIR/resume.log" || fail "resume did not load the journal"
+cmp "$DIR/clean.json" "$DIR/crash.json" ||
+    fail "resumed artifact differs from the uninterrupted run"
+[ ! -f "$DIR/crash.json.journal" ] || fail "resume left its journal behind"
+
+echo "== step 4: keep-going records the failure and exits 3"
+rc=0
+SVRSIM_FAULT='throw@CC_TW/SVR16' \
+    "$SWEEP" $ARGS --out "$DIR/kg.json" --keep-going 2> /dev/null || rc=$?
+[ "$rc" -eq 3 ] || fail "keep-going run exited $rc, expected 3"
+grep -q '"status": "failed"' "$DIR/kg.json" ||
+    fail "keep-going artifact has no failure record"
+grep -q 'InternalInvariant' "$DIR/kg.json" ||
+    fail "failure record lost its error code"
+
+echo "== step 5: fail-fast aborts with exit 1 and no artifact"
+rc=0
+SVRSIM_FAULT='throw@CC_TW/SVR16' \
+    "$SWEEP" $ARGS --out "$DIR/ff.json" 2> /dev/null || rc=$?
+[ "$rc" -eq 1 ] || fail "fail-fast run exited $rc, expected 1"
+[ ! -f "$DIR/ff.json" ] || fail "fail-fast run wrote an artifact"
+
+rm -rf "$DIR"
+echo "PASS: resume round trip is byte-identical"

@@ -21,6 +21,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
@@ -80,7 +81,7 @@ parseLoopBound(const std::string &s)
 
 int
 main(int argc, char **argv)
-{
+try {
     std::string workload = "PR_KR";
     std::string core = "svr";
     bool json = false;
@@ -268,4 +269,7 @@ main(int argc, char **argv)
     std::printf("  core power    %.3f W\n",
                 r.energy.corePowerW(r.core.cycles, 2.0));
     return 0;
+} catch (const SimError &e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
 }

@@ -6,27 +6,50 @@
  * Usage:
  *   svrsim_sweep [--suite graph|hpcdb|full|spec|quick]
  *                [--configs LIST] [--window INSTRS] [--jobs N] [--json]
+ *                [--out PATH] [--resume] [--keep-going] [--retries N]
  *
  * LIST is comma-separated from: ino, imp, ooo, svrN (e.g. svr16).
  * Default: --suite quick --configs ino,imp,ooo,svr16,svr64
  *
  * Cells are sharded across a work-stealing thread pool (--jobs, or
  * the SVRSIM_JOBS environment variable, default: all hardware
- * threads). Output on stdout is byte-identical for any job count;
- * progress and the cells/sec summary go to stderr.
+ * threads). Output is byte-identical for any job count; progress and
+ * the cells/sec summary go to stderr.
+ *
+ * Fault tolerance:
+ *   --out PATH      write the artifact atomically (tmp+rename) to PATH
+ *                   instead of stdout, journaling each completed cell
+ *                   to PATH.journal as it finishes
+ *   --resume        restore cells already in PATH.journal (after a
+ *                   crash/SIGKILL) instead of re-simulating them; the
+ *                   final artifact is byte-identical to an
+ *                   uninterrupted run
+ *   --keep-going    record a failing cell as a structured failure row
+ *                   (status=failed) and keep sweeping; exit code 3
+ *                   when any cell failed. Default is fail-fast.
+ *   --retries N     attempts per cell before a failure counts (def. 1)
+ *
+ * The SVRSIM_FAULT environment variable injects deterministic faults
+ * for testing (see src/common/fault.hh for the grammar).
  *
  * Examples:
  *   svrsim_sweep --suite full --configs ino,svr16 > results.csv
- *   SVRSIM_JOBS=8 svrsim_sweep --suite quick --json > results.json
+ *   svrsim_sweep --suite quick --json --out results.json --resume
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
+#include "common/fault.hh"
+#include "common/io.hh"
 #include "common/logging.hh"
 #include "sim/experiment.hh"
+#include "sim/journal.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
 #include "workloads/suites.hh"
@@ -53,16 +76,28 @@ split(const std::string &s, char sep)
     return out;
 }
 
-} // namespace
+bool
+fileExists(const std::string &path)
+{
+    if (std::FILE *f = std::fopen(path.c_str(), "rb")) {
+        std::fclose(f);
+        return true;
+    }
+    return false;
+}
 
 int
-main(int argc, char **argv)
+runSweep(int argc, char **argv)
 {
     std::string suite = "quick";
     std::string configs_arg = "ino,imp,ooo,svr16,svr64";
     std::uint64_t window = presets::simWindow();
     unsigned jobs = 0; // 0 = SVRSIM_JOBS / hardware default
     bool json = false;
+    std::string out_path;
+    bool resume = false;
+    bool keep_going = false;
+    unsigned retries = 1;
 
     for (int i = 1; i < argc; i++) {
         const std::string arg = argv[i];
@@ -81,11 +116,24 @@ main(int argc, char **argv)
             jobs = static_cast<unsigned>(std::stoul(next()));
         } else if (arg == "--json") {
             json = true;
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--resume") {
+            resume = true;
+        } else if (arg == "--keep-going") {
+            keep_going = true;
+        } else if (arg == "--retries") {
+            retries = static_cast<unsigned>(std::stoul(next()));
+            if (retries == 0)
+                fatal("--retries must be >= 1");
         } else {
             fatal("unknown argument '%s' (see header comment)",
                   arg.c_str());
         }
     }
+    if (resume && out_path.empty())
+        fatal("--resume requires --out PATH (the journal lives at "
+              "PATH.journal)");
 
     std::vector<WorkloadSpec> workloads;
     if (suite == "graph")
@@ -110,17 +158,84 @@ main(int argc, char **argv)
         configs.push_back(c);
     }
 
+    const FaultPlan faults = FaultPlan::fromEnv();
+
     MatrixOptions opts;
     opts.jobs = jobs;
-    const auto matrix = runMatrix(workloads, configs, opts);
+    opts.keepGoing = keep_going;
+    opts.maxAttempts = retries;
+    opts.faultPlan = faults;
+
+    const SweepKey key{suite, configs_arg, window, opts.baseSeed};
+    const std::string journal_path = out_path + ".journal";
+    std::unique_ptr<SweepJournal> journal;
+    JournalCells completed;
+
+    if (!out_path.empty()) {
+        if (resume && fileExists(journal_path)) {
+            completed = loadJournal(journal_path, key);
+            inform("resume: %zu cell(s) already journaled in '%s'",
+                   completed.size(), journal_path.c_str());
+            opts.restoreCell = [&completed](const std::string &w,
+                                            const std::string &c,
+                                            SimResult &out) {
+                const auto it = completed.find({w, c});
+                if (it == completed.end())
+                    return false;
+                out = it->second;
+                return true;
+            };
+        } else if (resume) {
+            inform("resume: no journal at '%s'; starting fresh",
+                   journal_path.c_str());
+        }
+        journal = std::make_unique<SweepJournal>(journal_path, key);
+        opts.onCellDone = [&journal, &faults](const SimResult &r) {
+            journal->append(r);
+            if (faults.shouldKill(r.workload, r.config)) {
+                // Crash-safety test hook: die without any cleanup,
+                // exactly like an external SIGKILL, right after this
+                // cell hit the journal.
+                warn("injected kill after cell %s/%s",
+                     r.workload.c_str(), r.config.c_str());
+                std::raise(SIGKILL);
+            }
+        };
+    }
+
+    MatrixTiming timing;
+    const auto matrix = runMatrix(workloads, configs, opts, &timing);
     const std::vector<SimResult> results = flattenMatrix(matrix);
 
+    std::string content;
     if (json) {
-        std::fputs(toJson(results).c_str(), stdout);
+        content = toJson(results);
     } else {
-        std::printf("%s\n", csvHeader().c_str());
+        content = csvHeader() + "\n";
         for (const auto &r : results)
-            std::printf("%s\n", csvRow(r).c_str());
+            content += csvRow(r) + "\n";
     }
-    return 0;
+
+    if (!out_path.empty()) {
+        writeFileAtomic(out_path, content, faults);
+        journal.reset();
+        // The artifact is durable; the journal is now redundant.
+        std::remove(journal_path.c_str());
+    } else {
+        std::fputs(content.c_str(), stdout);
+    }
+    return timing.failedCells > 0 ? 3 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return runSweep(argc, argv);
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
 }
