@@ -1,0 +1,229 @@
+#include "analysis/cfg.hh"
+
+#include <algorithm>
+
+namespace svr
+{
+
+std::size_t
+branchTargetIndex(const Instruction &inst, std::size_t size)
+{
+    if (inst.imm < 0)
+        return static_cast<std::size_t>(-1);
+    const auto t = static_cast<std::uint64_t>(inst.imm);
+    if (t >= size)
+        return static_cast<std::size_t>(-1);
+    return static_cast<std::size_t>(t);
+}
+
+Cfg::Cfg(const Program &prog)
+{
+    if (prog.size() == 0)
+        return; // no blocks; the builder rejects empty programs anyway
+    partition(prog);
+    connect(prog);
+    computeReachability();
+    computeDominators();
+    computeExitReachability();
+}
+
+void
+Cfg::partition(const Program &prog)
+{
+    const std::size_t n = prog.size();
+    // Leaders: instruction 0, every valid branch target, and every
+    // instruction following a control-flow instruction.
+    std::vector<bool> leader(n, false);
+    leader[0] = true;
+    for (std::size_t i = 0; i < n; i++) {
+        const Instruction &inst = prog.at(i);
+        if (inst.op == Opcode::Halt)
+            haltSeen = true;
+        if (!inst.isControl())
+            continue;
+        if (inst.isCondBranch() || inst.op == Opcode::Jmp) {
+            const std::size_t t = branchTargetIndex(inst, n);
+            if (t != static_cast<std::size_t>(-1))
+                leader[t] = true;
+        }
+        if (i + 1 < n)
+            leader[i + 1] = true;
+    }
+
+    instrBlock.assign(n, invalidBlock);
+    for (std::size_t i = 0; i < n; i++) {
+        if (leader[i]) {
+            BasicBlock bb;
+            bb.first = i;
+            blockList.push_back(bb);
+        }
+        instrBlock[i] = static_cast<BlockId>(blockList.size() - 1);
+        blockList.back().last = i;
+    }
+}
+
+void
+Cfg::connect(const Program &prog)
+{
+    const std::size_t n = prog.size();
+    auto addEdge = [this](BlockId from, BlockId to) {
+        blockList[from].succs.push_back(to);
+        blockList[to].preds.push_back(from);
+    };
+    for (BlockId b = 0; b < blockList.size(); b++) {
+        BasicBlock &bb = blockList[b];
+        const Instruction &inst = prog.at(bb.last);
+        if (inst.op == Opcode::Halt) {
+            bb.isHaltBlock = true;
+            continue;
+        }
+        const bool uncond_jmp = inst.op == Opcode::Jmp;
+        if (uncond_jmp || inst.isCondBranch()) {
+            const std::size_t t = branchTargetIndex(inst, n);
+            if (t != static_cast<std::size_t>(-1))
+                addEdge(b, instrBlock[t]);
+            // An out-of-range target contributes no edge; the
+            // verifier reports BadBranchTarget at the instruction.
+        }
+        if (!uncond_jmp) {
+            if (bb.last + 1 < n)
+                addEdge(b, instrBlock[bb.last + 1]);
+            else
+                bb.fallsOffEnd = true;
+        }
+    }
+}
+
+void
+Cfg::computeReachability()
+{
+    std::vector<BlockId> stack = {0};
+    blockList[0].reachable = true;
+    while (!stack.empty()) {
+        const BlockId b = stack.back();
+        stack.pop_back();
+        for (BlockId s : blockList[b].succs) {
+            if (!blockList[s].reachable) {
+                blockList[s].reachable = true;
+                stack.push_back(s);
+            }
+        }
+    }
+    numReachable = static_cast<std::size_t>(
+        std::count_if(blockList.begin(), blockList.end(),
+                      [](const BasicBlock &bb) { return bb.reachable; }));
+}
+
+void
+Cfg::computeDominators()
+{
+    // Cooper-Harvey-Kennedy iterative idom computation over the
+    // reverse postorder of the reachable subgraph.
+    const std::size_t nb = blockList.size();
+    std::vector<BlockId> postorder;
+    postorder.reserve(nb);
+    std::vector<std::uint8_t> state(nb, 0); // 0=unseen 1=open 2=done
+    std::vector<std::pair<BlockId, std::size_t>> stack;
+    stack.emplace_back(0, 0);
+    state[0] = 1;
+    while (!stack.empty()) {
+        auto &[b, next] = stack.back();
+        if (next < blockList[b].succs.size()) {
+            const BlockId s = blockList[b].succs[next++];
+            if (state[s] == 0) {
+                state[s] = 1;
+                stack.emplace_back(s, 0);
+            }
+        } else {
+            state[b] = 2;
+            postorder.push_back(b);
+            stack.pop_back();
+        }
+    }
+    std::vector<std::size_t> poIndex(nb, 0);
+    for (std::size_t i = 0; i < postorder.size(); i++)
+        poIndex[postorder[i]] = i;
+
+    for (BlockId b = 0; b < nb; b++)
+        blockList[b].idom = b; // entry + unreachable: self
+
+    std::vector<BlockId> idom(nb, invalidBlock);
+    idom[0] = 0;
+    auto intersect = [&](BlockId a, BlockId b) {
+        while (a != b) {
+            while (poIndex[a] < poIndex[b])
+                a = idom[a];
+            while (poIndex[b] < poIndex[a])
+                b = idom[b];
+        }
+        return a;
+    };
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Reverse postorder, skipping the entry block.
+        for (auto it = postorder.rbegin(); it != postorder.rend(); ++it) {
+            const BlockId b = *it;
+            if (b == 0)
+                continue;
+            BlockId new_idom = invalidBlock;
+            for (BlockId p : blockList[b].preds) {
+                if (!blockList[p].reachable || idom[p] == invalidBlock)
+                    continue;
+                new_idom = new_idom == invalidBlock
+                               ? p
+                               : intersect(p, new_idom);
+            }
+            if (new_idom != invalidBlock && idom[b] != new_idom) {
+                idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    for (BlockId b = 0; b < nb; b++) {
+        if (idom[b] != invalidBlock)
+            blockList[b].idom = idom[b];
+    }
+}
+
+void
+Cfg::computeExitReachability()
+{
+    // Reverse BFS from every exit block (Halt or end-of-program).
+    std::vector<BlockId> stack;
+    for (BlockId b = 0; b < blockList.size(); b++) {
+        BasicBlock &bb = blockList[b];
+        if (bb.isHaltBlock || bb.fallsOffEnd) {
+            bb.canReachExit = true;
+            stack.push_back(b);
+        }
+    }
+    while (!stack.empty()) {
+        const BlockId b = stack.back();
+        stack.pop_back();
+        for (BlockId p : blockList[b].preds) {
+            if (!blockList[p].canReachExit) {
+                blockList[p].canReachExit = true;
+                stack.push_back(p);
+            }
+        }
+    }
+}
+
+bool
+Cfg::dominates(BlockId a, BlockId b) const
+{
+    // Walk b's dominator chain up to the entry block.
+    while (true) {
+        if (a == b)
+            return true;
+        if (b == 0)
+            return false;
+        const BlockId up = blockList[b].idom;
+        if (up == b)
+            return false; // unreachable block: self-idom
+        b = up;
+    }
+}
+
+} // namespace svr

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Control-flow graph over a static Program: basic-block partitioning,
+ * reachability, immediate dominators, and exit-reachability. The IR
+ * verifier (analysis/verifier.hh) and dataflow passes
+ * (analysis/dataflow.hh) are built on top of this.
+ *
+ * The CFG is defensive by design: it must be constructible for
+ * *malformed* programs (out-of-range branch targets, missing Halt),
+ * since the verifier's whole job is to diagnose those. Invalid edges
+ * are simply dropped here and reported at the instruction level by
+ * the verifier.
+ */
+
+#ifndef SVR_ANALYSIS_CFG_HH
+#define SVR_ANALYSIS_CFG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace svr
+{
+
+/** Block id type; blocks are numbered in program order from 0. */
+using BlockId = std::uint32_t;
+
+/** Sentinel for "no block". */
+inline constexpr BlockId invalidBlock = ~BlockId{0};
+
+/**
+ * A maximal straight-line run of instructions [first, last]. The last
+ * instruction is the only one that may transfer control.
+ */
+struct BasicBlock
+{
+    std::size_t first = 0; //!< index of the first instruction
+    std::size_t last = 0;  //!< index of the last instruction (inclusive)
+
+    std::vector<BlockId> succs;
+    std::vector<BlockId> preds;
+
+    /**
+     * Control can run past the last instruction of the program out of
+     * this block (implicit halt in the Executor; almost always a
+     * missing Halt/Jmp in the program).
+     */
+    bool fallsOffEnd = false;
+
+    /** Block ends the program explicitly (Halt). */
+    bool isHaltBlock = false;
+
+    /** Reachable from the entry block. */
+    bool reachable = false;
+
+    /** Some exit (Halt or end-of-program) is reachable from here. */
+    bool canReachExit = false;
+
+    /**
+     * Immediate dominator (block id). The entry block and unreachable
+     * blocks are their own idom.
+     */
+    BlockId idom = 0;
+};
+
+/**
+ * The control-flow graph of a Program. Construction never fails;
+ * structural defects surface as missing edges / unreachable blocks.
+ */
+class Cfg
+{
+  public:
+    explicit Cfg(const Program &prog);
+
+    const std::vector<BasicBlock> &blocks() const { return blockList; }
+
+    /** Block containing instruction @p idx. */
+    BlockId blockOf(std::size_t idx) const { return instrBlock[idx]; }
+
+    /** True when block @p a dominates block @p b (reflexive). */
+    bool dominates(BlockId a, BlockId b) const;
+
+    /** True when the program contains at least one Halt instruction. */
+    bool hasHalt() const { return haltSeen; }
+
+    /** Number of reachable blocks. */
+    std::size_t reachableBlocks() const { return numReachable; }
+
+  private:
+    void partition(const Program &prog);
+    void connect(const Program &prog);
+    void computeReachability();
+    void computeDominators();
+    void computeExitReachability();
+
+    std::vector<BasicBlock> blockList;
+    std::vector<BlockId> instrBlock; //!< instruction index -> block id
+    bool haltSeen = false;
+    std::size_t numReachable = 0;
+};
+
+/**
+ * Branch/Jmp target as a static index, or SIZE_MAX when the imm is
+ * out of range for @p size (defensive: malformed programs).
+ */
+std::size_t branchTargetIndex(const Instruction &inst, std::size_t size);
+
+} // namespace svr
+
+#endif // SVR_ANALYSIS_CFG_HH

@@ -1,0 +1,129 @@
+#include "analysis/dataflow.hh"
+
+namespace svr
+{
+
+RegMask
+defMask(const Instruction &inst)
+{
+    const RegId d = inst.dest();
+    if (d == 0)
+        return 0; // x0 writes are void (and flagged X0Write separately)
+    return regBit(d);
+}
+
+RegMask
+useMask(const Instruction &inst)
+{
+    RegMask m = 0;
+    for (RegId s : inst.sources()) {
+        if (s != 0) // x0 reads as zero; never "uninitialized"
+            m |= regBit(s);
+    }
+    return m;
+}
+
+Dataflow::Dataflow(const Program &prog, const Cfg &cfg)
+{
+    runUninit(prog, cfg);
+    runLiveness(prog, cfg);
+}
+
+void
+Dataflow::runUninit(const Program &prog, const Cfg &cfg)
+{
+    const auto &blocks = cfg.blocks();
+    // At entry everything but x0 is unwritten, flags included. (The
+    // Executor does zero-fill the register file, so such reads are
+    // deterministic — but a kernel relying on an implicit zero is
+    // almost always a dropped init, which is why the verifier flags
+    // them.)
+    const RegMask entry_state =
+        ((RegMask{1} << numTrackedRegs) - 1) & ~regBit(0);
+
+    // Block-level transfer is a pure mask-clear, so out = in & ~defs.
+    std::vector<RegMask> block_defs(blocks.size(), 0);
+    for (BlockId b = 0; b < blocks.size(); b++) {
+        for (std::size_t i = blocks[b].first; i <= blocks[b].last; i++)
+            block_defs[b] |= defMask(prog.at(i));
+    }
+
+    std::vector<RegMask> in(blocks.size(), 0);
+    std::vector<RegMask> out(blocks.size(), 0);
+    in[0] = entry_state;
+    out[0] = entry_state & ~block_defs[0];
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId b = 0; b < blocks.size(); b++) {
+            if (!blocks[b].reachable)
+                continue;
+            RegMask m = b == 0 ? entry_state : 0;
+            for (BlockId p : blocks[b].preds)
+                m |= out[p]; // may-uninit: union at joins
+            const RegMask o = m & ~block_defs[b];
+            if (m != in[b] || o != out[b]) {
+                in[b] = m;
+                out[b] = o;
+                changed = true;
+            }
+        }
+    }
+
+    uninit.assign(prog.size(), entry_state);
+    for (BlockId b = 0; b < blocks.size(); b++) {
+        if (!blocks[b].reachable)
+            continue;
+        RegMask m = in[b];
+        for (std::size_t i = blocks[b].first; i <= blocks[b].last; i++) {
+            uninit[i] = m;
+            m &= ~defMask(prog.at(i));
+        }
+    }
+}
+
+void
+Dataflow::runLiveness(const Program &prog, const Cfg &cfg)
+{
+    const auto &blocks = cfg.blocks();
+    std::vector<RegMask> block_live_in(blocks.size(), 0);
+    std::vector<RegMask> block_live_out(blocks.size(), 0);
+
+    auto transferIn = [&](BlockId b, RegMask out_mask) {
+        RegMask m = out_mask;
+        for (std::size_t i = blocks[b].last + 1; i-- > blocks[b].first;) {
+            const Instruction &inst = prog.at(i);
+            m = (m & ~defMask(inst)) | useMask(inst);
+        }
+        return m;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId b = blocks.size(); b-- > 0;) {
+            RegMask out_mask = 0;
+            for (BlockId s : blocks[b].succs)
+                out_mask |= block_live_in[s];
+            const RegMask in_mask = transferIn(b, out_mask);
+            if (out_mask != block_live_out[b] ||
+                in_mask != block_live_in[b]) {
+                block_live_out[b] = out_mask;
+                block_live_in[b] = in_mask;
+                changed = true;
+            }
+        }
+    }
+
+    live.assign(prog.size(), 0);
+    for (BlockId b = 0; b < blocks.size(); b++) {
+        RegMask m = block_live_out[b];
+        for (std::size_t i = blocks[b].last + 1; i-- > blocks[b].first;) {
+            live[i] = m;
+            const Instruction &inst = prog.at(i);
+            m = (m & ~defMask(inst)) | useMask(inst);
+        }
+    }
+}
+
+} // namespace svr

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Register dataflow over a Program's CFG.
+ *
+ * Two classic passes, both over a one-word bitmask of the 33 tracked
+ * registers (x0..x31 plus the flags pseudo-register):
+ *
+ *  - a forward *may-be-uninitialized* pass (the reaching-definitions
+ *    dual: a register's "uninitialized" pseudo-definition reaches an
+ *    instruction iff some path from entry avoids every write to it),
+ *    which powers the UninitRead / UninitFlags diagnostics; and
+ *  - a backward *liveness* pass, which powers DeadWrite / DeadCompare.
+ *
+ * Programs are tiny (tens to a few hundred instructions), so both
+ * passes precompute per-instruction results eagerly.
+ */
+
+#ifndef SVR_ANALYSIS_DATAFLOW_HH
+#define SVR_ANALYSIS_DATAFLOW_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "isa/program.hh"
+
+namespace svr
+{
+
+/** Bitmask over the tracked registers; bit r = register r. */
+using RegMask = std::uint64_t;
+
+static_assert(numTrackedRegs <= 64, "RegMask is a single 64-bit word");
+
+/** Mask with a single register bit set (0 for untracked/invalid ids). */
+inline RegMask
+regBit(RegId r)
+{
+    return r < numTrackedRegs ? RegMask{1} << r : RegMask{0};
+}
+
+/** Registers (incl. flags) written by @p inst. x0 writes define nothing. */
+RegMask defMask(const Instruction &inst);
+
+/** Registers (incl. flags) read by @p inst. x0 reads need no def. */
+RegMask useMask(const Instruction &inst);
+
+/**
+ * Per-instruction dataflow results for one Program. Only reachable
+ * blocks carry meaningful state; queries on unreachable instructions
+ * return the conservative entry-state values.
+ */
+class Dataflow
+{
+  public:
+    Dataflow(const Program &prog, const Cfg &cfg);
+
+    /**
+     * Registers that may still be uninitialized (never written on some
+     * path from entry) just *before* instruction @p idx executes. x0 is
+     * never in this set; the flags register starts in it.
+     */
+    RegMask uninitIn(std::size_t idx) const { return uninit[idx]; }
+
+    /** Registers live just *after* instruction @p idx. */
+    RegMask liveOut(std::size_t idx) const { return live[idx]; }
+
+  private:
+    void runUninit(const Program &prog, const Cfg &cfg);
+    void runLiveness(const Program &prog, const Cfg &cfg);
+
+    std::vector<RegMask> uninit;
+    std::vector<RegMask> live;
+};
+
+} // namespace svr
+
+#endif // SVR_ANALYSIS_DATAFLOW_HH

@@ -1,0 +1,314 @@
+#include "analysis/verifier.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/cfg.hh"
+#include "analysis/dataflow.hh"
+#include "isa/disassembler.hh"
+
+namespace svr
+{
+
+const char *
+lintCodeName(LintCode code)
+{
+    switch (code) {
+      case LintCode::BadOpcode: return "bad-opcode";
+      case LintCode::BadRegField: return "bad-reg-field";
+      case LintCode::X0Write: return "x0-write";
+      case LintCode::BadBranchTarget: return "bad-branch-target";
+      case LintCode::FallOffEnd: return "fall-off-end";
+      case LintCode::UninitRead: return "uninit-read";
+      case LintCode::UninitFlags: return "uninit-flags";
+      case LintCode::NoExitLoop: return "no-exit-loop";
+      case LintCode::Unreachable: return "unreachable";
+      case LintCode::DeadWrite: return "dead-write";
+      case LintCode::DeadCompare: return "dead-compare";
+      case LintCode::RedundantBranch: return "redundant-branch";
+    }
+    return "<bad-lint-code>";
+}
+
+bool
+lintCodeIsError(LintCode code)
+{
+    switch (code) {
+      case LintCode::Unreachable:
+      case LintCode::DeadWrite:
+      case LintCode::DeadCompare:
+      case LintCode::RedundantBranch:
+        return false;
+      default:
+        return true;
+    }
+}
+
+std::size_t
+LintReport::errorCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(diags.begin(), diags.end(), [](const LintDiag &d) {
+            return lintCodeIsError(d.code);
+        }));
+}
+
+std::size_t
+LintReport::warningCount() const
+{
+    return diags.size() - errorCount();
+}
+
+bool
+LintReport::has(LintCode code) const
+{
+    return std::any_of(diags.begin(), diags.end(),
+                       [code](const LintDiag &d) { return d.code == code; });
+}
+
+std::string
+LintReport::format() const
+{
+    std::ostringstream os;
+    for (const LintDiag &d : diags) {
+        os << program << ":" << d.index << ": " << d.severity() << "["
+           << lintCodeName(d.code) << "]: " << d.message << "\n";
+    }
+    return os.str();
+}
+
+namespace
+{
+
+/** Operand fields an opcode class requires (others must be unused). */
+struct FieldReq
+{
+    bool rd = false;
+    bool rs1 = false;
+    bool rs2 = false;
+};
+
+FieldReq
+requiredFields(const Instruction &inst)
+{
+    FieldReq req;
+    switch (inst.op) {
+      case Opcode::Nop:
+      case Opcode::Halt:
+      case Opcode::Jmp:
+      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+      case Opcode::Bge: case Opcode::Bltu: case Opcode::Bgeu:
+        break;
+      case Opcode::Li:
+        req.rd = true;
+        break;
+      case Opcode::Cmpi:
+        req.rs1 = true;
+        break;
+      case Opcode::Cmp:
+      case Opcode::Fcmp:
+        req.rs1 = req.rs2 = true;
+        break;
+      case Opcode::Ld: case Opcode::Lw: case Opcode::Lh: case Opcode::Lb:
+        req.rd = req.rs1 = true;
+        break;
+      case Opcode::Sd: case Opcode::Sw: case Opcode::Sh: case Opcode::Sb:
+        req.rs1 = req.rs2 = true; // base + data; no destination
+        break;
+      case Opcode::Addi: case Opcode::Andi: case Opcode::Ori:
+      case Opcode::Xori: case Opcode::Slli: case Opcode::Srli:
+      case Opcode::Srai:
+      case Opcode::Cvtif: case Opcode::Cvtfi:
+        req.rd = req.rs1 = true;
+        break;
+      default: // reg-reg ALU and FP
+        req.rd = req.rs1 = req.rs2 = true;
+        break;
+    }
+    return req;
+}
+
+std::string
+regName(RegId r)
+{
+    if (r == flagsReg)
+        return "flags";
+    return "x" + std::to_string(static_cast<unsigned>(r));
+}
+
+class Verifier
+{
+  public:
+    explicit Verifier(const Program &prog)
+        : prog(prog), cfg(prog), flow(prog, cfg)
+    {
+    }
+
+    LintReport run();
+
+  private:
+    void diag(LintCode code, std::size_t idx, std::string what);
+    void checkEncoding(std::size_t idx);
+    void checkShape();
+    void checkFlow(std::size_t idx);
+
+    const Program &prog;
+    Cfg cfg;
+    Dataflow flow;
+    LintReport report;
+};
+
+void
+Verifier::diag(LintCode code, std::size_t idx, std::string what)
+{
+    std::ostringstream os;
+    os << what << " | " << disassemble(prog.at(idx));
+    report.diags.push_back({code, idx, os.str()});
+}
+
+void
+Verifier::checkEncoding(std::size_t idx)
+{
+    const Instruction &inst = prog.at(idx);
+    if (inst.op >= Opcode::NumOpcodes) {
+        diag(LintCode::BadOpcode, idx,
+             "opcode value " +
+                 std::to_string(static_cast<unsigned>(inst.op)) +
+                 " is outside the ISA");
+        return; // field roles are meaningless without a valid opcode
+    }
+    const FieldReq req = requiredFields(inst);
+    auto checkField = [&](bool required, RegId r, const char *role) {
+        if (!required)
+            return;
+        if (r >= numArchRegs) {
+            diag(LintCode::BadRegField, idx,
+                 std::string(role) + " register " +
+                     std::to_string(static_cast<unsigned>(r)) +
+                     " is outside x0..x31");
+        }
+    };
+    checkField(req.rd, inst.rd, "destination");
+    checkField(req.rs1, inst.rs1, "source");
+    checkField(req.rs2, inst.rs2, "source");
+    if (req.rd && inst.rd == 0) {
+        diag(LintCode::X0Write, idx,
+             "write to x0, which always reads as zero");
+    }
+    if (inst.isCondBranch() || inst.op == Opcode::Jmp) {
+        if (branchTargetIndex(inst, prog.size()) ==
+            static_cast<std::size_t>(-1)) {
+            diag(LintCode::BadBranchTarget, idx,
+                 "target index " + std::to_string(inst.imm) +
+                     " is outside the program (size " +
+                     std::to_string(prog.size()) + ")");
+        }
+    }
+}
+
+void
+Verifier::checkShape()
+{
+    const auto &blocks = cfg.blocks();
+    for (BlockId b = 0; b < blocks.size(); b++) {
+        if (!blocks[b].reachable) {
+            diag(LintCode::Unreachable, blocks[b].first,
+                 "no path from entry reaches this block");
+        }
+    }
+    // Termination checks only make sense for programs that declare an
+    // intent to terminate; halt-free spin kernels are a supported idiom.
+    if (!cfg.hasHalt())
+        return;
+    for (BlockId b = 0; b < blocks.size(); b++) {
+        if (blocks[b].reachable && blocks[b].fallsOffEnd) {
+            diag(LintCode::FallOffEnd, blocks[b].last,
+                 "control runs past the last instruction");
+        }
+    }
+    // Report the no-exit region once, at its lowest-index block.
+    std::size_t trapped = 0;
+    BlockId first_trapped = invalidBlock;
+    for (BlockId b = 0; b < blocks.size(); b++) {
+        if (blocks[b].reachable && !blocks[b].canReachExit) {
+            trapped++;
+            if (first_trapped == invalidBlock)
+                first_trapped = b;
+        }
+    }
+    if (trapped > 0) {
+        diag(LintCode::NoExitLoop, blocks[first_trapped].first,
+             "no halt is reachable from here (" + std::to_string(trapped) +
+                 " block(s) trapped)");
+    }
+}
+
+void
+Verifier::checkFlow(std::size_t idx)
+{
+    const Instruction &inst = prog.at(idx);
+    const RegMask uninit = flow.uninitIn(idx);
+    const RegMask reads = useMask(inst);
+    const RegMask flags_bit = regBit(flagsReg);
+
+    if (RegMask m = reads & uninit & ~flags_bit) {
+        for (RegId r = 0; r < numArchRegs; r++) {
+            if (m & regBit(r)) {
+                diag(LintCode::UninitRead, idx,
+                     "read of " + regName(r) +
+                         ", which is never written on some path from "
+                         "entry");
+            }
+        }
+    }
+    if ((reads & uninit & flags_bit) != 0) {
+        diag(LintCode::UninitFlags, idx,
+             "branch reads flags, but no compare reaches it on some "
+             "path from entry");
+    }
+
+    const RegMask live_out = flow.liveOut(idx);
+    if (inst.writesIntReg() && inst.rd != 0 && inst.rd < numArchRegs &&
+        (live_out & regBit(inst.rd)) == 0) {
+        diag(LintCode::DeadWrite, idx,
+             "value written to " + regName(inst.rd) + " is never read");
+    }
+    if (inst.isCompare() && (live_out & flags_bit) == 0) {
+        diag(LintCode::DeadCompare, idx,
+             "flags written here are never read by a branch");
+    }
+    if ((inst.isCondBranch() || inst.op == Opcode::Jmp) &&
+        branchTargetIndex(inst, prog.size()) == idx + 1) {
+        diag(LintCode::RedundantBranch, idx,
+             "branch targets the fall-through instruction");
+    }
+}
+
+LintReport
+Verifier::run()
+{
+    report.program = prog.name();
+    for (std::size_t i = 0; i < prog.size(); i++)
+        checkEncoding(i);
+    checkShape();
+    for (std::size_t i = 0; i < prog.size(); i++) {
+        // Dataflow facts are only meaningful on reachable code.
+        if (cfg.blocks()[cfg.blockOf(i)].reachable)
+            checkFlow(i);
+    }
+    std::stable_sort(report.diags.begin(), report.diags.end(),
+                     [](const LintDiag &a, const LintDiag &b) {
+                         return a.index < b.index;
+                     });
+    return std::move(report);
+}
+
+} // namespace
+
+LintReport
+verifyProgram(const Program &prog)
+{
+    return Verifier(prog).run();
+}
+
+} // namespace svr

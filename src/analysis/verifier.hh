@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Static IR verifier: runs the CFG + dataflow passes over a Program
+ * and turns what they find into diagnostics, each tagged with a
+ * stable LintCode and the disassembly of the offending instruction.
+ *
+ * Diagnostics come in two severities. *Errors* are defects that make
+ * the program malformed or make execution read garbage (bad opcode or
+ * register fields, branches outside the program, reads of registers or
+ * flags never written on some path). *Warnings* are legal-but-suspect
+ * code (unreachable blocks, dead writes, compares whose flags nobody
+ * reads, branches to the next instruction).
+ *
+ * Halt-free programs are a supported idiom here — many test kernels
+ * loop forever and let the timing window bound execution — so the
+ * whole-program shape checks (FallOffEnd, NoExitLoop) only apply to
+ * programs that contain a Halt: those declare an intent to terminate,
+ * which makes a non-terminating path a bug.
+ */
+
+#ifndef SVR_ANALYSIS_VERIFIER_HH
+#define SVR_ANALYSIS_VERIFIER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace svr
+{
+
+/** Stable diagnostic codes, one per defect class. */
+enum class LintCode
+{
+    // Errors.
+    BadOpcode,       //!< opcode value outside the ISA
+    BadRegField,     //!< register operand outside x0..x31
+    X0Write,         //!< instruction targets the always-zero register
+    BadBranchTarget, //!< branch/jmp target outside the program
+    FallOffEnd,      //!< path runs past the last instruction (halting programs)
+    UninitRead,      //!< register read with no write on some path from entry
+    UninitFlags,     //!< branch whose flags have no compare on some path
+    NoExitLoop,      //!< reachable code that can never reach a Halt
+    // Warnings.
+    Unreachable,     //!< block no path from entry reaches
+    DeadWrite,       //!< register write no instruction ever reads
+    DeadCompare,     //!< compare whose flags are never read
+    RedundantBranch, //!< branch to the fall-through instruction
+};
+
+/** Short stable mnemonic for a code ("uninit-read", ...). */
+const char *lintCodeName(LintCode code);
+
+/** True for the codes that make verification fail. */
+bool lintCodeIsError(LintCode code);
+
+/** One diagnostic: code + location + human-readable message. */
+struct LintDiag
+{
+    LintCode code;
+    std::size_t index; //!< static instruction index
+    std::string message;
+
+    /** "error" or "warning". */
+    const char *severity() const
+    {
+        return lintCodeIsError(code) ? "error" : "warning";
+    }
+};
+
+/** All diagnostics for one program. */
+struct LintReport
+{
+    std::string program;
+    std::vector<LintDiag> diags;
+
+    std::size_t errorCount() const;
+    std::size_t warningCount() const;
+    bool clean() const { return errorCount() == 0; }
+
+    /** True if any diagnostic carries @p code. */
+    bool has(LintCode code) const;
+
+    /**
+     * Render every diagnostic, one per line:
+     *   prog:index: error[uninit-read]: ... | disasm
+     */
+    std::string format() const;
+};
+
+/** Run every static check over @p prog. Never throws or panics. */
+LintReport verifyProgram(const Program &prog);
+
+} // namespace svr
+
+#endif // SVR_ANALYSIS_VERIFIER_HH

@@ -78,6 +78,7 @@ class Executor
 
     /** The functional memory backing this execution. */
     FunctionalMemory &memory() { return mem; }
+    const FunctionalMemory &memory() const { return mem; }
 
     /** Restart from instruction 0 with zeroed registers. */
     void restart();

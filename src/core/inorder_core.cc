@@ -214,6 +214,12 @@ InOrderCore::run(Executor &exec, std::uint64_t max_instrs,
             if (next > issued_at)
                 svu_ready = std::max(svu_ready, next);
         }
+
+#ifdef SVR_ARCHCHECK_ENABLED
+        // In-order stall-on-use: issue is the commit point.
+        if (commitHook)
+            commitHook->onCommit(dyn, issued_at);
+#endif
     }
 
     stats.cycles = issue_cycle + (slots_used ? 1 : 0);

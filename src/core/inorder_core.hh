@@ -13,6 +13,7 @@
 
 #include "common/types.hh"
 #include "core/branch_predictor.hh"
+#include "core/commit_hook.hh"
 #include "core/core_stats.hh"
 #include "core/executor.hh"
 #include "core/runahead_iface.hh"
@@ -48,6 +49,13 @@ class InOrderCore
     void setRunaheadEngine(RunaheadEngine *engine) { runahead = engine; }
 
     /**
+     * Attach a per-commit observer (nullptr to detach). Only consulted
+     * in SVR_ARCHCHECK builds; a hook set in a Release build is
+     * silently never called.
+     */
+    void setCommitHook(CommitHook *hook) { commitHook = hook; }
+
+    /**
      * Run the timing simulation until @p max_instrs program
      * instructions have committed or the program halts. A nonzero
      * budget in @p wd raises SimError(CycleBudgetExceeded /
@@ -63,6 +71,7 @@ class InOrderCore
     MemorySystem &mem;
     BranchPredictor bpred;
     RunaheadEngine *runahead = nullptr;
+    CommitHook *commitHook = nullptr;
 };
 
 } // namespace svr

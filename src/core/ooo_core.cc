@@ -234,6 +234,11 @@ OoOCore::run(Executor &exec, std::uint64_t max_instrs,
                 static_cast<unsigned long long>(wd.maxCycles));
         }
 
+#ifdef SVR_ARCHCHECK_ENABLED
+        if (commitHook)
+            commitHook->onCommit(dyn, commit_at);
+#endif
+
         stats.instructions++;
     }
 

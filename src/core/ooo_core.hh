@@ -11,6 +11,7 @@
 
 #include "common/types.hh"
 #include "core/branch_predictor.hh"
+#include "core/commit_hook.hh"
 #include "core/core_stats.hh"
 #include "core/executor.hh"
 #include "core/watchdog.hh"
@@ -42,6 +43,13 @@ class OoOCore
     OoOCore(const OoOParams &params, MemorySystem &memory);
 
     /**
+     * Attach a per-commit observer (nullptr to detach). Only consulted
+     * in SVR_ARCHCHECK builds; a hook set in a Release build is
+     * silently never called.
+     */
+    void setCommitHook(CommitHook *hook) { commitHook = hook; }
+
+    /**
      * Run until @p max_instrs commit or the program halts. A nonzero
      * budget in @p wd raises SimError(CycleBudgetExceeded /
      * NoForwardProgress) when exceeded.
@@ -55,6 +63,7 @@ class OoOCore
     OoOParams p;
     MemorySystem &mem;
     BranchPredictor bpred;
+    CommitHook *commitHook = nullptr;
 };
 
 } // namespace svr

@@ -1,9 +1,44 @@
 #include "isa/program.hh"
 
+#include <cstdlib>
+
+#include "analysis/verifier.hh"
 #include "common/logging.hh"
 
 namespace svr
 {
+
+namespace
+{
+
+/**
+ * Build-time verification level, from the SVR_VERIFY environment
+ * variable: "off"/"0" skips the verifier, "strict" makes lint errors
+ * fatal, anything else (the default) reports them as warnings. Halt-
+ * free spin kernels and other deliberate idioms never produce errors
+ * (see analysis/verifier.hh), so warn-by-default stays quiet for all
+ * well-formed programs.
+ */
+enum class VerifyMode { Off, Warn, Strict };
+
+VerifyMode
+buildVerifyMode()
+{
+    static const VerifyMode mode = [] {
+        const char *env = std::getenv("SVR_VERIFY");
+        if (!env)
+            return VerifyMode::Warn;
+        const std::string s(env);
+        if (s == "off" || s == "0")
+            return VerifyMode::Off;
+        if (s == "strict")
+            return VerifyMode::Strict;
+        return VerifyMode::Warn;
+    }();
+    return mode;
+}
+
+} // namespace
 
 Program::Program(std::string name, std::vector<Instruction> instrs)
     : progName(std::move(name)), code(std::move(instrs))
@@ -143,7 +178,21 @@ ProgramBuilder::build()
                   progName.c_str(), label.c_str());
         code[idx].imm = static_cast<std::int64_t>(it->second);
     }
-    return Program(progName, std::move(code));
+    Program prog(progName, std::move(code));
+    if (const VerifyMode mode = buildVerifyMode(); mode != VerifyMode::Off) {
+        const LintReport report = verifyProgram(prog);
+        if (report.errorCount() > 0) {
+            if (mode == VerifyMode::Strict) {
+                fatal("ProgramBuilder '%s': %zu lint error(s):\n%s",
+                      progName.c_str(), report.errorCount(),
+                      report.format().c_str());
+            }
+            warn("ProgramBuilder '%s': %zu lint error(s) — run "
+                 "svrsim_lint for details (SVR_VERIFY=strict to fail)",
+                 progName.c_str(), report.errorCount());
+        }
+    }
+    return prog;
 }
 
 } // namespace svr

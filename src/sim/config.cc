@@ -11,13 +11,21 @@ namespace svr
 namespace
 {
 
+/** Error context naming the offending config cell. */
+ErrContext
+configContext(const SimConfig &config)
+{
+    ErrContext ctx;
+    ctx.config = config.label;
+    return ctx;
+}
+
 /** One cache level's geometry sanity checks. */
 void
 validateCache(const SimConfig &config, const CacheParams &c)
 {
     if (c.sizeBytes == 0 || c.assoc == 0 || c.numMshrs == 0) {
-        throw simErrorf(ErrCode::ConfigInvalid,
-                        {.config = config.label},
+        throw simErrorf(ErrCode::ConfigInvalid, configContext(config),
                         "config '%s': cache '%s' needs nonzero size/"
                         "assoc/MSHRs (got %llu/%u/%u)",
                         config.label.c_str(), c.name.c_str(),
@@ -29,7 +37,7 @@ validateCache(const SimConfig &config, const CacheParams &c)
 [[noreturn]] void
 invalid(const SimConfig &config, const char *what)
 {
-    throw simErrorf(ErrCode::ConfigInvalid, {.config = config.label},
+    throw simErrorf(ErrCode::ConfigInvalid, configContext(config),
                     "config '%s': %s", config.label.c_str(), what);
 }
 

@@ -52,6 +52,13 @@ resolveWatchdog(const SimConfig &config)
 SimResult
 simulate(const SimConfig &config, const WorkloadInstance &w)
 {
+    return simulate(config, w, SimHooks{});
+}
+
+SimResult
+simulate(const SimConfig &config, const WorkloadInstance &w,
+         const SimHooks &hooks)
+{
     validateConfig(config);
     if (!w.program || !w.mem)
         fatal("simulate: workload '%s' has no program/memory",
@@ -65,11 +72,14 @@ simulate(const SimConfig &config, const WorkloadInstance &w)
 
     MemorySystem mem(config.mem);
     Executor exec(*w.program, *w.mem);
+    if (hooks.onExecutor)
+        hooks.onExecutor(exec);
 
     const auto t_start = std::chrono::steady_clock::now();
     switch (config.core) {
       case CoreType::InOrder: {
         InOrderCore core(config.inorder, mem);
+        core.setCommitHook(hooks.commit);
         r.core = core.run(exec, config.maxInstructions, wd);
         break;
       }
@@ -77,19 +87,24 @@ simulate(const SimConfig &config, const WorkloadInstance &w)
         ImpPrefetcher imp(config.imp, *w.mem);
         mem.setObserver(&imp);
         InOrderCore core(config.inorder, mem);
+        core.setCommitHook(hooks.commit);
         r.core = core.run(exec, config.maxInstructions, wd);
         mem.setObserver(nullptr);
         break;
       }
       case CoreType::OutOfOrder: {
         OoOCore core(config.ooo, mem);
+        core.setCommitHook(hooks.commit);
         r.core = core.run(exec, config.maxInstructions, wd);
         break;
       }
       case CoreType::Svr: {
         SvrEngine engine(config.svr, mem, exec);
+        if (hooks.onSvrEngine)
+            hooks.onSvrEngine(engine);
         InOrderCore core(config.inorder, mem);
         core.setRunaheadEngine(&engine);
+        core.setCommitHook(hooks.commit);
         r.core = core.run(exec, config.maxInstructions, wd);
         break;
       }

@@ -9,6 +9,7 @@
 #define SVR_SIM_SIMULATOR_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "core/core_stats.hh"
@@ -19,6 +20,26 @@
 
 namespace svr
 {
+
+class CommitHook;
+class Executor;
+class SvrEngine;
+
+/**
+ * Observation hooks into one simulation run (debug/verification
+ * tooling; see analysis/archcheck.hh for the main client). All
+ * members are optional. The commit hook only fires in SVR_ARCHCHECK
+ * builds — in Release it is attached but never called.
+ */
+struct SimHooks
+{
+    /** Per-committed-instruction observer (not owned). */
+    CommitHook *commit = nullptr;
+    /** Called once with the run's executor, before the timing loop. */
+    std::function<void(const Executor &)> onExecutor;
+    /** Called once with the SVR engine (CoreType::Svr runs only). */
+    std::function<void(const SvrEngine &)> onSvrEngine;
+};
 
 /** Everything measured in one simulation run. */
 struct SimResult
@@ -86,6 +107,10 @@ struct SimResult
 
 /** Run @p config on @p workload (fresh instance) and measure. */
 SimResult simulate(const SimConfig &config, const WorkloadInstance &w);
+
+/** As above, with observation hooks attached to the run. */
+SimResult simulate(const SimConfig &config, const WorkloadInstance &w,
+                   const SimHooks &hooks);
 
 /** Convenience: build a fresh instance from @p spec and simulate. */
 SimResult simulate(const SimConfig &config, const WorkloadSpec &spec);

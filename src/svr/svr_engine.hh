@@ -160,6 +160,17 @@ class SvrEngine : public RunaheadEngine
     /** Taint tracker access (for tests). */
     const TaintTracker &taintTracker() const { return taint; }
 
+    /**
+     * Current divergence mask (for tests/ArchCheck): mask[lane] is
+     * false once branch divergence masked the lane off. Meaningful
+     * only while inRunahead(); lanes may only be cleared within a
+     * round, never set.
+     */
+    const std::vector<bool> &laneMask() const { return mask; }
+
+    /** Effective vector length of the current round (for ArchCheck). */
+    unsigned currentRoundLanes() const { return roundLanes; }
+
     /** Event log (empty unless SvrParams::enableEventLog). */
     const std::vector<SvrEvent> &eventLog() const { return events; }
 

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Disassembler round-trip over the whole ISA: a builder program that
+ * emits every opcode, whose disassembly must name each instruction
+ * with its mnemonic, plus golden-format checks for each operand class.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "isa/disassembler.hh"
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+
+using namespace svr;
+
+namespace
+{
+
+/** Build a well-formed program that emits every opcode exactly once+. */
+Program
+everyOpcodeProgram()
+{
+    ProgramBuilder b("every-opcode");
+    b.li(1, 42);
+    b.li(2, 7);
+    b.li(3, 0x1000);
+    // Integer reg-reg.
+    b.add(4, 1, 2);
+    b.sub(4, 1, 2);
+    b.mul(4, 1, 2);
+    b.divu(4, 1, 2);
+    b.remu(4, 1, 2);
+    b.and_(4, 1, 2);
+    b.or_(4, 1, 2);
+    b.xor_(4, 1, 2);
+    b.sll(4, 1, 2);
+    b.srl(4, 1, 2);
+    b.sra(4, 1, 2);
+    // Integer reg-imm.
+    b.addi(4, 1, 8);
+    b.andi(4, 1, 8);
+    b.ori(4, 1, 8);
+    b.xori(4, 1, 8);
+    b.slli(4, 1, 3);
+    b.srli(4, 1, 3);
+    b.srai(4, 1, 3);
+    // Memory.
+    b.ld(5, 3, 0);
+    b.lw(5, 3, 0);
+    b.lh(5, 3, 0);
+    b.lb(5, 3, 0);
+    b.sd(1, 3, 0);
+    b.sw(1, 3, 0);
+    b.sh(1, 3, 0);
+    b.sb(1, 3, 0);
+    // Floating point.
+    b.cvtif(6, 1);
+    b.fadd(7, 6, 6);
+    b.fsub(7, 6, 6);
+    b.fmul(7, 6, 6);
+    b.fdiv(7, 6, 6);
+    b.fmin(7, 6, 6);
+    b.fmax(7, 6, 6);
+    b.cvtfi(8, 6);
+    // Compares and branches.
+    b.cmp(1, 2);
+    b.cmpi(1, 7);
+    b.fcmp(6, 6);
+    b.beq("end");
+    b.bne("end");
+    b.blt("end");
+    b.bge("end");
+    b.bltu("end");
+    b.bgeu("end");
+    b.nop();
+    b.jmp("end");
+    b.label("end");
+    b.halt();
+    return b.build();
+}
+
+} // namespace
+
+TEST(Disassembler, EveryOpcodeRoundTrips)
+{
+    const Program prog = everyOpcodeProgram();
+
+    // The builder program covers the complete ISA.
+    std::set<Opcode> seen;
+    for (std::size_t i = 0; i < prog.size(); i++)
+        seen.insert(prog.at(i).op);
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(Opcode::NumOpcodes));
+
+    // Every instruction disassembles to its mnemonic (never "<bad>"),
+    // and the mnemonic is the leading token of the text.
+    for (std::size_t i = 0; i < prog.size(); i++) {
+        const Instruction &inst = prog.at(i);
+        const std::string name = opcodeName(inst.op);
+        EXPECT_NE(name, "<bad>") << "index " << i;
+        const std::string text = disassemble(inst);
+        ASSERT_GE(text.size(), name.size());
+        EXPECT_EQ(text.substr(0, name.size()), name) << text;
+        if (text.size() > name.size()) {
+            EXPECT_EQ(text[name.size()], ' ') << text;
+        }
+    }
+}
+
+TEST(Disassembler, GoldenFormatsPerOperandClass)
+{
+    auto dis = [](Opcode op, RegId rd, RegId rs1, RegId rs2,
+                  std::int64_t imm) {
+        return disassemble(Instruction{op, rd, rs1, rs2, imm});
+    };
+    // One exact-format check per operand class.
+    EXPECT_EQ(dis(Opcode::Li, 1, invalidReg, invalidReg, 42), "li x1, 42");
+    EXPECT_EQ(dis(Opcode::Add, 4, 1, 2, 0), "add x4, x1, x2");
+    EXPECT_EQ(dis(Opcode::Addi, 4, 1, invalidReg, 8), "addi x4, x1, 8");
+    EXPECT_EQ(dis(Opcode::Ld, 5, 3, invalidReg, 16), "ld x5, [x3 + 16]");
+    EXPECT_EQ(dis(Opcode::Sd, invalidReg, 3, 1, 8), "sd x1, [x3 + 8]");
+    EXPECT_EQ(dis(Opcode::Cmp, invalidReg, 1, 2, 0), "cmp x1, x2");
+    EXPECT_EQ(dis(Opcode::Cmpi, invalidReg, 1, invalidReg, 7), "cmpi x1, 7");
+    EXPECT_EQ(dis(Opcode::Fcmp, invalidReg, 6, 6, 0), "fcmp x6, x6");
+    EXPECT_EQ(dis(Opcode::Beq, invalidReg, invalidReg, invalidReg, 12),
+              "beq @12");
+    EXPECT_EQ(dis(Opcode::Jmp, invalidReg, invalidReg, invalidReg, 3),
+              "jmp @3");
+    EXPECT_EQ(dis(Opcode::Cvtif, 6, 1, invalidReg, 0), "cvtif x6, x1");
+    EXPECT_EQ(dis(Opcode::Halt, invalidReg, invalidReg, invalidReg, 0),
+              "halt");
+    EXPECT_EQ(dis(Opcode::Nop, invalidReg, invalidReg, invalidReg, 0),
+              "nop");
+    // The flags pseudo-register renders by name.
+    EXPECT_EQ(dis(Opcode::Ld, flagsReg, 1, invalidReg, 0),
+              "ld flags, [x1 + 0]");
+    // Out-of-ISA opcodes render defensively instead of crashing.
+    const std::string bad =
+        dis(Opcode::NumOpcodes, invalidReg, invalidReg, invalidReg, 0);
+    EXPECT_EQ(bad.substr(0, 5), "<bad>");
+}
+
+TEST(Disassembler, ProgramListingHasOneIndexedLinePerInstruction)
+{
+    const Program prog = everyOpcodeProgram();
+    const std::string listing = disassemble(prog);
+
+    std::istringstream is(listing);
+    std::string line;
+    std::size_t count = 0;
+    while (std::getline(is, line)) {
+        const std::string prefix = std::to_string(count) + ":\t";
+        ASSERT_EQ(line.substr(0, prefix.size()), prefix) << line;
+        count++;
+    }
+    EXPECT_EQ(count, prog.size());
+}

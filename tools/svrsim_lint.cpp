@@ -1,0 +1,162 @@
+/**
+ * @file
+ * svrsim_lint — static IR verifier for workload programs.
+ *
+ * Builds each requested workload's program (no simulation) and runs
+ * the analysis/verifier.hh checks over it: CFG construction, dominator
+ * and dataflow passes, and the per-instruction structural checks.
+ * Diagnostics quote the disassembly of the offending instruction.
+ *
+ * Usage:
+ *   svrsim_lint --all                    lint every registered workload
+ *   svrsim_lint --suite graph            graph|hpcdb|spec|full|quick
+ *   svrsim_lint --workload PR_KR [...]   lint specific workloads
+ *   svrsim_lint --dump                   also print full disassembly
+ *   svrsim_lint --werror                 exit non-zero on warnings too
+ *   svrsim_lint --quiet                  only print offending programs
+ *   svrsim_lint --list-checks            print the diagnostic codes
+ *
+ * Exit status: 0 when every linted program is error-free (and, with
+ * --werror, warning-free); 1 otherwise.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/verifier.hh"
+#include "common/error.hh"
+#include "common/logging.hh"
+#include "isa/disassembler.hh"
+#include "workloads/suites.hh"
+
+using namespace svr;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "svrsim_lint — static IR verifier for workload programs\n\n"
+        "  --all              lint every registered workload\n"
+        "  --suite NAME       graph|hpcdb|spec|full|quick\n"
+        "  --workload NAME    lint one workload (repeatable)\n"
+        "  --dump             print each linted program's disassembly\n"
+        "  --werror           treat warnings as errors\n"
+        "  --quiet            only print programs with diagnostics\n"
+        "  --list-checks      print every diagnostic code and exit\n");
+}
+
+void
+listChecks()
+{
+    static constexpr LintCode codes[] = {
+        LintCode::BadOpcode,      LintCode::BadRegField,
+        LintCode::X0Write,        LintCode::BadBranchTarget,
+        LintCode::FallOffEnd,     LintCode::UninitRead,
+        LintCode::UninitFlags,    LintCode::NoExitLoop,
+        LintCode::Unreachable,    LintCode::DeadWrite,
+        LintCode::DeadCompare,    LintCode::RedundantBranch,
+    };
+    for (const LintCode c : codes) {
+        std::printf("%-8s %s\n", lintCodeIsError(c) ? "error" : "warning",
+                    lintCodeName(c));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    std::vector<std::string> names;
+    std::string suite;
+    bool all = false;
+    bool dump = false;
+    bool werror = false;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--all") {
+            all = true;
+        } else if (arg == "--suite") {
+            suite = next();
+        } else if (arg == "--workload") {
+            names.push_back(next());
+        } else if (arg == "--dump") {
+            dump = true;
+        } else if (arg == "--werror") {
+            werror = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--list-checks") {
+            listChecks();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown argument '%s'", arg.c_str());
+        }
+    }
+
+    setInformEnabled(false);
+
+    std::vector<WorkloadSpec> specs;
+    if (all) {
+        specs = fullSuite();
+        for (const auto &w : specSuite())
+            specs.push_back(w);
+    } else if (suite == "graph") {
+        specs = graphSuite();
+    } else if (suite == "hpcdb") {
+        specs = hpcdbSuite();
+    } else if (suite == "full") {
+        specs = fullSuite();
+    } else if (suite == "spec") {
+        specs = specSuite();
+    } else if (suite == "quick") {
+        specs = quickSuite();
+    } else if (!suite.empty()) {
+        fatal("unknown suite '%s'", suite.c_str());
+    }
+    for (const std::string &n : names)
+        specs.push_back(findWorkload(n));
+    if (specs.empty()) {
+        usage();
+        fatal("nothing to lint: pass --all, --suite, or --workload");
+    }
+
+    std::size_t errors = 0;
+    std::size_t warnings = 0;
+    for (const WorkloadSpec &spec : specs) {
+        const WorkloadInstance w = spec.make();
+        const LintReport report = verifyProgram(*w.program);
+        errors += report.errorCount();
+        warnings += report.warningCount();
+        if (!report.diags.empty()) {
+            std::fputs(report.format().c_str(), stdout);
+        } else if (!quiet) {
+            std::printf("%s: clean (%zu instructions)\n",
+                        spec.name.c_str(), w.program->size());
+        }
+        if (dump)
+            std::fputs(disassemble(*w.program).c_str(), stdout);
+    }
+
+    std::printf("linted %zu program(s): %zu error(s), %zu warning(s)\n",
+                specs.size(), errors, warnings);
+    return errors > 0 || (werror && warnings > 0) ? 1 : 0;
+} catch (const SimError &e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+}
