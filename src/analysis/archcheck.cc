@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "sim/checkpoint.hh"
 #include "svr/svr_engine.hh"
 #include "svr/taint_tracker.hh"
 
@@ -35,6 +36,13 @@ ArchCheck::ArchCheck(WorkloadInstance twin_instance)
     : twin(validated(std::move(twin_instance))),
       refExec(*twin.program, *twin.mem)
 {
+}
+
+ArchCheck::ArchCheck(WorkloadInstance twin_instance, const Checkpoint &ck)
+    : twin(validated(std::move(twin_instance))),
+      refExec(*twin.program, *twin.mem)
+{
+    restoreCheckpoint(ck, refExec, *twin.mem);
 }
 
 SimHooks

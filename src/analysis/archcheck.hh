@@ -54,6 +54,15 @@ class ArchCheck : public CommitHook
      */
     explicit ArchCheck(WorkloadInstance twin);
 
+    /**
+     * Lockstep from a mid-region checkpoint: @p twin is restored from
+     * @p ck (memory image + architectural state), so the reference
+     * execution starts exactly where the checkpointed machine stopped.
+     * Lets fuzzers validate a run resumed from a checkpoint against
+     * the same contract as a from-scratch run.
+     */
+    ArchCheck(WorkloadInstance twin, const struct Checkpoint &ck);
+
     /** True when the cores' per-commit call sites are compiled in. */
     static constexpr bool
     enabled()

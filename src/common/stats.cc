@@ -46,6 +46,18 @@ geometricMean(const std::vector<double> &values)
     return std::exp(log_sum / values.size());
 }
 
+double
+sampleStdDev(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    const double mean = arithmeticMean(values);
+    double sq_sum = 0.0;
+    for (double v : values)
+        sq_sum += (v - mean) * (v - mean);
+    return std::sqrt(sq_sum / (values.size() - 1));
+}
+
 Histogram::Histogram(unsigned num_buckets, std::uint64_t bucket_width)
     : buckets(num_buckets, 0), width(bucket_width)
 {

@@ -24,6 +24,13 @@ double arithmeticMean(const std::vector<double> &values);
 double geometricMean(const std::vector<double> &values);
 
 /**
+ * Sample standard deviation (n-1 denominator; 0 for fewer than two
+ * values). The sampled simulator divides this by sqrt(n) to report
+ * the standard error of its per-window CPI estimates.
+ */
+double sampleStdDev(const std::vector<double> &values);
+
+/**
  * Fixed-bucket histogram over unsigned samples.
  *
  * Used for degree distributions, burst lengths, and test assertions on

@@ -16,6 +16,7 @@
 #include "core/commit_hook.hh"
 #include "core/core_stats.hh"
 #include "core/executor.hh"
+#include "core/measure.hh"
 #include "core/runahead_iface.hh"
 #include "core/watchdog.hh"
 #include "mem/memory_system.hh"
@@ -59,10 +60,14 @@ class InOrderCore
      * Run the timing simulation until @p max_instrs program
      * instructions have committed or the program halts. A nonzero
      * budget in @p wd raises SimError(CycleBudgetExceeded /
-     * NoForwardProgress) when exceeded.
+     * NoForwardProgress) when exceeded. When @p measure has a nonzero
+     * warmup, the first measure->warmupInstrs committed instructions
+     * (which count toward @p max_instrs) are excluded from the
+     * returned stats; see core/measure.hh.
      */
     CoreStats run(Executor &exec, std::uint64_t max_instrs,
-                  const WatchdogParams &wd = {});
+                  const WatchdogParams &wd = {},
+                  const MeasureWindow *measure = nullptr);
 
     const BranchPredictor &branchPredictor() const { return bpred; }
 

@@ -35,10 +35,19 @@ OoOCore::OoOCore(const OoOParams &params, MemorySystem &memory)
 
 CoreStats
 OoOCore::run(Executor &exec, std::uint64_t max_instrs,
-             const WatchdogParams &wd)
+             const WatchdogParams &wd, const MeasureWindow *measure)
 {
     CoreStats stats;
     bpred.reset();
+
+    // Warmup boundary: snapshot-and-subtract (see core/measure.hh).
+    // The live counters keep running — the ROB/RS/LSQ rings below are
+    // indexed by stats.instructions, so resetting it mid-run would
+    // corrupt window occupancy.
+    const std::uint64_t warmup_at = measure ? measure->warmupInstrs : 0;
+    CoreStats base;
+    Cycle base_cycles = 0;
+    bool rebaselined = false;
 
     std::array<Cycle, numTrackedRegs> regReady{};
     std::array<ValueSource, numTrackedRegs> regSource{};
@@ -240,9 +249,19 @@ OoOCore::run(Executor &exec, std::uint64_t max_instrs,
 #endif
 
         stats.instructions++;
+
+        if (stats.instructions == warmup_at) [[unlikely]] {
+            base = stats;
+            base_cycles = commit_cycle + (commit_slots ? 1 : 0);
+            rebaselined = true;
+            if (measure->onMeasureStart)
+                measure->onMeasureStart();
+        }
     }
 
     stats.cycles = commit_cycle + (commit_slots ? 1 : 0);
+    if (rebaselined)
+        subtractBaseline(stats, base, base_cycles);
     return stats;
 }
 

@@ -14,6 +14,7 @@
 #include "core/commit_hook.hh"
 #include "core/core_stats.hh"
 #include "core/executor.hh"
+#include "core/measure.hh"
 #include "core/watchdog.hh"
 #include "mem/memory_system.hh"
 
@@ -52,10 +53,14 @@ class OoOCore
     /**
      * Run until @p max_instrs commit or the program halts. A nonzero
      * budget in @p wd raises SimError(CycleBudgetExceeded /
-     * NoForwardProgress) when exceeded.
+     * NoForwardProgress) when exceeded. When @p measure has a nonzero
+     * warmup, the first measure->warmupInstrs committed instructions
+     * (which count toward @p max_instrs) are excluded from the
+     * returned stats; see core/measure.hh.
      */
     CoreStats run(Executor &exec, std::uint64_t max_instrs,
-                  const WatchdogParams &wd = {});
+                  const WatchdogParams &wd = {},
+                  const MeasureWindow *measure = nullptr);
 
     const BranchPredictor &branchPredictor() const { return bpred; }
 

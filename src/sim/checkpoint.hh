@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Restorable simulation checkpoints. A Checkpoint captures everything
+ * the functional machine needs to resume a workload mid-region: the
+ * full architectural state (registers, flags, PC, halt flag, sequence
+ * number), the sparse functional-memory image (every materialized
+ * page plus the bump-allocator cursor), and optionally the SVR
+ * engine's persistent predictor state (stride-detector SRAM +
+ * governor ban). Checkpoints serialize to a versioned little-endian
+ * byte format; deserialization validates the magic, version, and
+ * exact length, throwing SimError(IoError) on any corruption, so a
+ * truncated or bit-flipped artifact can never silently restore into a
+ * wrong machine state.
+ *
+ * Restoring reconstructs the machine bit-identically: a run that is
+ * checkpointed at instruction N and resumed produces exactly the same
+ * architectural trajectory as an uninterrupted run (the checkpoint
+ * round-trip property, enforced by tests/test_checkpoint.cc).
+ */
+
+#ifndef SVR_SIM_CHECKPOINT_HH
+#define SVR_SIM_CHECKPOINT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/executor.hh"
+#include "mem/functional_memory.hh"
+#include "svr/svr_engine.hh"
+
+namespace svr
+{
+
+/** One checkpointed 4 KiB page (owning copy, unlike PageRef). */
+struct CheckpointPage
+{
+    Addr pageNum = 0;
+    std::array<std::uint8_t, pageBytes> data{};
+};
+
+/**
+ * A restorable snapshot of the functional machine. Plain data:
+ * capture/restore/serialize are free functions below.
+ */
+struct Checkpoint
+{
+    /** Workload instance name, as a restore-time sanity tag. */
+    std::string workload;
+
+    /** Committed instructions at capture time (== arch.seq). */
+    std::uint64_t instructions = 0;
+
+    ExecArchState arch;
+    Addr allocTop = 0;
+    std::vector<CheckpointPage> pages; //!< sorted by pageNum
+
+    bool hasSvr = false;
+    SvrEngineSnapshot svr; //!< meaningful only when hasSvr
+};
+
+/**
+ * Capture the current machine state. @p engine, when non-null, adds
+ * the SVR predictor snapshot (engine must not be mid-round).
+ */
+Checkpoint captureCheckpoint(const Executor &exec,
+                             const FunctionalMemory &mem,
+                             std::string workload_name,
+                             const SvrEngine *engine = nullptr);
+
+/**
+ * Restore @p ck into @p exec / @p mem: memory is cleared and rebuilt
+ * from the page images, the allocator cursor and architectural state
+ * are reinstated. The executor must have been built over the same
+ * program the checkpoint was captured from (PC bounds are validated).
+ */
+void restoreCheckpoint(const Checkpoint &ck, Executor &exec,
+                       FunctionalMemory &mem);
+
+/** Serialize to the versioned byte format (deterministic). */
+std::string serializeCheckpoint(const Checkpoint &ck);
+
+/**
+ * Parse serializeCheckpoint() output. Throws SimError(IoError) on bad
+ * magic/version, truncation, or trailing garbage.
+ */
+Checkpoint deserializeCheckpoint(std::string_view bytes);
+
+/** Atomically write the serialized checkpoint to @p path. */
+void saveCheckpoint(const Checkpoint &ck, const std::string &path);
+
+/** Read and deserialize a checkpoint file (SimError(IoError) on failure). */
+Checkpoint loadCheckpoint(const std::string &path);
+
+} // namespace svr
+
+#endif // SVR_SIM_CHECKPOINT_HH

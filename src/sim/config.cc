@@ -75,6 +75,15 @@ validateConfig(const SimConfig &config)
         invalid(config, "SVR vector length/SRF regs/SVU width/PRM "
                         "timeout must be nonzero");
     }
+    if (config.sampling.enabled()) {
+        if (config.sampling.sampleWindow == 0)
+            invalid(config, "sampling needs a nonzero sample window");
+        if (config.sampling.sampleWindow + config.sampling.warmup >
+            config.sampling.sampleEvery) {
+            invalid(config, "sampling warmup + window must fit inside "
+                            "the sampling period");
+        }
+    }
 }
 
 const char *

@@ -32,6 +32,26 @@ enum class CoreType : std::uint8_t
 /** Printable core-type name. */
 const char *coreTypeName(CoreType t);
 
+/**
+ * Sampled-simulation knobs (SimPoint-style systematic sampling).
+ * Disabled by default (sampleEvery == 0): the whole region runs in
+ * detailed timing. When enabled, each period of sampleEvery committed
+ * instructions runs (period - warmup - window) instructions on the
+ * fast functional executor, then warmup instructions of detailed
+ * timing that are excluded from the stats (warming caches, branch
+ * predictors, TLBs, and the SVR engine), then a measured timing
+ * window; per-window CPIs are stitched into a whole-region estimate
+ * with a standard error (see sim/sampled_sim.hh).
+ */
+struct SamplingParams
+{
+    std::uint64_t sampleEvery = 0;  //!< sampling period; 0 = off
+    std::uint64_t sampleWindow = 0; //!< measured instructions per period
+    std::uint64_t warmup = 0;       //!< detailed-warmup instructions
+
+    bool enabled() const { return sampleEvery != 0; }
+};
+
 /** A complete machine configuration. */
 struct SimConfig
 {
@@ -44,6 +64,7 @@ struct SimConfig
     ImpParams imp;
     EnergyParams energy;
     std::uint64_t maxInstructions = 400000;
+    SamplingParams sampling;
 
     /**
      * Watchdog budgets. At this level 0 means "auto": simulate()

@@ -120,6 +120,10 @@ headerLine(const SweepKey &key)
     os << "J1 " << escapeField(key.suite) << ' '
        << escapeField(key.configs) << ' ' << key.window << ' '
        << key.seed;
+    // Appended only when sampling is on: a full-detail sweep's header
+    // stays byte-identical to the original J1 format.
+    if (!key.sampling.empty())
+        os << ' ' << escapeField(key.sampling);
     return os.str();
 }
 
@@ -129,7 +133,7 @@ std::string
 journalLine(const SimResult &r)
 {
     std::ostringstream os;
-    os << "R1 " << escapeField(r.workload) << ' '
+    os << (r.sampled ? "R2 " : "R1 ") << escapeField(r.workload) << ' '
        << escapeField(r.config) << ' ' << (r.failed ? 1 : 0) << ' '
        << r.attempts << ' ' << escapeField(r.errCode);
     os << ' ' << r.core.instructions << ' ' << r.core.cycles << ' '
@@ -157,6 +161,10 @@ journalLine(const SimResult &r)
     putDouble(os, r.energy.cacheDynamic);
     putDouble(os, r.energy.dramStatic);
     putDouble(os, r.energy.dramDynamic);
+    if (r.sampled) {
+        os << ' ' << r.sampleWindows << ' ' << r.measuredInstructions;
+        putDouble(os, r.cpiStderr);
+    }
     os << ' ' << escapeField(r.errMessage);
     return os.str();
 }
@@ -166,10 +174,11 @@ parseJournalLine(const std::string &line, SimResult &out)
 {
     Reader rd(line);
     std::string tag;
-    if (!(rd.is >> tag) || tag != "R1")
+    if (!(rd.is >> tag) || (tag != "R1" && tag != "R2"))
         return false;
 
     SimResult r;
+    r.sampled = tag == "R2";
     r.workload = rd.str();
     r.config = rd.str();
     r.failed = rd.u64() != 0;
@@ -213,6 +222,11 @@ parseJournalLine(const std::string &line, SimResult &out)
     r.energy.cacheDynamic = rd.f64();
     r.energy.dramStatic = rd.f64();
     r.energy.dramDynamic = rd.f64();
+    if (r.sampled) {
+        r.sampleWindows = rd.u64();
+        r.measuredInstructions = rd.u64();
+        r.cpiStderr = rd.f64();
+    }
     r.errMessage = rd.str();
     if (!rd.ok || r.workload.empty() || r.config.empty())
         return false;

@@ -9,11 +9,16 @@
  * %.17g).
  *
  * Format (plain text, one record per line):
- *   line 1:  "J1 <suite> <configs> <window> <seed>"  — sweep identity;
- *            --resume refuses a journal whose identity differs
+ *   line 1:  "J1 <suite> <configs> <window> <seed>[ <sampling>]" —
+ *            sweep identity; --resume refuses a journal whose identity
+ *            differs. The sampling token (every/window/warmup) only
+ *            appears for sampled sweeps, so non-sampled journals stay
+ *            byte-identical to the original format.
  *   others:  "R1 <fixed-order fields> <errMessage...>" — one completed
  *            cell; strings are %-escaped, errMessage is the
- *            rest-of-line
+ *            rest-of-line. Sampled cells are "R2" records: the same
+ *            fields plus sample_windows/measured_instructions/
+ *            cpi_stderr before errMessage.
  * A torn final line (crash mid-append) is ignored on load.
  */
 
@@ -38,12 +43,20 @@ struct SweepKey
     std::string configs; //!< comma-joined config list as given
     std::uint64_t window = 0;
     std::uint64_t seed = 0;
+    /**
+     * Sampling identity, "every/window/warmup" (e.g. "1000000/40000/
+     * 20000"); empty for full-detail sweeps. Part of the resume
+     * compatibility check: a journal written with different sampling
+     * parameters holds incomparable numbers and is rejected.
+     */
+    std::string sampling;
 
     bool
     operator==(const SweepKey &o) const
     {
         return suite == o.suite && configs == o.configs &&
-               window == o.window && seed == o.seed;
+               window == o.window && seed == o.seed &&
+               sampling == o.sampling;
     }
 };
 

@@ -91,6 +91,17 @@ emitResult(std::ostringstream &os, const SimResult &r,
     os << in2 << "  \"llc_accuracy\": " << r.svrAccuracyLlc << "\n";
     os << in2 << "},\n";
     os << in2 << "\"imp_llc_accuracy\": " << r.impAccuracyLlc << ",\n";
+    // Only sampled runs mention sampling at all: a full-detail run's
+    // JSON must stay byte-identical to the pre-sampling format.
+    if (r.sampled) {
+        os << in2 << "\"sampled\": {\n";
+        os << in2 << "  \"windows\": " << r.sampleWindows << ",\n";
+        os << in2 << "  \"measured_instructions\": "
+           << r.measuredInstructions << ",\n";
+        os << in2 << "  \"cpi_stderr\": " << r.cpiStderr << ",\n";
+        os << in2 << "  \"cpi_ci95\": " << 1.96 * r.cpiStderr << "\n";
+        os << in2 << "},\n";
+    }
     os << in2 << "\"energy\": {\n";
     os << in2 << "  \"total_nj\": " << r.energy.totalNJ() << ",\n";
     os << in2 << "  \"per_instr_nj\": " << r.energyPerInstr() << ",\n";
@@ -134,19 +145,23 @@ toJson(const std::vector<SimResult> &results)
 }
 
 std::string
-csvHeader()
+csvHeader(bool sampled)
 {
-    return "workload,config,instructions,cycles,ipc,cpi,"
-           "stack_base,stack_l2,stack_dram,stack_branch,stack_svu,"
-           "stack_other,loads,stores,branches,branch_mispredicts,"
-           "l1d_hits,l1d_misses,l2_hits,l2_misses,dram_transfers,"
-           "tlb_walks,svr_rounds,svr_scalars,svr_prefetches,"
-           "svr_llc_accuracy,energy_per_instr_nj,status,attempts,"
-           "error_code";
+    std::string header =
+        "workload,config,instructions,cycles,ipc,cpi,"
+        "stack_base,stack_l2,stack_dram,stack_branch,stack_svu,"
+        "stack_other,loads,stores,branches,branch_mispredicts,"
+        "l1d_hits,l1d_misses,l2_hits,l2_misses,dram_transfers,"
+        "tlb_walks,svr_rounds,svr_scalars,svr_prefetches,"
+        "svr_llc_accuracy,energy_per_instr_nj,status,attempts,"
+        "error_code";
+    if (sampled)
+        header += ",sample_windows,measured_instructions,cpi_stderr";
+    return header;
 }
 
 std::string
-csvRow(const SimResult &r)
+csvRow(const SimResult &r, bool sampled)
 {
     std::ostringstream os;
     os << r.workload << ',' << r.config << ',' << r.core.instructions
@@ -162,6 +177,10 @@ csvRow(const SimResult &r)
        << ',' << r.svrAccuracyLlc << ',' << r.energyPerInstr() << ','
        << (r.failed ? "failed" : "ok") << ',' << r.attempts << ','
        << r.errCode;
+    if (sampled) {
+        os << ',' << r.sampleWindows << ',' << r.measuredInstructions
+           << ',' << r.cpiStderr;
+    }
     return os.str();
 }
 

@@ -21,11 +21,16 @@ std::string toJson(const SimResult &result);
 /** Serialize many results as a JSON array. */
 std::string toJson(const std::vector<SimResult> &results);
 
-/** CSV header matching csvRow()'s columns. */
-std::string csvHeader();
+/**
+ * CSV header matching csvRow()'s columns. Pass sampled=true for a
+ * sampled sweep: three sampling columns (sample_windows,
+ * measured_instructions, cpi_stderr) are appended. The default header
+ * stays byte-identical to the pre-sampling format.
+ */
+std::string csvHeader(bool sampled = false);
 
-/** One CSV row per result. */
-std::string csvRow(const SimResult &result);
+/** One CSV row per result (@p sampled as for csvHeader()). */
+std::string csvRow(const SimResult &result, bool sampled = false);
 
 } // namespace svr
 

@@ -8,20 +8,16 @@
 #include "core/inorder_core.hh"
 #include "core/ooo_core.hh"
 #include "imp/imp_prefetcher.hh"
+#include "sim/sampled_sim.hh"
 #include "svr/svr_engine.hh"
 
 namespace svr
 {
 
-namespace
-{
-
 /**
- * Resolve SimConfig-level watchdog budgets (0 = auto, watchdogOff =
- * disabled) into the concrete core-level params (0 = disabled). The
- * auto cycle budget is deliberately loose — three orders of magnitude
- * above any plausible CPI — so it only ever fires on a genuinely
- * stuck run, never on a slow one.
+ * The auto cycle budget is deliberately loose — three orders of
+ * magnitude above any plausible CPI — so it only ever fires on a
+ * genuinely stuck run, never on a slow one.
  */
 WatchdogParams
 resolveWatchdog(const SimConfig &config)
@@ -47,7 +43,53 @@ resolveWatchdog(const SimConfig &config)
     return wd;
 }
 
-} // namespace
+CoreStats
+runTimingWindow(const SimConfig &config, MemorySystem &mem, Executor &exec,
+                FunctionalMemory &fmem, const SimHooks &hooks,
+                const WatchdogParams &wd, const TimingWindow &window)
+{
+    CoreStats stats;
+    switch (config.core) {
+      case CoreType::InOrder: {
+        InOrderCore core(config.inorder, mem);
+        core.setCommitHook(hooks.commit);
+        stats = core.run(exec, window.maxInstructions, wd, window.measure);
+        break;
+      }
+      case CoreType::InOrderImp: {
+        ImpPrefetcher imp(config.imp, fmem);
+        mem.setObserver(&imp);
+        InOrderCore core(config.inorder, mem);
+        core.setCommitHook(hooks.commit);
+        stats = core.run(exec, window.maxInstructions, wd, window.measure);
+        mem.setObserver(nullptr);
+        break;
+      }
+      case CoreType::OutOfOrder: {
+        OoOCore core(config.ooo, mem);
+        core.setCommitHook(hooks.commit);
+        stats = core.run(exec, window.maxInstructions, wd, window.measure);
+        break;
+      }
+      case CoreType::Svr: {
+        SvrEngine engine(config.svr, mem, exec);
+        if (window.svrIn)
+            engine.importState(*window.svrIn);
+        if (hooks.onSvrEngine)
+            hooks.onSvrEngine(engine);
+        InOrderCore core(config.inorder, mem);
+        core.setRunaheadEngine(&engine);
+        core.setCommitHook(hooks.commit);
+        stats = core.run(exec, window.maxInstructions, wd, window.measure);
+        if (window.svrOut)
+            *window.svrOut = engine.exportState();
+        break;
+      }
+      default:
+        fatal("simulate: bad core type");
+    }
+    return stats;
+}
 
 SimResult
 simulate(const SimConfig &config, const WorkloadInstance &w)
@@ -64,6 +106,9 @@ simulate(const SimConfig &config, const WorkloadInstance &w,
         fatal("simulate: workload '%s' has no program/memory",
               w.name.c_str());
 
+    if (config.sampling.enabled())
+        return simulateSampled(config, w, hooks);
+
     const WatchdogParams wd = resolveWatchdog(config);
 
     SimResult r;
@@ -75,42 +120,11 @@ simulate(const SimConfig &config, const WorkloadInstance &w,
     if (hooks.onExecutor)
         hooks.onExecutor(exec);
 
+    TimingWindow window;
+    window.maxInstructions = config.maxInstructions;
+
     const auto t_start = std::chrono::steady_clock::now();
-    switch (config.core) {
-      case CoreType::InOrder: {
-        InOrderCore core(config.inorder, mem);
-        core.setCommitHook(hooks.commit);
-        r.core = core.run(exec, config.maxInstructions, wd);
-        break;
-      }
-      case CoreType::InOrderImp: {
-        ImpPrefetcher imp(config.imp, *w.mem);
-        mem.setObserver(&imp);
-        InOrderCore core(config.inorder, mem);
-        core.setCommitHook(hooks.commit);
-        r.core = core.run(exec, config.maxInstructions, wd);
-        mem.setObserver(nullptr);
-        break;
-      }
-      case CoreType::OutOfOrder: {
-        OoOCore core(config.ooo, mem);
-        core.setCommitHook(hooks.commit);
-        r.core = core.run(exec, config.maxInstructions, wd);
-        break;
-      }
-      case CoreType::Svr: {
-        SvrEngine engine(config.svr, mem, exec);
-        if (hooks.onSvrEngine)
-            hooks.onSvrEngine(engine);
-        InOrderCore core(config.inorder, mem);
-        core.setRunaheadEngine(&engine);
-        core.setCommitHook(hooks.commit);
-        r.core = core.run(exec, config.maxInstructions, wd);
-        break;
-      }
-      default:
-        fatal("simulate: bad core type");
-    }
+    r.core = runTimingWindow(config, mem, exec, *w.mem, hooks, wd, window);
     const std::chrono::duration<double, std::milli> elapsed =
         std::chrono::steady_clock::now() - t_start;
     r.hostMillis = elapsed.count();

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "core/core_stats.hh"
+#include "core/measure.hh"
 #include "energy/energy_model.hh"
 #include "mem/memory_system.hh"
 #include "sim/config.hh"
@@ -23,7 +24,9 @@ namespace svr
 
 class CommitHook;
 class Executor;
+class FunctionalMemory;
 class SvrEngine;
+struct SvrEngineSnapshot;
 
 /**
  * Observation hooks into one simulation run (debug/verification
@@ -80,6 +83,20 @@ struct SimResult
     unsigned attempts = 1;  //!< simulation attempts for this cell
 
     /**
+     * Sampled-simulation provenance. When SamplingParams was enabled
+     * the counters above are whole-region *estimates* stitched from
+     * the timing windows (instructions stays exact), and these fields
+     * describe the estimate. All four stay at their defaults on a
+     * full-detail run, and the JSON/CSV reports only mention sampling
+     * when sampled is true, keeping non-sampled artifacts byte-
+     * identical to what they were before sampling existed.
+     */
+    bool sampled = false;
+    std::uint64_t sampleWindows = 0;        //!< timing windows measured
+    std::uint64_t measuredInstructions = 0; //!< instrs in those windows
+    double cpiStderr = 0.0; //!< standard error of the per-window CPIs
+
+    /**
      * Host wall-clock time spent inside the timing loop [ms]. Host-
      * side measurement only: deliberately kept out of toJson()/csv
      * reports, whose byte-identity across job counts is a test
@@ -104,6 +121,46 @@ struct SimResult
         return energy.perInstrNJ(core.instructions);
     }
 };
+
+/**
+ * Resolve SimConfig-level watchdog budgets (0 = auto, watchdogOff =
+ * disabled) into concrete core-level params (0 = disabled).
+ */
+WatchdogParams resolveWatchdog(const SimConfig &config);
+
+/**
+ * One detailed-timing segment over an already-positioned machine.
+ * simulate() runs exactly one covering the whole region; the sampled
+ * driver (sim/sampled_sim.hh) runs one per sample period.
+ */
+struct TimingWindow
+{
+    /** Instructions to commit, *including* any warmup. */
+    std::uint64_t maxInstructions = 0;
+
+    /** Optional warmup/measure split (see core/measure.hh). */
+    const MeasureWindow *measure = nullptr;
+
+    /**
+     * SVR predictor state carried across windows (CoreType::Svr only):
+     * svrIn warms the freshly built engine before the run, svrOut
+     * receives its state afterwards. Either may be null.
+     */
+    const SvrEngineSnapshot *svrIn = nullptr;
+    SvrEngineSnapshot *svrOut = nullptr;
+};
+
+/**
+ * Build the configured core (plus SVR engine / IMP prefetcher) over
+ * @p mem and run one timing segment on @p exec from its current
+ * position. @p fmem is the workload's functional memory (value source
+ * for IMP). Returns the segment's core stats (rebaselined when
+ * window.measure has a warmup).
+ */
+CoreStats runTimingWindow(const SimConfig &config, MemorySystem &mem,
+                          Executor &exec, FunctionalMemory &fmem,
+                          const SimHooks &hooks, const WatchdogParams &wd,
+                          const TimingWindow &window);
 
 /** Run @p config on @p workload (fresh instance) and measure. */
 SimResult simulate(const SimConfig &config, const WorkloadInstance &w);

@@ -109,4 +109,13 @@ StrideDetector::reset()
     useClock = 0;
 }
 
+void
+StrideDetector::importEntries(const std::vector<StrideEntry> &entries,
+                              std::uint64_t clock)
+{
+    for (std::size_t i = 0; i < table.size(); i++)
+        table[i] = i < entries.size() ? entries[i] : StrideEntry{};
+    useClock = clock;
+}
+
 } // namespace svr

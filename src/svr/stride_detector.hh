@@ -92,6 +92,22 @@ class StrideDetector
     /** Confidence threshold for "is striding". */
     unsigned confidenceThreshold() const { return p.confidenceThreshold; }
 
+    // ---- Warm-state transfer (sampled simulation / checkpoints) ----
+
+    /** The full table, slot by slot (invalid entries included). */
+    const std::vector<StrideEntry> &entries() const { return table; }
+
+    /** Current LRU clock (monotone lastUse source). */
+    std::uint64_t clock() const { return useClock; }
+
+    /**
+     * Replace the table with @p entries (excess slots cleared, excess
+     * source entries dropped — only meaningful across equal-sized
+     * detectors) and resume the LRU clock at @p clock.
+     */
+    void importEntries(const std::vector<StrideEntry> &entries,
+                       std::uint64_t clock);
+
   private:
     StrideDetectorParams p;
     std::vector<StrideEntry> table;

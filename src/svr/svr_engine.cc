@@ -50,6 +50,32 @@ SvrEngine::reset()
     std::fill(mask.begin(), mask.end(), false);
 }
 
+SvrEngineSnapshot
+SvrEngine::exportState() const
+{
+    SvrEngineSnapshot snap;
+    snap.strideEntries = sd.entries();
+    snap.strideClock = sd.clock();
+    snap.governorBanned = banned;
+    return snap;
+}
+
+void
+SvrEngine::importState(const SvrEngineSnapshot &snapshot)
+{
+    if (prmActive) {
+        panic("SvrEngine::importState: engine is mid-round; predictor "
+              "state can only be restored between rounds");
+    }
+    sd.importEntries(snapshot.strideEntries, snapshot.strideClock);
+    banned = snapshot.governorBanned;
+    // The governor's accuracy window restarts against this engine's
+    // (possibly fresh) memory system: re-anchor the counter bases.
+    instrsSinceGovernorReset = 0;
+    governorUsefulBase = mem.llcPrefFirstUse(PrefetchOrigin::Svr);
+    governorUnusedBase = mem.llcPrefEvictedUnused(PrefetchOrigin::Svr);
+}
+
 Cycle
 SvrEngine::svuSchedule(unsigned copies, Cycle from)
 {

@@ -125,6 +125,20 @@ struct SvrEngineStats
 };
 
 /**
+ * Persistent (cross-run) SVR predictor state: the stride-detector
+ * SRAM plus the accuracy-governor ban flag. This is what survives a
+ * sampled-simulation window boundary or a checkpoint — transient round
+ * state (PRM, masks, SRF) never does; a restored engine starts outside
+ * a round, exactly like hardware resuming from a context switch.
+ */
+struct SvrEngineSnapshot
+{
+    std::vector<StrideEntry> strideEntries;
+    std::uint64_t strideClock = 0;
+    bool governorBanned = false;
+};
+
+/**
  * The SVR engine. One instance per simulated SVR core; owns all the
  * new SRAM structures from Figure 5.
  */
@@ -173,6 +187,15 @@ class SvrEngine : public RunaheadEngine
 
     /** Event log (empty unless SvrParams::enableEventLog). */
     const std::vector<SvrEvent> &eventLog() const { return events; }
+
+    /** Snapshot the persistent predictor state (see SvrEngineSnapshot). */
+    SvrEngineSnapshot exportState() const;
+
+    /**
+     * Restore predictor state exported by exportState(). Only valid on
+     * an engine that is not mid-round; statistics are unaffected.
+     */
+    void importState(const SvrEngineSnapshot &snapshot);
 
   private:
     /** Enter PRM triggered by striding load @p dyn. */

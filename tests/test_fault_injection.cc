@@ -498,7 +498,7 @@ TEST(Journal, FailureRecordsAndStrangeStringsRoundTrip)
 TEST(Journal, TornAndCorruptLinesAreSkippedOnLoad)
 {
     const std::string path = ::testing::TempDir() + "svrsim_torn.journal";
-    const SweepKey key{"quick", "ino,svr16", 5000, 42};
+    const SweepKey key{"quick", "ino,svr16", 5000, 42, {}};
 
     SimResult a;
     a.workload = "W1";
@@ -530,7 +530,7 @@ TEST(Journal, MismatchedSweepIdentityIsRejected)
 {
     const std::string path =
         ::testing::TempDir() + "svrsim_mismatch.journal";
-    const SweepKey key{"quick", "ino,svr16", 5000, 42};
+    const SweepKey key{"quick", "ino,svr16", 5000, 42, {}};
     {
         SweepJournal journal(path, key);
     }
@@ -560,7 +560,7 @@ TEST(Journal, ResumedMatrixIsByteIdenticalToUninterruptedRun)
     // serializer, then resume restoring from the parsed journal.
     const std::string path =
         ::testing::TempDir() + "svrsim_resume.journal";
-    const SweepKey key{"tiny", "ino,svr16", 5000, 42};
+    const SweepKey key{"tiny", "ino,svr16", 5000, 42, {}};
     {
         SweepJournal journal(path, key);
         MatrixOptions partial = quietOpts(1);

@@ -6,16 +6,24 @@
  * sim-speed can be tracked over time alongside the repo.
  *
  * Usage:
- *   bench_report [--quick] [--out PATH]
+ *   bench_report [--quick] [--sampling] [--out PATH]
  *
- *   --quick   small windows / single repetition (CI smoke)
- *   --out     output path (default: BENCH_simspeed.json in cwd)
+ *   --quick     small windows / single repetition (CI smoke)
+ *   --sampling  measure sampled-vs-full accuracy and speedup instead,
+ *               writing BENCH_sampling.json: each core model runs the
+ *               same region once in full detail and once sampled
+ *               (fast-forward + warmup + measured window per period),
+ *               reporting the CPI error and wall-clock speedup
+ *   --out       output path (default: BENCH_simspeed.json, or
+ *               BENCH_sampling.json with --sampling)
  *
- * The committed BENCH_simspeed.json is regenerated with the
- * SVR_BENCH_JSON target: `cmake --build build --target SVR_BENCH_JSON`.
+ * The committed artifacts are regenerated with the SVR_BENCH_JSON and
+ * SVR_BENCH_SAMPLING_JSON targets, e.g.
+ * `cmake --build build --target SVR_BENCH_JSON`.
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <cstring>
@@ -173,6 +181,48 @@ mshrAllocDrainNs(unsigned reps, std::uint64_t iters)
     });
 }
 
+struct SamplingRow
+{
+    std::string label;
+    double fullCpi = 0.0;
+    double sampledCpi = 0.0;
+    double errorPct = 0.0;   //!< |sampled - full| / full, in percent
+    double speedup = 0.0;    //!< full wall time / sampled wall time
+    double ci95 = 0.0;       //!< 1.96 x stderr of the sampled CPI
+    std::uint64_t windows = 0;
+};
+
+/**
+ * One full-detail run and one sampled run of @p config over the same
+ * @p region of @p w, compared on CPI and wall clock.
+ */
+SamplingRow
+measureSampling(SimConfig config, const WorkloadInstance &w,
+                std::uint64_t region, const SamplingParams &sp)
+{
+    config.maxInstructions = region;
+    SamplingRow row;
+    row.label = config.label;
+
+    config.sampling = {};
+    const SimResult full = simulate(config, w);
+    row.fullCpi = full.cpi();
+
+    config.sampling = sp;
+    const SimResult sampled = simulate(config, w);
+    row.sampledCpi = sampled.cpi();
+    row.errorPct = row.fullCpi > 0.0
+                       ? 100.0 * std::abs(row.sampledCpi - row.fullCpi) /
+                             row.fullCpi
+                       : 0.0;
+    row.speedup = sampled.hostMillis > 0.0
+                      ? full.hostMillis / sampled.hostMillis
+                      : 0.0;
+    row.ci95 = 1.96 * sampled.cpiStderr;
+    row.windows = sampled.sampleWindows;
+    return row;
+}
+
 /** printf-append onto a string (the JSON is built then written atomically). */
 void
 appendf(std::string &out, const char *fmt, ...)
@@ -189,26 +239,103 @@ appendf(std::string &out, const char *fmt, ...)
     out += buf;
 }
 
+/**
+ * --sampling mode: sampled-vs-full comparison into BENCH_sampling.json.
+ * Paper-scale parameters by default (a 20M-instruction region sampled
+ * at 2M periods), scaled down 100x under --quick for CI smoke.
+ */
+int
+runSamplingBench(bool quick, const std::string &out_path)
+{
+    const std::uint64_t region = quick ? 200000 : 20000000;
+    SamplingParams sp;
+    sp.sampleEvery = quick ? 20000 : 2000000;
+    sp.sampleWindow = quick ? 2000 : 20000;
+    sp.warmup = quick ? 1000 : 10000;
+
+    // Paper-scale camel (default sizes): the small benchWorkload()
+    // variant leaves too much of its footprint cache-resident, which
+    // amplifies the cold-cache bias of each sample window far beyond
+    // what the paper-scale regions the sampler targets ever see.
+    const WorkloadInstance w = makeCamel();
+    const std::vector<SimConfig> configs = {
+        presets::inorder(), presets::impCore(), presets::outOfOrder(),
+        presets::svrCore(16)};
+
+    std::vector<SamplingRow> rows;
+    for (const auto &config : configs) {
+        rows.push_back(measureSampling(config, w, region, sp));
+        const SamplingRow &r = rows.back();
+        std::fprintf(stderr,
+                     "  %-8s full CPI %.4f  sampled %.4f +/- %.4f  "
+                     "err %.2f%%  speedup %.1fx  (%llu windows)\n",
+                     r.label.c_str(), r.fullCpi, r.sampledCpi, r.ci95,
+                     r.errorPct, r.speedup,
+                     static_cast<unsigned long long>(r.windows));
+    }
+
+    std::string json;
+    appendf(json, "{\n");
+    appendf(json, "  \"schema\": \"svrsim-bench-sampling-v1\",\n");
+    appendf(json, "  \"quick\": %s,\n", quick ? "true" : "false");
+    appendf(json, "  \"workload\": \"camel\",\n");
+    appendf(json, "  \"region_instructions\": %llu,\n",
+            static_cast<unsigned long long>(region));
+    appendf(json, "  \"sample_every\": %llu,\n",
+            static_cast<unsigned long long>(sp.sampleEvery));
+    appendf(json, "  \"sample_window\": %llu,\n",
+            static_cast<unsigned long long>(sp.sampleWindow));
+    appendf(json, "  \"warmup\": %llu,\n",
+            static_cast<unsigned long long>(sp.warmup));
+    appendf(json, "  \"configs\": [\n");
+    for (std::size_t i = 0; i < rows.size(); i++) {
+        const SamplingRow &r = rows[i];
+        appendf(json,
+                "    {\"label\": \"%s\", \"full_cpi\": %.6f, "
+                "\"sampled_cpi\": %.6f, \"cpi_ci95\": %.6f, "
+                "\"cpi_error_pct\": %.3f, \"speedup\": %.2f, "
+                "\"sample_windows\": %llu}%s\n",
+                r.label.c_str(), r.fullCpi, r.sampledCpi, r.ci95,
+                r.errorPct, r.speedup,
+                static_cast<unsigned long long>(r.windows),
+                i + 1 < rows.size() ? "," : "");
+    }
+    appendf(json, "  ]\n");
+    appendf(json, "}\n");
+
+    writeFileAtomic(out_path, json, FaultPlan::fromEnv());
+    std::fprintf(stderr, "bench_report: wrote %s\n", out_path.c_str());
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 try {
     bool quick = false;
-    std::string out_path = "BENCH_simspeed.json";
+    bool sampling = false;
+    std::string out_path;
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--quick") == 0) {
             quick = true;
+        } else if (std::strcmp(argv[i], "--sampling") == 0) {
+            sampling = true;
         } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             out_path = argv[++i];
         } else {
-            std::fprintf(stderr,
-                         "usage: bench_report [--quick] [--out PATH]\n");
+            std::fprintf(stderr, "usage: bench_report [--quick] "
+                                 "[--sampling] [--out PATH]\n");
             return 1;
         }
     }
+    if (out_path.empty())
+        out_path = sampling ? "BENCH_sampling.json" : "BENCH_simspeed.json";
 
     setInformEnabled(false);
+
+    if (sampling)
+        return runSamplingBench(quick, out_path);
 
     const std::uint64_t window = quick ? 20000 : 100000;
     const unsigned reps = quick ? 1 : 3;

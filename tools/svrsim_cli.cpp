@@ -8,6 +8,7 @@
  *              [--n N] [--window INSTRS] [--mshrs M] [--bw GIBPS]
  *              [--ptws P] [--loop-bound MODE] [--no-waiting]
  *              [--svu-width W] [--srf K] [--dvr-recycling]
+ *              [--sample-every E] [--sample-window W] [--warmup U]
  *              [--compare] [--jobs J]
  *
  * Examples:
@@ -15,6 +16,8 @@
  *   svrsim_cli --workload HJ8 --core imp --window 1000000
  *   svrsim_cli --workload Camel --core svr --loop-bound maxlength
  *   svrsim_cli --workload BFS_UR --compare --jobs 4
+ *   svrsim_cli --workload Camel --core svr --window 20000000 \
+ *              --sample-every 2000000 --sample-window 40000 --warmup 20000
  */
 
 #include <cstdio>
@@ -52,6 +55,10 @@ usage()
         "  --svu-width W          SVU scalars per cycle (default 1)\n"
         "  --srf K                speculative registers (default 8)\n"
         "  --dvr-recycling        DVR-style stop-when-full SRF policy\n"
+        "  --sample-every E       sampled simulation: one timing sample\n"
+        "                         per E instrs (0 = full detail)\n"
+        "  --sample-window W      measured instrs per sample\n"
+        "  --warmup U             detailed-warmup instrs per sample\n"
         "  --json                 emit the result as JSON\n"
         "  --compare              run ino/imp/ooo/svrN side by side\n"
         "                         (parallel; see also SVRSIM_JOBS)\n"
@@ -137,6 +144,12 @@ try {
                 static_cast<unsigned>(std::stoul(next()));
         } else if (arg == "--dvr-recycling") {
             config.svr.recycle = SrfRecycle::StopWhenFull;
+        } else if (arg == "--sample-every") {
+            config.sampling.sampleEvery = std::stoull(next());
+        } else if (arg == "--sample-window") {
+            config.sampling.sampleWindow = std::stoull(next());
+        } else if (arg == "--warmup") {
+            config.sampling.warmup = std::stoull(next());
         } else if (arg == "--json") {
             json = true;
         } else if (arg == "--compare") {
@@ -218,6 +231,19 @@ try {
                 static_cast<unsigned long long>(r.core.cycles));
     std::printf("IPC             %.4f\n", r.ipc());
     std::printf("CPI             %.4f\n", r.cpi());
+    if (r.sampled) {
+        std::printf("\nsampling\n");
+        std::printf("  windows       %llu\n",
+                    static_cast<unsigned long long>(r.sampleWindows));
+        std::printf("  measured      %llu of %llu instrs (%.2f%%)\n",
+                    static_cast<unsigned long long>(
+                        r.measuredInstructions),
+                    static_cast<unsigned long long>(r.core.instructions),
+                    100.0 * static_cast<double>(r.measuredInstructions) /
+                        static_cast<double>(r.core.instructions));
+        std::printf("  CPI           %.4f +/- %.4f (95%% CI)\n", r.cpi(),
+                    1.96 * r.cpiStderr);
+    }
     std::printf("\nCPI stack (cycles)\n");
     std::printf("  base          %llu\n",
                 static_cast<unsigned long long>(r.core.stackBase()));

@@ -6,6 +6,7 @@
  * Usage:
  *   svrsim_sweep [--suite graph|hpcdb|full|spec|quick]
  *                [--configs LIST] [--window INSTRS] [--jobs N] [--json]
+ *                [--sample-every E] [--sample-window W] [--warmup U]
  *                [--out PATH] [--resume] [--keep-going] [--retries N]
  *
  * LIST is comma-separated from: ino, imp, ooo, svrN (e.g. svr16).
@@ -28,6 +29,11 @@
  *                   (status=failed) and keep sweeping; exit code 3
  *                   when any cell failed. Default is fail-fast.
  *   --retries N     attempts per cell before a failure counts (def. 1)
+ *
+ * Sampled sweeps (--sample-every, see svrsim_cli) append three CSV
+ * columns (sample_windows, measured_instructions, cpi_stderr) and tag
+ * the journal header with the sampling parameters, so --resume
+ * rejects a journal written under different sampling.
  *
  * The SVRSIM_FAULT environment variable injects deterministic faults
  * for testing (see src/common/fault.hh for the grammar).
@@ -98,6 +104,7 @@ runSweep(int argc, char **argv)
     bool resume = false;
     bool keep_going = false;
     unsigned retries = 1;
+    SamplingParams sampling;
 
     for (int i = 1; i < argc; i++) {
         const std::string arg = argv[i];
@@ -114,6 +121,12 @@ runSweep(int argc, char **argv)
             window = std::stoull(next());
         } else if (arg == "--jobs") {
             jobs = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--sample-every") {
+            sampling.sampleEvery = std::stoull(next());
+        } else if (arg == "--sample-window") {
+            sampling.sampleWindow = std::stoull(next());
+        } else if (arg == "--warmup") {
+            sampling.warmup = std::stoull(next());
         } else if (arg == "--json") {
             json = true;
         } else if (arg == "--out") {
@@ -155,6 +168,7 @@ runSweep(int argc, char **argv)
             continue;
         SimConfig c = presets::byName(name);
         c.maxInstructions = window;
+        c.sampling = sampling;
         configs.push_back(c);
     }
 
@@ -166,7 +180,12 @@ runSweep(int argc, char **argv)
     opts.maxAttempts = retries;
     opts.faultPlan = faults;
 
-    const SweepKey key{suite, configs_arg, window, opts.baseSeed};
+    SweepKey key{suite, configs_arg, window, opts.baseSeed, {}};
+    if (sampling.enabled()) {
+        key.sampling = std::to_string(sampling.sampleEvery) + "/" +
+                       std::to_string(sampling.sampleWindow) + "/" +
+                       std::to_string(sampling.warmup);
+    }
     const std::string journal_path = out_path + ".journal";
     std::unique_ptr<SweepJournal> journal;
     JournalCells completed;
@@ -211,9 +230,9 @@ runSweep(int argc, char **argv)
     if (json) {
         content = toJson(results);
     } else {
-        content = csvHeader() + "\n";
+        content = csvHeader(sampling.enabled()) + "\n";
         for (const auto &r : results)
-            content += csvRow(r) + "\n";
+            content += csvRow(r, sampling.enabled()) + "\n";
     }
 
     if (!out_path.empty()) {
