@@ -14,21 +14,29 @@
 namespace svr
 {
 
-/** One dynamic instruction produced by the Executor. */
+/**
+ * One dynamic instruction produced by the Executor.
+ *
+ * Plain aggregate with no default member initializers: the Executor's
+ * dispatch loop writes every field of each record it hands out (the
+ * implicit zeroing a default-initialized 88-byte struct would cost per
+ * step is measurable on the interpreter hot path). Declare instances
+ * as `DynInst d{};` anywhere the producer is not Executor::step().
+ */
 struct DynInst
 {
-    SeqNum seq = 0;               //!< dynamic sequence number
-    Addr pc = 0;                  //!< synthetic PC
-    std::uint32_t index = 0;      //!< static instruction index
-    const Instruction *si = nullptr;
+    SeqNum seq;                   //!< dynamic sequence number
+    Addr pc;                      //!< synthetic PC
+    std::uint32_t index;          //!< static instruction index
+    const Instruction *si;
 
-    RegVal src1 = 0;              //!< value of rs1 at execution
-    RegVal src2 = 0;              //!< value of rs2 at execution
-    RegVal result = 0;            //!< value written to rd (if any)
+    RegVal src1;                  //!< value of rs1 at execution
+    RegVal src2;                  //!< value of rs2 at execution
+    RegVal result;                //!< value written to rd (if any)
 
-    Addr addr = 0;                //!< effective address for memory ops
-    bool taken = false;           //!< branch outcome
-    Addr targetPc = 0;            //!< branch target PC if taken
+    Addr addr;                    //!< effective address for memory ops
+    bool taken;                   //!< branch outcome
+    Addr targetPc;                //!< branch target PC if taken
     Flags flagsOut;               //!< flags produced by a compare
 };
 

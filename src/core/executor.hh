@@ -10,6 +10,7 @@
 #include <array>
 #include <cassert>
 #include <cstdint>
+#include <vector>
 
 #include "common/types.hh"
 #include "core/dyn_inst.hh"
@@ -55,8 +56,21 @@ class Executor
      */
     Executor(const Program &program, FunctionalMemory &memory);
 
-    /** Execute the next instruction; undefined when halted(). */
-    DynInst step();
+    /**
+     * Execute the next instruction; undefined when halted(). Inline:
+     * the timing cores call this once per dynamic instruction, and the
+     * interpreter writes every DynInst field directly into the
+     * caller's record (no zero-init, no extra copy).
+     */
+    DynInst
+    step()
+    {
+        if (isHalted)
+            stepHaltedPanic();
+        DynInst dyn;
+        interp<true>(1, &dyn);
+        return dyn;
+    }
 
     /**
      * Execute up to @p n instructions discarding the dynamic stream
@@ -121,6 +135,51 @@ class Executor
     void importArchState(const ExecArchState &state);
 
   private:
+    /**
+     * One predecoded instruction in the flat dispatch side table.
+     * `handler` is the dense dispatch token (the opcode value), which
+     * the interpreter turns into a handler address with one table
+     * load; operand fields are pre-resolved so no handler re-examines
+     * the raw Instruction encoding:
+     *  - s1/s2 are register-file indices already clamped onto the
+     *    padded always-zero read slot for invalidReg operands;
+     *  - rdSlot is the writeback index, with x0 and invalidReg
+     *    destinations redirected to the write sink slot so handlers
+     *    store unconditionally;
+     *  - target/targetPc are the resolved control-flow destination for
+     *    branches and jumps (index and synthetic PC).
+     */
+    struct DecodedInst
+    {
+        std::int64_t imm = 0;
+        std::size_t target = 0;
+        Addr targetPc = 0;
+        std::uint8_t handler = 0;
+        std::uint8_t s1 = 0;
+        std::uint8_t s2 = 0;
+        std::uint8_t rdSlot = 0;
+    };
+
+    /** Operand-read index for invalidReg sources (always reads 0). */
+    static constexpr unsigned zeroReadSlot = numArchRegs;
+    /** Writeback index for x0/invalidReg destinations (never read). */
+    static constexpr unsigned writeSinkSlot = numArchRegs + 1;
+
+    /**
+     * The threaded-dispatch interpreter loop: execute up to @p n
+     * instructions, stopping early on halt, returning the number
+     * executed. With kMaterialize (the step() instantiation, n == 1)
+     * the dynamic record is filled in via @p dyn; without it the
+     * compiler drops every DynInst store (the run() fast-forward
+     * instantiation keeps the architectural state in registers across
+     * the whole batch).
+     */
+    template <bool kMaterialize>
+    std::uint64_t interp(std::uint64_t n, DynInst *dyn);
+
+    /** Out-of-line panic for step()-while-halted (keeps step() lean). */
+    [[noreturn]] void stepHaltedPanic() const;
+
     const Program &prog;
     /**
      * Raw instruction storage, cached from prog.data() (stable for the
@@ -130,11 +189,19 @@ class Executor
     const Instruction *code;
     FunctionalMemory &mem;
     /**
-     * Register file padded with one extra always-zero slot: step()
-     * maps invalidReg operand fields onto it with an unconditional
-     * min(), reading 0 without a branch. writeReg() never touches it.
+     * Flat predecoded side table, one entry per static instruction
+     * (built once in the constructor alongside register validation).
      */
-    std::array<RegVal, numArchRegs + 1> regs{};
+    std::vector<DecodedInst> decoded;
+    /** Cached prog.size(), the halt bound on the dispatch hot path. */
+    std::size_t progSize = 0;
+    /**
+     * Register file padded with two extra slots: zeroReadSlot is the
+     * always-zero operand read for invalidReg sources, writeSinkSlot
+     * absorbs writes to x0/invalidReg destinations so the writeback
+     * path is an unconditional store. Neither is ever read as data.
+     */
+    std::array<RegVal, numArchRegs + 2> regs{};
     Flags flagState;
     std::size_t pcIdx = 0;
     bool isHalted = false;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "core/static_info.hh"
 
 namespace svr
 {
@@ -44,6 +45,11 @@ InOrderCore::run(Executor &exec, std::uint64_t max_instrs,
     CoreStats stats;
     bpred.reset();
 
+    // Precomputed per-static-instruction sources/latencies (indexed by
+    // DynInst::index) keep opcode decoding off the per-commit path.
+    const std::vector<StaticOpInfo> opInfo =
+        buildStaticOpInfo(exec.program());
+
     // Warmup boundary: at warmup_at committed instructions, snapshot
     // the counters and subtract the snapshot at the end. Counters
     // themselves keep running monotonically through the boundary so
@@ -66,13 +72,14 @@ InOrderCore::run(Executor &exec, std::uint64_t max_instrs,
     while (stats.instructions < max_instrs && !exec.halted()) {
         const DynInst dyn = exec.step();
         const Instruction &inst = *dyn.si;
+        const StaticOpInfo &sinfo = opInfo[dyn.index];
 
         // Earliest issue given operands, fetch, and SVU blocking.
         Cycle ready = issue_cycle;
         ValueSource stall_src = ValueSource::Core;
         bool stall_is_fetch = false;
         bool stall_is_svu = false;
-        for (RegId s : inst.sources()) {
+        for (RegId s : sinfo.srcs) {
             if (s == invalidReg)
                 continue;
             if (regReady[s] > ready) {
@@ -169,7 +176,7 @@ InOrderCore::run(Executor &exec, std::uint64_t max_instrs,
           case Opcode::Cmp:
           case Opcode::Cmpi:
           case Opcode::Fcmp:
-            regReady[flagsReg] = issued_at + inst.execLatency();
+            regReady[flagsReg] = issued_at + sinfo.latency;
             regSource[flagsReg] = ValueSource::Core;
             break;
           case Opcode::Jmp:
@@ -210,7 +217,7 @@ InOrderCore::run(Executor &exec, std::uint64_t max_instrs,
           default:
             // ALU / FP / Li / Nop.
             if (inst.writesIntReg()) {
-                regReady[inst.rd] = issued_at + inst.execLatency();
+                regReady[inst.rd] = issued_at + sinfo.latency;
                 regSource[inst.rd] = ValueSource::Core;
             }
             break;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "core/static_info.hh"
 
 namespace svr
 {
@@ -40,6 +41,11 @@ OoOCore::run(Executor &exec, std::uint64_t max_instrs,
     CoreStats stats;
     bpred.reset();
 
+    // Precomputed per-static-instruction sources/latencies (indexed by
+    // DynInst::index) keep opcode decoding off the per-commit path.
+    const std::vector<StaticOpInfo> opInfo =
+        buildStaticOpInfo(exec.program());
+
     // Warmup boundary: snapshot-and-subtract (see core/measure.hh).
     // The live counters keep running — the ROB/RS/LSQ rings below are
     // indexed by stats.instructions, so resetting it mid-run would
@@ -68,6 +74,7 @@ OoOCore::run(Executor &exec, std::uint64_t max_instrs,
     while (stats.instructions < max_instrs && !exec.halted()) {
         const DynInst dyn = exec.step();
         const Instruction &inst = *dyn.si;
+        const StaticOpInfo &sinfo = opInfo[dyn.index];
         const std::uint64_t i = stats.instructions;
 
         // ---- Dispatch: in order, width-limited, window-limited. ----
@@ -109,7 +116,7 @@ OoOCore::run(Executor &exec, std::uint64_t max_instrs,
 
         // ---- Issue: dataflow (operands ready). ----
         Cycle operands = dispatched_at;
-        for (RegId s : inst.sources()) {
+        for (RegId s : sinfo.srcs) {
             if (s != invalidReg)
                 operands = std::max(operands, regReady[s]);
         }
@@ -117,7 +124,7 @@ OoOCore::run(Executor &exec, std::uint64_t max_instrs,
         rsIssue[i % p.rsSize] = issued_at;
 
         // ---- Execute / complete. ----
-        Cycle complete = issued_at + inst.execLatency();
+        Cycle complete = issued_at + sinfo.latency;
         ValueSource src = ValueSource::Core;
         switch (inst.op) {
           case Opcode::Ld:

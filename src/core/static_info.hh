@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Per-static-instruction metadata, precomputed once per core run.
+ *
+ * The timing cores need each instruction's source registers and
+ * execution latency once per dynamic instruction; deriving them from
+ * the Instruction encoding (sources() walks an opcode switch) is
+ * measurable at simulation rates of tens of millions of instructions
+ * per second. Cores index this flat table by DynInst::index instead.
+ */
+
+#ifndef SVR_CORE_STATIC_INFO_HH
+#define SVR_CORE_STATIC_INFO_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/program.hh"
+
+namespace svr
+{
+
+/** Decoded dependence/latency facts for one static instruction. */
+struct StaticOpInfo
+{
+    /** Sources incl. flagsReg for branches; invalidReg pads. */
+    std::array<RegId, 3> srcs;
+    /** Execution latency in cycles (Instruction::execLatency()). */
+    std::uint8_t latency;
+};
+
+/** Build the table for @p prog (one entry per static instruction). */
+inline std::vector<StaticOpInfo>
+buildStaticOpInfo(const Program &prog)
+{
+    std::vector<StaticOpInfo> table(prog.size());
+    for (std::size_t i = 0; i < prog.size(); i++) {
+        const Instruction &inst = prog.at(i);
+        table[i].srcs = inst.sources();
+        table[i].latency =
+            static_cast<std::uint8_t>(inst.execLatency());
+    }
+    return table;
+}
+
+} // namespace svr
+
+#endif // SVR_CORE_STATIC_INFO_HH

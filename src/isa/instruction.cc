@@ -16,50 +16,6 @@ badEvalOpcode(const char *fn, Opcode op)
 
 } // namespace detail
 
-RegId
-Instruction::dest() const
-{
-    if (isCompare())
-        return flagsReg;
-    if (writesIntReg())
-        return rd;
-    return invalidReg;
-}
-
-std::array<RegId, 3>
-Instruction::sources() const
-{
-    std::array<RegId, 3> srcs = {invalidReg, invalidReg, invalidReg};
-    unsigned n = 0;
-    if (isCondBranch()) {
-        srcs[n++] = flagsReg;
-        return srcs;
-    }
-    if (op == Opcode::Jmp || op == Opcode::Halt || op == Opcode::Nop ||
-        op == Opcode::Li) {
-        return srcs;
-    }
-    if (rs1 != invalidReg)
-        srcs[n++] = rs1;
-    // rs2 is a source for reg-reg ALU, compares, and stores (data).
-    switch (op) {
-      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
-      case Opcode::Divu: case Opcode::Remu: case Opcode::And:
-      case Opcode::Or: case Opcode::Xor: case Opcode::Sll:
-      case Opcode::Srl: case Opcode::Sra: case Opcode::Cmp:
-      case Opcode::Fcmp: case Opcode::Fadd: case Opcode::Fsub:
-      case Opcode::Fmul: case Opcode::Fdiv: case Opcode::Fmin:
-      case Opcode::Fmax:
-      case Opcode::Sd: case Opcode::Sw: case Opcode::Sh: case Opcode::Sb:
-        if (rs2 != invalidReg)
-            srcs[n++] = rs2;
-        break;
-      default:
-        break;
-    }
-    return srcs;
-}
-
 const char *
 opcodeName(Opcode op)
 {

@@ -174,14 +174,56 @@ struct Instruction
     }
     /**
      * Destination register id including the flags pseudo-register
-     * (invalidReg when the instruction writes nothing).
+     * (invalidReg when the instruction writes nothing). Inline: the
+     * timing models call this once per dynamic instruction.
      */
-    RegId dest() const;
+    RegId
+    dest() const
+    {
+        if (isCompare())
+            return flagsReg;
+        if (writesIntReg())
+            return rd;
+        return invalidReg;
+    }
     /**
      * Source registers, including flagsReg for conditional branches.
-     * Unused slots hold invalidReg.
+     * Unused slots hold invalidReg. Inline for the same reason as
+     * dest(): one call per dynamic instruction in every timing core.
      */
-    std::array<RegId, 3> sources() const;
+    std::array<RegId, 3>
+    sources() const
+    {
+        std::array<RegId, 3> srcs = {invalidReg, invalidReg, invalidReg};
+        unsigned n = 0;
+        if (isCondBranch()) {
+            srcs[n++] = flagsReg;
+            return srcs;
+        }
+        if (op == Opcode::Jmp || op == Opcode::Halt || op == Opcode::Nop ||
+            op == Opcode::Li) {
+            return srcs;
+        }
+        if (rs1 != invalidReg)
+            srcs[n++] = rs1;
+        // rs2 is a source for reg-reg ALU, compares, and stores (data).
+        switch (op) {
+          case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+          case Opcode::Divu: case Opcode::Remu: case Opcode::And:
+          case Opcode::Or: case Opcode::Xor: case Opcode::Sll:
+          case Opcode::Srl: case Opcode::Sra: case Opcode::Cmp:
+          case Opcode::Fcmp: case Opcode::Fadd: case Opcode::Fsub:
+          case Opcode::Fmul: case Opcode::Fdiv: case Opcode::Fmin:
+          case Opcode::Fmax:
+          case Opcode::Sd: case Opcode::Sw: case Opcode::Sh: case Opcode::Sb:
+            if (rs2 != invalidReg)
+                srcs[n++] = rs2;
+            break;
+          default:
+            break;
+        }
+        return srcs;
+    }
     /** Execution latency in cycles on the modelled pipeline. */
     unsigned
     execLatency() const

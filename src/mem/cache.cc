@@ -31,7 +31,8 @@ Cache::Cache(const CacheParams &params) : p(params)
         std::bit_ceil<std::size_t>(std::max<std::size_t>(16, 2 * p.numMshrs));
     pendingSlots.assign(cap, -1);
     pendingSlotMask = cap - 1;
-    pending.reserve(cap);
+    pool.reserve(cap);
+    freeSlots.reserve(cap);
 }
 
 unsigned
@@ -58,7 +59,7 @@ Cache::findPending(Addr line_addr) const
         const std::int32_t idx = pendingSlots[s];
         if (idx < 0)
             return -1;
-        if (pending[static_cast<std::size_t>(idx)].line == line_addr)
+        if (pool[static_cast<std::size_t>(idx)].line == line_addr)
             return idx;
         s = (s + 1) & pendingSlotMask;
     }
@@ -74,17 +75,60 @@ Cache::indexPending(Addr line_addr, int idx)
 }
 
 void
-Cache::rebuildPendingIndex()
+Cache::eraseIndex(std::int32_t idx)
 {
-    if (pending.size() * 2 > pendingSlots.size()) {
-        const std::size_t cap = pendingSlots.size() * 2;
-        pendingSlots.assign(cap, -1);
-        pendingSlotMask = cap - 1;
-    } else {
-        std::fill(pendingSlots.begin(), pendingSlots.end(), -1);
+    // Find the slot holding idx, then backward-shift later entries of
+    // the same probe chain into the hole so probes never need
+    // tombstones (Knuth 6.4 algorithm R, open addressing with linear
+    // probing).
+    std::size_t hole = hashSlot(pool[static_cast<std::size_t>(idx)].line);
+    while (pendingSlots[hole] != idx)
+        hole = (hole + 1) & pendingSlotMask;
+    std::size_t j = hole;
+    while (true) {
+        j = (j + 1) & pendingSlotMask;
+        const std::int32_t moved = pendingSlots[j];
+        if (moved < 0)
+            break;
+        const std::size_t ideal =
+            hashSlot(pool[static_cast<std::size_t>(moved)].line);
+        // Entry at j may move into the hole iff the hole lies within
+        // its probe path, i.e. cyclically between ideal and j.
+        if (((j - ideal) & pendingSlotMask) >=
+            ((j - hole) & pendingSlotMask)) {
+            pendingSlots[hole] = moved;
+            hole = j;
+        }
     }
-    for (std::size_t i = 0; i < pending.size(); i++)
-        indexPending(pending[i].line, static_cast<int>(i));
+    pendingSlots[hole] = -1;
+}
+
+void
+Cache::unlinkPending(std::int32_t idx)
+{
+    eraseIndex(idx);
+    PendingMiss &m = pool[static_cast<std::size_t>(idx)];
+    if (m.prev >= 0)
+        pool[static_cast<std::size_t>(m.prev)].next = m.next;
+    else
+        pendingHead = m.next;
+    if (m.next >= 0)
+        pool[static_cast<std::size_t>(m.next)].prev = m.prev;
+    else
+        pendingTail = m.prev;
+    freeSlots.push_back(idx);
+    pendingCount--;
+}
+
+void
+Cache::growPendingIndex()
+{
+    const std::size_t cap = pendingSlots.size() * 2;
+    pendingSlots.assign(cap, -1);
+    pendingSlotMask = cap - 1;
+    for (std::int32_t i = pendingHead; i >= 0;
+         i = pool[static_cast<std::size_t>(i)].next)
+        indexPending(pool[static_cast<std::size_t>(i)].line, i);
 }
 
 bool
@@ -137,27 +181,29 @@ Cache::insert(Addr line_addr, PrefetchOrigin origin, bool dirty)
     EvictResult result;
     const unsigned set = setIndex(line_addr);
     Line *base = &lines[static_cast<std::size_t>(set) * p.assoc];
-    // If already present (e.g. a racing fill), just update.
+    // One pass: present check, first-invalid search, and LRU victim
+    // scan fused (valid lines form set state where the choices are
+    // identical to running the three scans separately — present wins,
+    // else first invalid, else unique-lastUse minimum).
+    Line *victim = nullptr;
+    Line *lru = base;
     for (unsigned w = 0; w < p.assoc; w++) {
-        if (base[w].valid && base[w].tag == line_addr) {
-            base[w].dirty = base[w].dirty || dirty;
+        Line &line = base[w];
+        if (!line.valid) {
+            if (!victim)
+                victim = &line;
+            continue;
+        }
+        if (line.tag == line_addr) {
+            // Already present (e.g. a racing fill): just update.
+            line.dirty = line.dirty || dirty;
             return result;
         }
-    }
-    // Choose an invalid way, else the LRU way.
-    Line *victim = nullptr;
-    for (unsigned w = 0; w < p.assoc; w++) {
-        if (!base[w].valid) {
-            victim = &base[w];
-            break;
-        }
+        if (line.lastUse < lru->lastUse)
+            lru = &line;
     }
     if (!victim) {
-        victim = base;
-        for (unsigned w = 1; w < p.assoc; w++) {
-            if (base[w].lastUse < victim->lastUse)
-                victim = &base[w];
-        }
+        victim = lru;
         result.evictedValid = true;
         result.evictedDirty = victim->dirty;
         result.evictedLine = victim->tag;
@@ -201,7 +247,10 @@ Cache::reset()
         line = Line{};
     useClock = 0;
     std::fill(mshrFreeHeap.begin(), mshrFreeHeap.end(), 0);
-    pending.clear();
+    pool.clear();
+    freeSlots.clear();
+    pendingHead = pendingTail = -1;
+    pendingCount = 0;
     std::fill(pendingSlots.begin(), pendingSlots.end(), -1);
     earliestDone = neverDone;
     hits = misses = writebacks = 0;
@@ -217,7 +266,7 @@ Cache::outstandingMiss(Addr line_addr, Cycle now) const
     const int idx = findPending(line_addr);
     if (idx < 0)
         return 0;
-    const Cycle done = pending[static_cast<std::size_t>(idx)].done;
+    const Cycle done = pool[static_cast<std::size_t>(idx)].done;
     return done > now ? done : 0;
 }
 
@@ -228,7 +277,8 @@ Cache::mshrAvailable(Cycle now) const
 }
 
 void
-Cache::allocateMshr(Addr line_addr, Cycle start, Cycle done)
+Cache::allocateMshr(Addr line_addr, Cycle start, Cycle done,
+                    PrefetchOrigin origin, bool dirty, bool from_dram)
 {
     // Occupy the MSHR that frees earliest (the heap root).
     if (mshrFreeHeap[0] > start)
@@ -253,19 +303,34 @@ Cache::allocateMshr(Addr line_addr, Cycle start, Cycle done)
     const int idx = findPending(line_addr);
     if (idx >= 0) {
         // Re-allocation of a line whose previous miss completed but is
-        // not drained yet: restart its entry, as map assignment did.
-        pending[static_cast<std::size_t>(idx)] = {
-            line_addr, done, PrefetchOrigin::None, false, false};
+        // not drained yet: restart the entry in place, keeping its
+        // allocation-order position (as overwriting the array slot
+        // did).
+        PendingMiss &m = pool[static_cast<std::size_t>(idx)];
+        m.done = done;
+        m.origin = origin;
+        m.dirty = dirty;
+        m.fromDram = from_dram;
     } else {
-        if ((pending.size() + 1) * 2 > pendingSlots.size()) {
-            pending.push_back(
-                {line_addr, done, PrefetchOrigin::None, false, false});
-            rebuildPendingIndex(); // grows and re-indexes
+        if ((pendingCount + 1) * 2 > pendingSlots.size())
+            growPendingIndex();
+        std::int32_t slot;
+        if (!freeSlots.empty()) {
+            slot = freeSlots.back();
+            freeSlots.pop_back();
         } else {
-            indexPending(line_addr, static_cast<int>(pending.size()));
-            pending.push_back(
-                {line_addr, done, PrefetchOrigin::None, false, false});
+            slot = static_cast<std::int32_t>(pool.size());
+            pool.emplace_back();
         }
+        pool[static_cast<std::size_t>(slot)] = {
+            line_addr, done, origin, dirty, from_dram, pendingTail, -1};
+        if (pendingTail >= 0)
+            pool[static_cast<std::size_t>(pendingTail)].next = slot;
+        else
+            pendingHead = slot;
+        pendingTail = slot;
+        pendingCount++;
+        indexPending(line_addr, slot);
     }
     if (done < earliestDone)
         earliestDone = done;
@@ -279,7 +344,7 @@ Cache::setPendingFill(Addr line_addr, PrefetchOrigin origin, bool dirty,
     if (idx < 0)
         panic("Cache '%s': setPendingFill on non-outstanding line",
               p.name.c_str());
-    PendingMiss &m = pending[static_cast<std::size_t>(idx)];
+    PendingMiss &m = pool[static_cast<std::size_t>(idx)];
     m.origin = origin;
     m.dirty = m.dirty || dirty;
     m.fromDram = from_dram;
@@ -290,7 +355,7 @@ Cache::pendingOrigin(Addr line_addr) const
 {
     const int idx = findPending(line_addr);
     return idx < 0 ? PrefetchOrigin::None
-                   : pending[static_cast<std::size_t>(idx)].origin;
+                   : pool[static_cast<std::size_t>(idx)].origin;
 }
 
 void
@@ -299,7 +364,7 @@ Cache::convertPendingToDemand(Addr line_addr)
     const int idx = findPending(line_addr);
     if (idx < 0)
         return;
-    PendingMiss &m = pending[static_cast<std::size_t>(idx)];
+    PendingMiss &m = pool[static_cast<std::size_t>(idx)];
     if (m.origin == PrefetchOrigin::None)
         return;
     prefetchFirstUse[static_cast<unsigned>(m.origin)]++;
@@ -310,7 +375,7 @@ bool
 Cache::pendingFromDram(Addr line_addr) const
 {
     const int idx = findPending(line_addr);
-    return idx >= 0 && pending[static_cast<std::size_t>(idx)].fromDram;
+    return idx >= 0 && pool[static_cast<std::size_t>(idx)].fromDram;
 }
 
 void

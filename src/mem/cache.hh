@@ -6,10 +6,11 @@
  * and the paper's Figure 13 accuracy metric.
  *
  * Hot-path layout (see ARCHITECTURE.md §7): ways are kept MRU-first
- * inside each set, outstanding misses live in an insertion-ordered
- * array with an open-addressed index, and MSHR occupancy is a min-heap
- * of free times, so the per-access cost is O(1) hash work instead of
- * map lookups plus linear scans.
+ * inside each set, outstanding misses live in a stable slot pool
+ * threaded onto an allocation-order list with an open-addressed index
+ * (backward-shift deletion), and MSHR occupancy is a min-heap of free
+ * times. The steady state is allocation-free: drains unlink entries
+ * in place instead of compacting and re-hashing.
  */
 
 #ifndef SVR_MEM_CACHE_HH
@@ -105,14 +106,48 @@ class Cache
      */
     Cycle mshrAvailable(Cycle now) const;
 
-    /** Record a new outstanding miss occupying an MSHR until @p done. */
-    void allocateMshr(Addr line_addr, Cycle start, Cycle done);
+    /**
+     * Record a new outstanding miss occupying an MSHR until @p done,
+     * with its fill metadata (origin/dirty/source) set in the same
+     * hash probe — callers previously paid a second findPending via
+     * setPendingFill immediately after every allocation.
+     */
+    void allocateMshr(Addr line_addr, Cycle start, Cycle done,
+                      PrefetchOrigin origin = PrefetchOrigin::None,
+                      bool dirty = false, bool from_dram = false);
+
+    /** Everything accessLine needs about one outstanding miss. */
+    struct PendingInfo
+    {
+        Cycle done = 0;
+        PrefetchOrigin origin = PrefetchOrigin::None;
+        bool fromDram = false;
+    };
+
+    /**
+     * Single-probe view of @p line_addr's outstanding miss: done is 0
+     * when there is no miss completing after @p now (same contract as
+     * outstandingMiss()), in which case the other fields are
+     * meaningless. Replaces the outstandingMiss / pendingOrigin /
+     * pendingFromDram probe triple on the merged-miss hot path.
+     */
+    PendingInfo
+    pendingInfo(Addr line_addr, Cycle now) const
+    {
+        const int idx = findPending(line_addr);
+        if (idx < 0)
+            return {};
+        const PendingMiss &m = pool[static_cast<std::size_t>(idx)];
+        return {m.done > now ? m.done : 0, m.origin, m.fromDram};
+    }
 
     /**
      * Fill all outstanding misses that completed at or before @p now
      * into the array, invoking @p on_evict for each victim. Misses
      * fill in allocation order; the common nothing-completed case is a
      * single compare against the cached earliest completion time.
+     * Completed entries are unlinked in place (pool slot freed, hash
+     * entry backward-shifted out) — no compaction, no re-hash.
      */
     template <typename EvictFn>
     void
@@ -120,22 +155,21 @@ class Cache
     {
         if (now < earliestDone)
             return;
-        std::size_t out = 0;
         Cycle next_earliest = neverDone;
-        for (std::size_t i = 0; i < pending.size(); i++) {
-            const PendingMiss &m = pending[i];
+        std::int32_t i = pendingHead;
+        while (i >= 0) {
+            PendingMiss &m = pool[static_cast<std::size_t>(i)];
+            const std::int32_t next = m.next;
             if (m.done <= now) {
-                EvictResult ev = insert(m.line, m.origin, m.dirty);
+                const EvictResult ev = insert(m.line, m.origin, m.dirty);
                 on_evict(ev);
-            } else {
-                if (m.done < next_earliest)
-                    next_earliest = m.done;
-                pending[out++] = m;
+                unlinkPending(i);
+            } else if (m.done < next_earliest) {
+                next_earliest = m.done;
             }
+            i = next;
         }
-        pending.resize(out);
         earliestDone = next_earliest;
-        rebuildPendingIndex();
     }
 
     /** Record fill metadata for a pending miss (origin/dirty/source). */
@@ -164,7 +198,15 @@ class Cache
     void markPrefetchUsed(Addr line_addr);
 
     /** Count of pending (not yet drained) misses. */
-    std::size_t pendingMisses() const { return pending.size(); }
+    std::size_t pendingMisses() const { return pendingCount; }
+
+    /**
+     * Earliest completion cycle over all outstanding misses, or
+     * Cycle(~0) when none are pending. MemorySystem aggregates this
+     * across levels into its next-event cycle so quiet accesses skip
+     * the drain pass entirely.
+     */
+    Cycle earliestPendingDone() const { return earliestDone; }
 
     // -- Statistics --------------------------------------------------------
     std::uint64_t hits = 0;
@@ -187,9 +229,13 @@ class Cache
     };
 
     /**
-     * One outstanding miss. Entries outlive the MSHR slot that issued
-     * them: the slot frees at `done`, but the entry stays until the
-     * next drainCompletedMisses() call fills it into the array.
+     * One outstanding miss in the stable slot pool. Entries outlive
+     * the MSHR slot that issued them: the slot frees at `done`, but
+     * the entry stays until the next drainCompletedMisses() call fills
+     * it into the array. prev/next thread the allocation-order list
+     * (fills replay in allocation order, which fixes LRU/writeback
+     * order); a re-allocated line keeps its original list position,
+     * exactly as in-place overwrite did in the compacting array.
      */
     struct PendingMiss
     {
@@ -198,20 +244,26 @@ class Cache
         PrefetchOrigin origin = PrefetchOrigin::None;
         bool dirty = false;
         bool fromDram = false;
+        std::int32_t prev = -1;
+        std::int32_t next = -1;
     };
 
     static constexpr Cycle neverDone = ~static_cast<Cycle>(0);
 
     unsigned setIndex(Addr line_addr) const;
 
-    /** Index into `pending` for @p line_addr, or -1 if absent. */
+    /** Pool index for @p line_addr's pending miss, or -1 if absent. */
     int findPending(Addr line_addr) const;
     /** Hash slot a probe for @p line_addr starts at. */
     std::size_t hashSlot(Addr line_addr) const;
-    /** Point the open-addressed index at pending[idx]. */
+    /** Point the open-addressed index at pool[idx]. */
     void indexPending(Addr line_addr, int idx);
-    /** Rebuild the index from `pending` (after drain/growth). */
-    void rebuildPendingIndex();
+    /** Remove pool index @p idx from the hash (backward shift). */
+    void eraseIndex(std::int32_t idx);
+    /** Unlink pool[idx]: hash erase + list unlink + slot free. */
+    void unlinkPending(std::int32_t idx);
+    /** Double the index and re-hash from the allocation-order list. */
+    void growPendingIndex();
 
     CacheParams p;
     unsigned numSets;
@@ -221,12 +273,19 @@ class Cache
     /** Min-heap of MSHR free times (slots are interchangeable). */
     std::vector<Cycle> mshrFreeHeap;
 
-    /** Outstanding misses in allocation order (drain order). */
-    std::vector<PendingMiss> pending;
-    /** Open-addressed index: slot -> index into `pending`, -1 empty. */
+    /** Stable slot pool of outstanding misses (reused via freeSlots). */
+    std::vector<PendingMiss> pool;
+    /** Free pool slots (LIFO). */
+    std::vector<std::int32_t> freeSlots;
+    /** Allocation-order list through `pool` (drain/fill order). */
+    std::int32_t pendingHead = -1;
+    std::int32_t pendingTail = -1;
+    /** Live entries in the pool. */
+    std::size_t pendingCount = 0;
+    /** Open-addressed index: slot -> pool index, -1 empty. */
     std::vector<std::int32_t> pendingSlots;
     std::size_t pendingSlotMask = 0;
-    /** Min completion time over `pending` (neverDone when empty). */
+    /** Min completion time over outstanding misses (or neverDone). */
     Cycle earliestDone = neverDone;
 };
 

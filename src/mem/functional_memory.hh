@@ -61,14 +61,28 @@ class FunctionalMemory
         return readSlow(addr, bytes);
     }
 
-    /** Write the low @p bytes of @p value at @p addr. */
+    /**
+     * Write the low @p bytes of @p value at @p addr. The
+     * translation-cache hit is checked inline (as on the read side):
+     * without it every write paid an out-of-line translateOrCreate()
+     * call, making write64 slower than a full functional step.
+     */
     void
     write(Addr addr, std::uint64_t value, unsigned bytes)
     {
         const Addr off = addr & (pageBytes - 1);
         if (littleEndianHost && off + bytes <= pageBytes) [[likely]] {
             checkSize("write", bytes);
-            std::memcpy(translateOrCreate(addr) + off, &value, bytes);
+            // Writes to already-materialized pages ride the same
+            // inline cache/walk as reads (pages is non-const state;
+            // translate() only caches existing pages, so the pointer
+            // is writable storage). Only a genuinely absent page pays
+            // the out-of-line materializing walk.
+            std::uint8_t *page =
+                const_cast<std::uint8_t *>(translate(addr));
+            if (!page) [[unlikely]]
+                page = translateOrCreate(addr);
+            std::memcpy(page + off, &value, bytes);
             return;
         }
         writeSlow(addr, value, bytes);

@@ -63,20 +63,20 @@ MemorySystem::accessLine(AccessKind kind, Addr line, Cycle start,
         return result;
     }
 
-    // Merged with an outstanding miss?
-    if (Cycle pending = l1dCache.outstandingMiss(line, start)) {
-        result.done = pending + l1dCache.params().hitLatency;
-        result.level = l1dCache.pendingFromDram(line) ? HitLevel::Dram
-                                                      : HitLevel::L2;
+    // Merged with an outstanding miss? (Single hash probe for the
+    // completion/origin/source triple.)
+    if (const Cache::PendingInfo pi = l1dCache.pendingInfo(line, start);
+        pi.done) {
+        result.done = pi.done + l1dCache.params().hitLatency;
+        result.level = pi.fromDram ? HitLevel::Dram : HitLevel::L2;
         if (is_demand) {
             // A demand merging into an in-flight prefetch is a (late
             // but real) use of that prefetch.
-            const PrefetchOrigin po = l1dCache.pendingOrigin(line);
-            if (po != PrefetchOrigin::None) {
+            if (pi.origin != PrefetchOrigin::None) {
                 l1dCache.convertPendingToDemand(line);
                 l2Cache.convertPendingToDemand(line);
                 l2Cache.markPrefetchUsed(line);
-                if (po == PrefetchOrigin::Svr)
+                if (pi.origin == PrefetchOrigin::Svr)
                     result.svrFirstUse = true;
             }
             if (is_store)
@@ -100,16 +100,15 @@ MemorySystem::accessLine(AccessKind kind, Addr line, Cycle start,
         result.level = HitLevel::L2;
         if (is_demand && l2_first_use && l2_origin == PrefetchOrigin::Svr)
             result.svrFirstUse = true;
-    } else if (Cycle pending = l2Cache.outstandingMiss(line, l1_start)) {
-        if (is_demand) {
-            const PrefetchOrigin po = l2Cache.pendingOrigin(line);
-            if (po != PrefetchOrigin::None) {
-                l2Cache.convertPendingToDemand(line);
-                if (po == PrefetchOrigin::Svr)
-                    result.svrFirstUse = true;
-            }
+    } else if (const Cache::PendingInfo pi =
+                   l2Cache.pendingInfo(line, l1_start);
+               pi.done) {
+        if (is_demand && pi.origin != PrefetchOrigin::None) {
+            l2Cache.convertPendingToDemand(line);
+            if (pi.origin == PrefetchOrigin::Svr)
+                result.svrFirstUse = true;
         }
-        fill_done = pending + l2Cache.params().hitLatency;
+        fill_done = pi.done + l2Cache.params().hitLatency;
         result.level = HitLevel::Dram;
         from_dram = true;
     } else {
@@ -134,15 +133,15 @@ MemorySystem::accessLine(AccessKind kind, Addr line, Cycle start,
             traffic.prefImp++;
             break;
         }
-        l2Cache.allocateMshr(line, l2_start, dram_done);
-        l2Cache.setPendingFill(line, fill_origin, false, true);
+        l2Cache.allocateMshr(line, l2_start, dram_done, fill_origin,
+                             false, true);
         fill_done = dram_done;
         result.level = HitLevel::Dram;
         from_dram = true;
     }
 
-    l1dCache.allocateMshr(line, l1_start, fill_done);
-    l1dCache.setPendingFill(line, fill_origin, is_store, from_dram);
+    l1dCache.allocateMshr(line, l1_start, fill_done, fill_origin,
+                          is_store, from_dram);
     result.done = fill_done + l1dCache.params().hitLatency;
     return result;
 }
@@ -150,7 +149,7 @@ MemorySystem::accessLine(AccessKind kind, Addr line, Cycle start,
 AccessResult
 MemorySystem::access(AccessKind kind, Addr pc, Addr addr, Cycle now)
 {
-    drainAll(now);
+    maybeDrain(now);
 
     const bool is_demand = kind == AccessKind::Load ||
                            kind == AccessKind::Store;
@@ -208,16 +207,18 @@ void
 MemorySystem::issuePrefetches(const std::vector<Addr> &lines, Cycle now,
                               AccessKind kind)
 {
-    // Copy: the recursive access() reuses the scratch vector.
-    std::vector<Addr> todo = lines;
-    for (Addr line : todo)
-        access(kind, 0, line, now);
+    // No defensive copy: the recursive access() calls are all
+    // prefetch-kind, and only demand loads append to the scratch
+    // vector (train/observer run under kind == Load), so `lines` is
+    // stable across the loop.
+    for (std::size_t i = 0; i < lines.size(); i++)
+        access(kind, 0, lines[i], now);
 }
 
 AccessResult
 MemorySystem::instrFetch(Addr pc, Cycle now)
 {
-    drainAll(now);
+    maybeDrain(now);
     AccessResult result;
     const Cycle trans_done = trans.translateInstr(pc, now);
     const Addr line = lineAlign(pc);

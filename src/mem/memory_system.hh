@@ -9,6 +9,7 @@
 #ifndef SVR_MEM_MEMORY_SYSTEM_HH
 #define SVR_MEM_MEMORY_SYSTEM_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -75,6 +76,15 @@ struct MemParams
     TranslationParams translation;
     StridePrefetcherParams stridePf;
     bool enableStridePf = true;
+    /**
+     * Event-skip: consult the cached next-event cycle (min outstanding
+     * miss completion over all levels) before running the per-level
+     * drain pass, so accesses in quiet stretches skip it entirely.
+     * Cycle-accurate results are identical either way (the drain pass
+     * is a no-op before the next event); the toggle exists so tests
+     * can prove that, and to fall back if a bug is ever suspected.
+     */
+    bool eventSkip = true;
 };
 
 /** DRAM traffic attribution for the Figure 13b coverage breakdown. */
@@ -112,6 +122,20 @@ class MemorySystem
 
     /** Attach/detach a cache-side prefetcher (IMP). */
     void setObserver(DemandObserver *obs) { observer = obs; }
+
+    /**
+     * The next cycle at which hierarchy state changes on its own: the
+     * earliest outstanding-miss completion over L1I/L1D/L2, or
+     * Cycle(~0) when nothing is in flight. Accesses strictly before
+     * this cycle cannot observe a drainable fill.
+     */
+    Cycle
+    nextEventCycle() const
+    {
+        return std::min({l1iCache.earliestPendingDone(),
+                         l1dCache.earliestPendingDone(),
+                         l2Cache.earliestPendingDone()});
+    }
 
     /** Reset all state (caches, TLBs, queues, statistics). */
     void reset();
@@ -158,6 +182,14 @@ class MemorySystem
     void issuePrefetches(const std::vector<Addr> &lines, Cycle now,
                          AccessKind kind);
     void drainAll(Cycle now);
+
+    /** Run the drain pass unless event-skip proves it a no-op. */
+    void
+    maybeDrain(Cycle now)
+    {
+        if (!p.eventSkip || now >= nextEventCycle())
+            drainAll(now);
+    }
 
     MemParams p;
     Cache l1iCache;

@@ -52,9 +52,27 @@ class StridePrefetcher
         std::uint64_t lastUse = 0;
     };
 
+    /** Probe start slot for @p pc in the PC index. */
+    std::size_t pcHash(Addr pc) const;
+    /** Table index holding @p pc, or -1. */
+    std::int32_t pcIndexFind(Addr pc) const;
+    /** Point the PC index at table[idx]. */
+    void pcIndexInsert(Addr pc, std::int32_t idx);
+    /** Drop @p pc from the PC index (backward-shift deletion). */
+    void pcIndexErase(Addr pc);
+
     StridePrefetcherParams p;
     std::vector<Entry> table;
     std::uint64_t useClock = 0;
+    /**
+     * Open-addressed PC -> table-index map so the common trained-PC
+     * case skips the fully associative scan (entries install from the
+     * back of the table, so hot PCs would otherwise pay a full scan on
+     * every load). Victim choice still uses the original scan on
+     * misses, so behavior is unchanged.
+     */
+    std::vector<std::int32_t> pcSlots;
+    std::size_t pcSlotMask = 0;
 };
 
 } // namespace svr

@@ -18,7 +18,9 @@ Tlb::Tlb(unsigned num_entries, unsigned associativity)
     numSets = num_entries / associativity;
     if ((numSets & (numSets - 1)) != 0)
         fatal("Tlb: set count must be a power of two");
-    entries.resize(num_entries);
+    pages.assign(num_entries, emptyTag);
+    lastUse.assign(num_entries, 0);
+    fillCount.assign(numSets, 0);
 }
 
 unsigned
@@ -31,13 +33,19 @@ bool
 Tlb::lookup(Addr addr)
 {
     const Addr page = pageAlign(addr);
-    Entry *base = &entries[static_cast<std::size_t>(setOf(page)) * assoc];
+    const std::size_t base =
+        static_cast<std::size_t>(setOf(page)) * assoc;
+    // Branchless all-ways compare (at most one way can match: insert
+    // only runs after a failed lookup, so tags are unique per set).
+    unsigned hit_way = assoc;
     for (unsigned w = 0; w < assoc; w++) {
-        if (base[w].valid && base[w].page == page) {
-            base[w].lastUse = ++useClock;
-            hits++;
-            return true;
-        }
+        if (pages[base + w] == page)
+            hit_way = w;
+    }
+    if (hit_way != assoc) {
+        lastUse[base + hit_way] = ++useClock;
+        hits++;
+        return true;
     }
     misses++;
     return false;
@@ -47,33 +55,31 @@ void
 Tlb::insert(Addr addr)
 {
     const Addr page = pageAlign(addr);
-    Entry *base = &entries[static_cast<std::size_t>(setOf(page)) * assoc];
-    Entry *victim = nullptr;
-    for (unsigned w = 0; w < assoc; w++) {
-        if (!base[w].valid) {
-            victim = &base[w];
-            break;
-        }
-        if (base[w].page == page)
-            return;
-    }
-    if (!victim) {
-        victim = base;
-        for (unsigned w = 1; w < assoc; w++) {
-            if (base[w].lastUse < victim->lastUse)
-                victim = &base[w];
+    const unsigned set = setOf(page);
+    const std::size_t base = static_cast<std::size_t>(set) * assoc;
+    // Next unfilled way, else the LRU way (unique lastUse stamps make
+    // the argmin exact LRU). No duplicate check: insert() only runs
+    // after a failed lookup() of the same page.
+    unsigned w;
+    if (fillCount[set] < assoc) {
+        w = fillCount[set]++;
+    } else {
+        w = 0;
+        for (unsigned i = 1; i < assoc; i++) {
+            if (lastUse[base + i] < lastUse[base + w])
+                w = i;
         }
     }
-    victim->page = page;
-    victim->valid = true;
-    victim->lastUse = ++useClock;
+    pages[base + w] = page;
+    lastUse[base + w] = ++useClock;
 }
 
 void
 Tlb::reset()
 {
-    for (auto &e : entries)
-        e = Entry{};
+    std::fill(pages.begin(), pages.end(), emptyTag);
+    std::fill(lastUse.begin(), lastUse.end(), 0);
+    std::fill(fillCount.begin(), fillCount.end(), 0);
     useClock = 0;
     hits = misses = 0;
 }

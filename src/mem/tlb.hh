@@ -39,18 +39,29 @@ class Tlb
     std::uint64_t misses = 0;
 
   private:
-    struct Entry
-    {
-        Addr page = 0;
-        bool valid = false;
-        std::uint64_t lastUse = 0;
-    };
+    /**
+     * Tag value no valid entry can carry (page-aligned tags have zero
+     * low bits), so unfilled ways never match a lookup and the scan
+     * needs no valid flags.
+     */
+    static constexpr Addr emptyTag = ~static_cast<Addr>(0);
 
     unsigned setOf(Addr page) const;
 
     unsigned assoc;
     unsigned numSets;
-    std::vector<Entry> entries;
+    /**
+     * Structure-of-arrays layout: the lookup scan touches only the
+     * page tags (a branchless all-ways compare the compiler can
+     * vectorize — this is the hottest loop in the memory system), and
+     * the LRU stamps live separately. Ways fill front-to-back
+     * (fillCount per set), so "first invalid way" is just the fill
+     * cursor and eviction is an argmin over unique lastUse stamps —
+     * both identical choices to the scan-based implementation.
+     */
+    std::vector<Addr> pages;              // numSets * assoc tags
+    std::vector<std::uint64_t> lastUse;   // parallel LRU stamps
+    std::vector<std::uint16_t> fillCount; // valid ways per set
     std::uint64_t useClock = 0;
 };
 

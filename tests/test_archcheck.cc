@@ -37,6 +37,7 @@ presetMatrix()
         presets::impCore(),
         presets::outOfOrder(),
         presets::svrCore(16),
+        presets::svrCore(64),
     };
     for (SimConfig &c : configs)
         c.maxInstructions = testWindow;

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Event-skip identity: the batch-skipping timing loop (MemParams::
+ * eventSkip, see MemorySystem::nextEventCycle()) must be a pure
+ * host-speed optimization. For every core model, running the same
+ * window with event-skip on and off must produce identical cycle
+ * counts, CPI stacks, and full stat dumps — on both a miss-heavy
+ * kernel (cache-thrashing gather, where skipping actually fires) and
+ * a hit-heavy kernel (cache-resident compute, where the pending-miss
+ * lists are usually empty).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "workloads/hpcdb_kernels.hh"
+#include "workloads/spec_kernels.hh"
+
+namespace
+{
+
+using namespace svr;
+
+/** Miss-heavy: random gather over a table far larger than the L2. */
+WorkloadInstance
+missHeavyWorkload()
+{
+    HpcDbSizes s;
+    s.camelIndex = 1 << 16;
+    s.camelTable = 1 << 17;
+    return makeCamel(s);
+}
+
+/** Hit-heavy: polynomial evaluation over a 4 KiB working set. */
+WorkloadInstance
+hitHeavyWorkload()
+{
+    return makeSpecKernel("exchange2");
+}
+
+/** The full stat dump with event-skip forced to @p skip. */
+SimResult
+runWith(SimConfig config, const WorkloadInstance &w, bool skip)
+{
+    config.mem.eventSkip = skip;
+    config.maxInstructions = 30000;
+    return simulate(config, w);
+}
+
+void
+expectIdentical(const SimConfig &config, const WorkloadInstance &w,
+                const char *kind)
+{
+    const SimResult on = runWith(config, w, true);
+    const SimResult off = runWith(config, w, false);
+
+    // Cycle-accurate state first, with targeted messages...
+    EXPECT_EQ(on.core.cycles, off.core.cycles)
+        << config.label << " " << kind;
+    EXPECT_EQ(on.core.instructions, off.core.instructions)
+        << config.label << " " << kind;
+    EXPECT_EQ(on.core.stackL2, off.core.stackL2)
+        << config.label << " " << kind;
+    EXPECT_EQ(on.core.stackDram, off.core.stackDram)
+        << config.label << " " << kind;
+    EXPECT_EQ(on.core.stackBranch, off.core.stackBranch)
+        << config.label << " " << kind;
+    EXPECT_EQ(on.core.stackSvu, off.core.stackSvu)
+        << config.label << " " << kind;
+    EXPECT_EQ(on.core.stackOther, off.core.stackOther)
+        << config.label << " " << kind;
+    EXPECT_EQ(on.l1dMisses, off.l1dMisses) << config.label << " " << kind;
+    EXPECT_EQ(on.dramTransfers, off.dramTransfers)
+        << config.label << " " << kind;
+
+    // ...then the whole serialized artifact (toJson() covers every
+    // reported counter and deliberately excludes host wall time).
+    EXPECT_EQ(toJson(on), toJson(off)) << config.label << " " << kind;
+}
+
+class EventSkipIdentity : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(EventSkipIdentity, MissHeavy)
+{
+    expectIdentical(presets::byName(GetParam()), missHeavyWorkload(),
+                    "miss-heavy");
+}
+
+TEST_P(EventSkipIdentity, HitHeavy)
+{
+    expectIdentical(presets::byName(GetParam()), hitHeavyWorkload(),
+                    "hit-heavy");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCores, EventSkipIdentity,
+                         ::testing::Values("ino", "imp", "ooo", "svr16"),
+                         [](const auto &info) { return info.param; });
+
+} // namespace

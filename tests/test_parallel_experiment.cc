@@ -405,6 +405,8 @@ const Golden goldens[] = {
      2836ull, 0.16516913319238902, 1},
     {"Randacc", "ooo", 30000ull, 122859ull, 3378ull, 3366ull, 3372ull,
      378ull, 0.24418235538300004, 1},
+    {"BFS_UR", "svr64", 30000ull, 102340ull, 4623ull, 3490ull, 3493ull,
+     3109ull, 0.29314051201876101, 1},
 };
 
 SimResult

@@ -7,6 +7,7 @@
  *
  * Usage:
  *   bench_report [--quick] [--sampling] [--out PATH]
+ *   bench_report --regress [--baseline PATH] [--threshold PCT] [--quick]
  *
  *   --quick     small windows / single repetition (CI smoke)
  *   --sampling  measure sampled-vs-full accuracy and speedup instead,
@@ -16,6 +17,15 @@
  *               reporting the CPI error and wall-clock speedup
  *   --out       output path (default: BENCH_simspeed.json, or
  *               BENCH_sampling.json with --sampling)
+ *   --regress   regression gate: re-measure the timing cores and exit
+ *               nonzero if any core's Msimips fell more than the
+ *               threshold (default 15%) below the committed
+ *               BENCH_simspeed.json. Opt-in in CI (wall-clock
+ *               measurements are load-sensitive):
+ *               `ctest -C bench-regress`.
+ *   --baseline  baseline JSON for --regress (default:
+ *               BENCH_simspeed.json next to the current directory)
+ *   --threshold allowed Msimips drop in percent for --regress
  *
  * The committed artifacts are regenerated with the SVR_BENCH_JSON and
  * SVR_BENCH_SAMPLING_JSON targets, e.g.
@@ -26,6 +36,7 @@
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -108,17 +119,33 @@ nsPerCall(unsigned reps, std::uint64_t iters, Fn &&fn)
     return best;
 }
 
+/**
+ * ns per functionally executed instruction through the threaded-code
+ * dispatch loop (Executor::run batches — the path the sampled-sim
+ * checkpoint fast-forward and functional warmup actually ride; the
+ * per-DynInst step() entry point adds a fixed call/materialize cost on
+ * top and is exercised by every timing-core measurement above).
+ */
 double
 functionalStepNs(const WorkloadInstance &w, unsigned reps,
                  std::uint64_t iters)
 {
     Executor exec(*w.program, *w.mem);
-    volatile RegVal sink = 0;
-    return nsPerCall(reps, iters, [&](std::uint64_t) {
-        if (exec.halted())
-            exec.restart();
-        sink = exec.step().result;
-    });
+    double best = 0.0;
+    for (unsigned r = 0; r < reps; r++) {
+        const auto t0 = Clock::now();
+        std::uint64_t left = iters;
+        while (left > 0) {
+            if (exec.halted())
+                exec.restart();
+            left -= exec.run(left);
+        }
+        const double ns =
+            secondsSince(t0) * 1e9 / static_cast<double>(iters);
+        if (best == 0.0 || ns < best)
+            best = ns;
+    }
+    return best;
 }
 
 double
@@ -308,6 +335,102 @@ runSamplingBench(bool quick, const std::string &out_path)
     return 0;
 }
 
+/**
+ * Pull the per-core {label, msimips} rows out of a bench JSON. This is
+ * a scanner over the exact format this tool writes (one core object
+ * per line), not a general JSON parser — good enough to read back our
+ * own committed artifact.
+ */
+std::vector<CoreSpeed>
+parseBaselineCores(const std::string &text)
+{
+    std::vector<CoreSpeed> rows;
+    std::size_t pos = 0;
+    while ((pos = text.find("{\"label\": \"", pos)) != std::string::npos) {
+        pos += std::strlen("{\"label\": \"");
+        const std::size_t end = text.find('"', pos);
+        if (end == std::string::npos)
+            break;
+        CoreSpeed row;
+        row.label = text.substr(pos, end - pos);
+        const std::size_t mpos = text.find("\"msimips\": ", end);
+        if (mpos == std::string::npos)
+            break;
+        row.msimips =
+            std::strtod(text.c_str() + mpos + std::strlen("\"msimips\": "),
+                        nullptr);
+        rows.push_back(std::move(row));
+        pos = end;
+    }
+    return rows;
+}
+
+/**
+ * --regress mode: re-measure the timing cores and compare against the
+ * committed baseline. Exit 0 if every core is within @p threshold_pct
+ * of its baseline Msimips, 1 on a regression, 2 on a bad baseline.
+ */
+int
+runRegressCheck(bool quick, const std::string &baseline_path,
+                double threshold_pct)
+{
+    const std::string text = readFile(baseline_path);
+    const std::vector<CoreSpeed> baseline = parseBaselineCores(text);
+    if (baseline.empty()) {
+        std::fprintf(stderr, "bench_report: no core rows in %s\n",
+                     baseline_path.c_str());
+        return 2;
+    }
+
+    // Measure with the same window the baseline was measured with
+    // (Msimips depends on the window: shorter windows amortize less
+    // warmup), and more repetitions than a normal measurement —
+    // best-of-N converges toward unloaded-machine speed, which is
+    // what the committed baseline records.
+    std::uint64_t window = 100000;
+    if (const std::size_t wpos = text.find("\"window_instructions\": ");
+        wpos != std::string::npos) {
+        window = std::strtoull(
+            text.c_str() + wpos + std::strlen("\"window_instructions\": "),
+            nullptr, 10);
+    }
+    const unsigned reps = quick ? 2 : 5;
+    const WorkloadInstance w = benchWorkload();
+    const std::vector<SimConfig> configs = {
+        presets::inorder(), presets::impCore(), presets::outOfOrder(),
+        presets::svrCore(16), presets::svrCore(64)};
+
+    bool failed = false;
+    for (const auto &config : configs) {
+        const CoreSpeed fresh = measureCore(config, w, window, reps);
+        const CoreSpeed *base = nullptr;
+        for (const CoreSpeed &b : baseline) {
+            if (b.label == fresh.label)
+                base = &b;
+        }
+        if (!base) {
+            // A core model missing from the committed file is stale
+            // tooling, not a perf regression; flag but keep comparing.
+            std::fprintf(stderr, "  %-8s %8.2f Msimips  (no baseline)\n",
+                         fresh.label.c_str(), fresh.msimips);
+            continue;
+        }
+        const double floor = base->msimips * (1.0 - threshold_pct / 100.0);
+        const bool bad = fresh.msimips < floor;
+        failed = failed || bad;
+        std::fprintf(stderr,
+                     "  %-8s %8.2f Msimips  baseline %8.2f  "
+                     "floor %8.2f  %s\n",
+                     fresh.label.c_str(), fresh.msimips, base->msimips,
+                     floor, bad ? "REGRESSED" : "ok");
+    }
+    std::fprintf(stderr, "bench_report: regression check %s "
+                 "(threshold %.0f%%, baseline %s)\n",
+                 failed ? "FAILED" : "passed", threshold_pct,
+                 baseline_path.c_str());
+    return failed ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -315,17 +438,30 @@ main(int argc, char **argv)
 try {
     bool quick = false;
     bool sampling = false;
+    bool regress = false;
     std::string out_path;
+    std::string baseline_path = "BENCH_simspeed.json";
+    double threshold_pct = 15.0;
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--quick") == 0) {
             quick = true;
         } else if (std::strcmp(argv[i], "--sampling") == 0) {
             sampling = true;
+        } else if (std::strcmp(argv[i], "--regress") == 0) {
+            regress = true;
         } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+            baseline_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--threshold") == 0 &&
+                   i + 1 < argc) {
+            threshold_pct = std::strtod(argv[++i], nullptr);
         } else {
-            std::fprintf(stderr, "usage: bench_report [--quick] "
-                                 "[--sampling] [--out PATH]\n");
+            std::fprintf(stderr,
+                         "usage: bench_report [--quick] [--sampling] "
+                         "[--out PATH]\n"
+                         "       bench_report --regress [--baseline PATH] "
+                         "[--threshold PCT] [--quick]\n");
             return 1;
         }
     }
@@ -334,6 +470,8 @@ try {
 
     setInformEnabled(false);
 
+    if (regress)
+        return runRegressCheck(quick, baseline_path, threshold_pct);
     if (sampling)
         return runSamplingBench(quick, out_path);
 
