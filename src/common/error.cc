@@ -12,6 +12,7 @@ namespace
 const char *const codeNames[] = {
     "ConfigInvalid",       "WorkloadBuild", "CycleBudgetExceeded",
     "NoForwardProgress",   "IoError",       "InternalInvariant",
+    "WorkerLost",
 };
 constexpr unsigned numCodes = sizeof(codeNames) / sizeof(codeNames[0]);
 

@@ -1,0 +1,386 @@
+#include "common/wire.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+#include "common/error.hh"
+
+namespace svr
+{
+
+namespace
+{
+
+[[noreturn]] void
+wireError(const char *op, const std::string &what, int err)
+{
+    throw simErrorf(ErrCode::IoError, {}, "wire: %s %s failed: %s", op,
+                    what.c_str(), std::strerror(err));
+}
+
+/** Wait for @p events on @p fd; false on timeout. Throws on error. */
+bool
+waitFd(int fd, short events, int timeout_ms)
+{
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    for (;;) {
+        const int rc = ::poll(&pfd, 1, timeout_ms);
+        if (rc > 0)
+            return true;
+        if (rc == 0)
+            return false;
+        if (errno != EINTR)
+            wireError("poll", "socket", errno);
+    }
+}
+
+sockaddr_un
+unixSockaddr(const std::string &path)
+{
+    sockaddr_un sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(sa.sun_path)) {
+        throw simErrorf(ErrCode::ConfigInvalid, {},
+                        "wire: unix socket path '%s' exceeds %zu bytes",
+                        path.c_str(), sizeof(sa.sun_path) - 1);
+    }
+    std::memcpy(sa.sun_path, path.c_str(), path.size() + 1);
+    return sa;
+}
+
+sockaddr_in
+tcpSockaddr(const std::string &host, std::uint16_t port)
+{
+    sockaddr_in sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
+        // Not a numeric address: resolve it (workers name coordinator
+        // hosts, so plain gethostbyname-level resolution is enough).
+        struct addrinfo hints;
+        std::memset(&hints, 0, sizeof(hints));
+        hints.ai_family = AF_INET;
+        hints.ai_socktype = SOCK_STREAM;
+        struct addrinfo *res = nullptr;
+        const int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &res);
+        if (rc != 0 || !res) {
+            throw simErrorf(ErrCode::IoError, {},
+                            "wire: cannot resolve host '%s': %s",
+                            host.c_str(), ::gai_strerror(rc));
+        }
+        sa.sin_addr =
+            reinterpret_cast<sockaddr_in *>(res->ai_addr)->sin_addr;
+        ::freeaddrinfo(res);
+    }
+    return sa;
+}
+
+} // namespace
+
+WireAddr
+WireAddr::parse(const std::string &spec)
+{
+    WireAddr a;
+    if (spec.rfind("unix:", 0) == 0) {
+        a.isUnix = true;
+        a.path = spec.substr(5);
+        if (a.path.empty()) {
+            throw simErrorf(ErrCode::ConfigInvalid, {},
+                            "wire: empty unix socket path in '%s'",
+                            spec.c_str());
+        }
+        return a;
+    }
+    if (spec.rfind("tcp:", 0) == 0) {
+        const std::string rest = spec.substr(4);
+        const std::size_t colon = rest.rfind(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 >= rest.size()) {
+            throw simErrorf(ErrCode::ConfigInvalid, {},
+                            "wire: want tcp:HOST:PORT, got '%s'",
+                            spec.c_str());
+        }
+        a.isUnix = false;
+        a.host = rest.substr(0, colon);
+        char *end = nullptr;
+        const unsigned long port =
+            std::strtoul(rest.c_str() + colon + 1, &end, 10);
+        if (*end != '\0' || port > 65535) {
+            throw simErrorf(ErrCode::ConfigInvalid, {},
+                            "wire: bad port in '%s'", spec.c_str());
+        }
+        a.port = static_cast<std::uint16_t>(port);
+        return a;
+    }
+    throw simErrorf(ErrCode::ConfigInvalid, {},
+                    "wire: endpoint '%s' must start with unix: or tcp:",
+                    spec.c_str());
+}
+
+std::string
+WireAddr::str() const
+{
+    if (isUnix)
+        return "unix:" + path;
+    return "tcp:" + host + ":" + std::to_string(port);
+}
+
+WireConn::WireConn(int fd) : sock(fd) {}
+
+WireConn::~WireConn() { close(); }
+
+WireConn::WireConn(WireConn &&other) noexcept : sock(other.sock)
+{
+    other.sock = -1;
+}
+
+WireConn &
+WireConn::operator=(WireConn &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        sock = other.sock;
+        other.sock = -1;
+    }
+    return *this;
+}
+
+void
+WireConn::close()
+{
+    if (sock >= 0) {
+        ::close(sock);
+        sock = -1;
+    }
+}
+
+void
+WireConn::send(std::string_view payload)
+{
+    if (sock < 0)
+        wireError("send", "closed connection", EBADF);
+    if (payload.size() > maxFramePayload) {
+        throw simErrorf(ErrCode::InternalInvariant, {},
+                        "wire: frame payload %zu exceeds limit",
+                        payload.size());
+    }
+    // 4-byte little-endian length prefix, then the payload.
+    unsigned char hdr[4];
+    const auto len = static_cast<std::uint32_t>(payload.size());
+    hdr[0] = len & 0xff;
+    hdr[1] = (len >> 8) & 0xff;
+    hdr[2] = (len >> 16) & 0xff;
+    hdr[3] = (len >> 24) & 0xff;
+    std::string frame(reinterpret_cast<char *>(hdr), 4);
+    frame.append(payload);
+
+    std::size_t off = 0;
+    while (off < frame.size()) {
+        // MSG_NOSIGNAL: a dead peer surfaces as EPIPE, not SIGPIPE.
+        const ssize_t n = ::send(sock, frame.data() + off,
+                                 frame.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            wireError("send", "frame", errno);
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+bool
+WireConn::readExact(void *buf, std::size_t n, int timeout_ms, bool eof_ok)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto deadline =
+        timeout_ms >= 0 ? Clock::now() + std::chrono::milliseconds(timeout_ms)
+                        : Clock::time_point::max();
+    std::size_t off = 0;
+    while (off < n) {
+        int wait_ms = -1;
+        if (timeout_ms >= 0) {
+            const auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - Clock::now())
+                    .count();
+            wait_ms = left > 0 ? static_cast<int>(left) : 0;
+        }
+        if (!waitFd(sock, POLLIN, wait_ms)) {
+            if (off == 0 && eof_ok)
+                return false; // reported as Timeout by recv()
+            wireError("recv", "frame (timeout mid-frame)", ETIMEDOUT);
+        }
+        const ssize_t r =
+            ::recv(sock, static_cast<char *>(buf) + off, n - off, 0);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            wireError("recv", "frame", errno);
+        }
+        if (r == 0) {
+            if (off == 0 && eof_ok)
+                return false;
+            wireError("recv", "frame (peer died mid-frame)", ECONNRESET);
+        }
+        off += static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+WireConn::RecvStatus
+WireConn::recv(std::string &out, int timeout_ms)
+{
+    if (sock < 0)
+        wireError("recv", "closed connection", EBADF);
+
+    unsigned char hdr[4];
+    // Distinguish timeout from EOF: peek readiness first. waitFd()
+    // returning true with a zero-byte read is EOF; false is timeout.
+    if (!waitFd(sock, POLLIN, timeout_ms))
+        return RecvStatus::Timeout;
+    if (!readExact(hdr, 4, timeout_ms, /*eof_ok=*/true))
+        return RecvStatus::Eof;
+    const std::uint32_t len = static_cast<std::uint32_t>(hdr[0]) |
+                              (static_cast<std::uint32_t>(hdr[1]) << 8) |
+                              (static_cast<std::uint32_t>(hdr[2]) << 16) |
+                              (static_cast<std::uint32_t>(hdr[3]) << 24);
+    if (len > maxFramePayload) {
+        throw simErrorf(ErrCode::IoError, {},
+                        "wire: frame length %u exceeds limit (corrupt "
+                        "or non-fabric peer)",
+                        len);
+    }
+    out.resize(len);
+    if (len > 0)
+        readExact(out.data(), len, timeout_ms, /*eof_ok=*/false);
+    return RecvStatus::Ok;
+}
+
+WireListener::WireListener(const WireAddr &addr) : bound(addr)
+{
+    const int family = addr.isUnix ? AF_UNIX : AF_INET;
+    sock = ::socket(family, SOCK_STREAM, 0);
+    if (sock < 0)
+        wireError("socket", addr.str(), errno);
+
+    if (addr.isUnix) {
+        // A previous run's socket file would make bind() fail; it is
+        // dead weight once no process listens on it.
+        ::unlink(addr.path.c_str());
+        sockaddr_un sa = unixSockaddr(addr.path);
+        if (::bind(sock, reinterpret_cast<sockaddr *>(&sa), sizeof(sa)) <
+            0) {
+            const int err = errno;
+            ::close(sock);
+            sock = -1;
+            wireError("bind", addr.str(), err);
+        }
+    } else {
+        const int one = 1;
+        ::setsockopt(sock, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        sockaddr_in sa = tcpSockaddr(addr.host, addr.port);
+        if (::bind(sock, reinterpret_cast<sockaddr *>(&sa), sizeof(sa)) <
+            0) {
+            const int err = errno;
+            ::close(sock);
+            sock = -1;
+            wireError("bind", addr.str(), err);
+        }
+        if (addr.port == 0) {
+            sockaddr_in actual;
+            socklen_t len = sizeof(actual);
+            if (::getsockname(sock, reinterpret_cast<sockaddr *>(&actual),
+                              &len) == 0) {
+                bound.port = ntohs(actual.sin_port);
+            }
+        }
+    }
+    if (::listen(sock, 64) < 0) {
+        const int err = errno;
+        ::close(sock);
+        sock = -1;
+        wireError("listen", addr.str(), err);
+    }
+}
+
+WireListener::~WireListener()
+{
+    if (sock >= 0)
+        ::close(sock);
+    if (bound.isUnix)
+        ::unlink(bound.path.c_str());
+}
+
+WireConn
+WireListener::accept(int timeout_ms)
+{
+    if (!waitFd(sock, POLLIN, timeout_ms))
+        return WireConn{};
+    const int fd = ::accept(sock, nullptr, nullptr);
+    if (fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED)
+            return WireConn{};
+        wireError("accept", bound.str(), errno);
+    }
+    if (!bound.isUnix) {
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    return WireConn{fd};
+}
+
+WireConn
+wireConnect(const WireAddr &addr, int timeout_ms)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_ms);
+    int last_err = 0;
+    do {
+        const int family = addr.isUnix ? AF_UNIX : AF_INET;
+        const int fd = ::socket(family, SOCK_STREAM, 0);
+        if (fd < 0)
+            wireError("socket", addr.str(), errno);
+        int rc;
+        if (addr.isUnix) {
+            sockaddr_un sa = unixSockaddr(addr.path);
+            rc = ::connect(fd, reinterpret_cast<sockaddr *>(&sa),
+                           sizeof(sa));
+        } else {
+            sockaddr_in sa = tcpSockaddr(addr.host, addr.port);
+            rc = ::connect(fd, reinterpret_cast<sockaddr *>(&sa),
+                           sizeof(sa));
+        }
+        if (rc == 0) {
+            if (!addr.isUnix) {
+                const int one = 1;
+                ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                             sizeof(one));
+            }
+            return WireConn{fd};
+        }
+        last_err = errno;
+        ::close(fd);
+        // The coordinator may not be listening yet (spawned workers
+        // race its listener setup); retry until the deadline.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    } while (Clock::now() < deadline);
+    wireError("connect", addr.str(), last_err ? last_err : ETIMEDOUT);
+}
+
+} // namespace svr

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Length-prefixed wire protocol for the distributed sweep fabric
+ * (sim/fabric.hh). One frame is a 4-byte little-endian payload length
+ * followed by the payload bytes; payloads are short text lines, so the
+ * protocol stays greppable in a packet dump. Transports are Unix
+ * domain sockets ("unix:/path/to.sock") and TCP ("tcp:host:port");
+ * both sides speak through the same WireConn.
+ *
+ * Error model: every transport failure throws SimError(IoError) with
+ * errno detail, except the two conditions a caller must handle inline
+ * — clean EOF at a frame boundary and a receive timeout — which recv()
+ * reports as statuses. A frame larger than maxFramePayload is treated
+ * as protocol corruption and throws.
+ */
+
+#ifndef SVR_COMMON_WIRE_HH
+#define SVR_COMMON_WIRE_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace svr
+{
+
+/** Largest accepted frame payload (journal lines are < 1 KiB). */
+constexpr std::uint32_t maxFramePayload = 1u << 20;
+
+/** A parsed "unix:PATH" or "tcp:HOST:PORT" endpoint. */
+struct WireAddr
+{
+    bool isUnix = true;
+    std::string path;        //!< unix: filesystem socket path
+    std::string host;        //!< tcp: numeric or resolvable host
+    std::uint16_t port = 0;  //!< tcp: 0 = ephemeral (listen only)
+
+    /** Parse an endpoint spec; throws SimError(ConfigInvalid). */
+    static WireAddr parse(const std::string &spec);
+
+    /** Canonical "unix:..." / "tcp:..." form (reparseable). */
+    std::string str() const;
+};
+
+/** One connected frame stream (either side). Move-only. */
+class WireConn
+{
+  public:
+    enum class RecvStatus
+    {
+        Ok,      //!< one whole frame delivered
+        Eof,     //!< peer closed cleanly at a frame boundary
+        Timeout, //!< no frame within the deadline
+    };
+
+    WireConn() = default;
+    /** Adopt a connected socket fd (takes ownership). */
+    explicit WireConn(int fd);
+    ~WireConn();
+
+    WireConn(WireConn &&other) noexcept;
+    WireConn &operator=(WireConn &&other) noexcept;
+    WireConn(const WireConn &) = delete;
+    WireConn &operator=(const WireConn &) = delete;
+
+    bool valid() const { return sock >= 0; }
+    int fd() const { return sock; }
+    void close();
+
+    /** Write one frame (blocking until fully sent). */
+    void send(std::string_view payload);
+
+    /**
+     * Read one frame into @p out. @p timeout_ms < 0 blocks forever.
+     * EOF mid-frame (a torn frame) throws IoError; EOF between frames
+     * is the clean shutdown status.
+     */
+    RecvStatus recv(std::string &out, int timeout_ms = -1);
+
+  private:
+    /** Read exactly @p n bytes; false = clean EOF before byte one. */
+    bool readExact(void *buf, std::size_t n, int timeout_ms,
+                   bool eof_ok);
+
+    int sock = -1;
+};
+
+/** A listening endpoint accepting WireConns. Move-only. */
+class WireListener
+{
+  public:
+    /**
+     * Bind + listen on @p addr. For tcp with port 0 the kernel picks
+     * an ephemeral port, reported back by addr(). For unix, a stale
+     * socket file at the path is unlinked first and the file is
+     * removed again on destruction.
+     */
+    explicit WireListener(const WireAddr &addr);
+    ~WireListener();
+
+    WireListener(const WireListener &) = delete;
+    WireListener &operator=(const WireListener &) = delete;
+
+    /** Actual bound endpoint (tcp port resolved). */
+    const WireAddr &addr() const { return bound; }
+
+    /**
+     * Accept one connection; an invalid WireConn on timeout.
+     * @p timeout_ms < 0 blocks forever.
+     */
+    WireConn accept(int timeout_ms = -1);
+
+  private:
+    int sock = -1;
+    WireAddr bound;
+};
+
+/**
+ * Connect to @p addr, retrying until @p timeout_ms expires (covers the
+ * worker-starts-before-coordinator-listens race); throws IoError when
+ * the deadline passes without a connection.
+ */
+WireConn wireConnect(const WireAddr &addr, int timeout_ms = 10000);
+
+} // namespace svr
+
+#endif // SVR_COMMON_WIRE_HH

@@ -14,20 +14,9 @@
 namespace svr
 {
 
-namespace
-{
-
-/**
- * Run one cell with fault isolation: legacy panic()/fatal() sites are
- * captured as SimErrors (WorkloadBuild around the factory,
- * ConfigInvalid around simulate()), injected faults fire here, and
- * each SimError is retried up to opts.maxAttempts times. On final
- * failure either rethrows (fail-fast) or returns a deterministic
- * failure record (keep-going).
- */
 SimResult
-runCell(const WorkloadSpec &spec, const SimConfig &config,
-        const MatrixOptions &opts)
+runIsolatedCell(const WorkloadSpec &spec, const SimConfig &config,
+                const MatrixOptions &opts)
 {
     for (unsigned attempt = 1;; attempt++) {
         try {
@@ -66,8 +55,6 @@ runCell(const WorkloadSpec &spec, const SimConfig &config,
         }
     }
 }
-
-} // namespace
 
 std::vector<MatrixRow>
 runMatrix(const std::vector<WorkloadSpec> &workloads,
@@ -113,7 +100,7 @@ runMatrix(const std::vector<WorkloadSpec> &workloads,
             opts.restoreCell &&
             opts.restoreCell(spec.name, config.label, res);
         if (!restored) {
-            res = runCell(spec, config, opts);
+            res = runIsolatedCell(spec, config, opts);
             // The cell identity is the spec name, not whatever the
             // workload instance called itself — journal keys and the
             // restoreCell() lookup must agree on it.

@@ -1,0 +1,1011 @@
+#include "sim/fabric.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "common/wire.hh"
+#include "sim/config.hh"
+#include "workloads/suites.hh"
+
+namespace svr
+{
+
+namespace
+{
+
+using RecvStatus = WireConn::RecvStatus;
+
+/** Token reader over one wire message (mirrors the journal Reader). */
+struct Tok
+{
+    std::istringstream is;
+    bool ok = true;
+
+    explicit Tok(const std::string &text) : is(text) {}
+
+    std::string
+    raw()
+    {
+        std::string t;
+        if (!(is >> t))
+            ok = false;
+        return t;
+    }
+
+    std::string str() { return journalUnescape(raw()); }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t v = 0;
+        if (!(is >> v))
+            ok = false;
+        return v;
+    }
+
+    /** Everything after the current position (leading space trimmed). */
+    std::string
+    rest()
+    {
+        std::string r;
+        std::getline(is, r);
+        const std::size_t pos = r.find_first_not_of(' ');
+        return pos == std::string::npos ? std::string{} : r.substr(pos);
+    }
+};
+
+} // namespace
+
+std::string
+SweepSpec::encode() const
+{
+    std::ostringstream os;
+    os << journalEscape(key.suite) << ' ' << journalEscape(key.configs)
+       << ' ' << key.window << ' ' << key.seed << ' '
+       << journalEscape(key.sampling) << ' ' << (keepGoing ? 1 : 0) << ' '
+       << retries;
+    return os.str();
+}
+
+bool
+SweepSpec::decode(const std::string &text, SweepSpec &out)
+{
+    Tok t(text);
+    SweepSpec s;
+    s.key.suite = t.str();
+    s.key.configs = t.str();
+    s.key.window = t.u64();
+    s.key.seed = t.u64();
+    s.key.sampling = t.str();
+    s.keepGoing = t.u64() != 0;
+    s.retries = static_cast<unsigned>(t.u64());
+    if (!t.ok || s.key.suite.empty() || s.key.configs.empty() ||
+        s.retries == 0) {
+        return false;
+    }
+    out = std::move(s);
+    return true;
+}
+
+void
+SweepSpec::materialize(std::vector<WorkloadSpec> &workloads,
+                       std::vector<SimConfig> &configs) const
+{
+    // Under ScopedErrorCapture a bad suite/config name from a
+    // mismatched peer throws instead of exiting the process.
+    ScopedErrorCapture scope(ErrCode::ConfigInvalid);
+
+    SamplingParams sampling;
+    if (!key.sampling.empty()) {
+        unsigned long long e = 0, w = 0, u = 0;
+        if (std::sscanf(key.sampling.c_str(), "%llu/%llu/%llu", &e, &w,
+                        &u) != 3) {
+            throw simErrorf(ErrCode::ConfigInvalid, {},
+                            "fabric: bad sampling spec '%s'",
+                            key.sampling.c_str());
+        }
+        sampling.sampleEvery = e;
+        sampling.sampleWindow = w;
+        sampling.warmup = u;
+    }
+
+    workloads = suiteByName(key.suite);
+
+    configs.clear();
+    std::size_t start = 0;
+    const std::string &list = key.configs;
+    while (start <= list.size()) {
+        const std::size_t end = list.find(',', start);
+        const std::string name =
+            list.substr(start, end == std::string::npos ? std::string::npos
+                                                        : end - start);
+        if (!name.empty()) {
+            SimConfig c = presets::byName(name);
+            c.maxInstructions = key.window;
+            c.sampling = sampling;
+            configs.push_back(std::move(c));
+        }
+        if (end == std::string::npos)
+            break;
+        start = end + 1;
+    }
+    if (workloads.empty() || configs.empty()) {
+        throw simErrorf(ErrCode::ConfigInvalid, {},
+                        "fabric: sweep spec yields an empty matrix");
+    }
+}
+
+LeaseQueue::LeaseQueue(std::size_t num_cells, unsigned chunk,
+                       unsigned max_attempts,
+                       const std::vector<std::size_t> &already_done)
+    : cells(num_cells), chunkSize(chunk > 0 ? chunk : 1),
+      maxAttempts(max_attempts > 0 ? max_attempts : 1)
+{
+    for (std::size_t idx : already_done) {
+        if (idx < cells.size() && cells[idx].state == CellState::Pending) {
+            cells[idx].state = CellState::Done;
+            numDone++;
+        }
+    }
+    // Seed the pending list in reverse so the LIFO hands out cell 0
+    // first — purely cosmetic (progress reads naturally), never
+    // correctness: results are keyed by cell index.
+    pending.reserve(num_cells - numDone);
+    for (std::size_t i = num_cells; i-- > 0;) {
+        if (cells[i].state == CellState::Pending)
+            pending.push_back(i);
+    }
+}
+
+std::uint64_t
+LeaseQueue::take(std::vector<std::size_t> &out)
+{
+    out.clear();
+    while (out.size() < chunkSize && !pending.empty()) {
+        const std::size_t idx = pending.back();
+        pending.pop_back();
+        // A cell can complete while sitting in pending (a reclaimed
+        // lease's worker turned out to be alive and reported it).
+        if (cells[idx].state != CellState::Pending)
+            continue;
+        cells[idx].state = CellState::Leased;
+        cells[idx].attempts++;
+        out.push_back(idx);
+    }
+    if (out.empty())
+        return 0;
+    const std::uint64_t id = nextLease++;
+    active[id] = out;
+    return id;
+}
+
+bool
+LeaseQueue::complete(std::size_t cell)
+{
+    if (cell >= cells.size() || cells[cell].state == CellState::Done ||
+        cells[cell].state == CellState::Poisoned) {
+        return false;
+    }
+    cells[cell].state = CellState::Done;
+    numDone++;
+    return true;
+}
+
+std::size_t
+LeaseQueue::reclaim(std::uint64_t lease_id,
+                    std::vector<std::size_t> &poisoned)
+{
+    poisoned.clear();
+    const auto it = active.find(lease_id);
+    if (it == active.end())
+        return 0;
+    std::size_t requeued = 0;
+    for (std::size_t idx : it->second) {
+        if (cells[idx].state != CellState::Leased)
+            continue; // already completed (result beat the death)
+        if (cells[idx].attempts >= maxAttempts) {
+            cells[idx].state = CellState::Poisoned;
+            numPoisoned++;
+            poisoned.push_back(idx);
+        } else {
+            cells[idx].state = CellState::Pending;
+            pending.push_back(idx);
+            requeued++;
+        }
+    }
+    active.erase(it);
+    return requeued;
+}
+
+void
+LeaseQueue::release(std::uint64_t lease_id)
+{
+    active.erase(lease_id);
+}
+
+bool
+LeaseQueue::allDone() const
+{
+    return numDone + numPoisoned == cells.size();
+}
+
+namespace
+{
+
+// ---------------------------------------------------------------- //
+// Coordinator                                                      //
+// ---------------------------------------------------------------- //
+
+/** Shared coordinator state; mtx guards everything mutable. */
+struct Coord
+{
+    const FabricOptions &opts;
+    const std::vector<WorkloadSpec> &workloads;
+    const std::vector<SimConfig> &configs;
+    const SweepSpec &spec;
+    std::string specEnc;
+    SweepJournal *journal;
+
+    std::mutex mtx;
+    LeaseQueue leases;
+    std::vector<SimResult> results; //!< workload-major, num_cells slots
+    std::vector<char> have;
+    bool abort = false;
+    std::unique_ptr<SimError> fatal;
+    unsigned workerIds = 0;
+    unsigned workersSeen = 0;
+    std::atomic<unsigned> activeHandlers{0};
+
+    Coord(const FabricOptions &o, const std::vector<WorkloadSpec> &w,
+          const std::vector<SimConfig> &c, const SweepSpec &s,
+          SweepJournal *j, unsigned chunk,
+          const std::vector<std::size_t> &already_done)
+        : opts(o), workloads(w), configs(c), spec(s), journal(j),
+          leases(w.size() * c.size(), chunk, o.maxCellAttempts,
+                 already_done),
+          results(w.size() * c.size()), have(w.size() * c.size(), 0)
+    {
+        specEnc = s.encode();
+    }
+
+    std::size_t numCells() const { return results.size(); }
+
+    const std::string &cellWorkload(std::size_t idx) const
+    {
+        return workloads[idx / configs.size()].name;
+    }
+    const std::string &cellConfig(std::size_t idx) const
+    {
+        return configs[idx % configs.size()].label;
+    }
+
+    /** Record a fatal sweep error once; first one wins. (mtx held) */
+    void
+    setFatal(const SimError &e)
+    {
+        if (!fatal)
+            fatal = std::make_unique<SimError>(e);
+        abort = true;
+    }
+
+    /** Store one completed cell. False = duplicate/stale. (mtx held) */
+    bool
+    storeResult(std::size_t idx, SimResult &&r)
+    {
+        if (idx >= numCells() || have[idx])
+            return false;
+        // The cell identity must match the matrix position — a
+        // mismatch means a confused or mismatched worker.
+        if (r.workload != cellWorkload(idx) ||
+            r.config != cellConfig(idx)) {
+            warn("fabric: dropping result for cell %zu with wrong "
+                 "identity %s/%s",
+                 idx, r.workload.c_str(), r.config.c_str());
+            return false;
+        }
+        results[idx] = std::move(r);
+        have[idx] = 1;
+        leases.complete(idx);
+        if (journal) {
+            try {
+                journal->append(results[idx]);
+            } catch (const SimError &e) {
+                setFatal(e);
+            }
+        }
+        return true;
+    }
+
+    /**
+     * Cells whose workers died maxCellAttempts times: synthesize the
+     * deterministic WorkerLost failure record (keep-going) or abort
+     * the sweep with it (fail-fast). (mtx held)
+     */
+    void
+    poisonCells(const std::vector<std::size_t> &poisoned)
+    {
+        for (std::size_t idx : poisoned) {
+            ErrContext ctx;
+            ctx.workload = cellWorkload(idx);
+            ctx.config = cellConfig(idx);
+            const SimError err = simErrorf(
+                ErrCode::WorkerLost, ctx,
+                "lease abandoned after %u lost workers",
+                opts.maxCellAttempts);
+            if (!spec.keepGoing) {
+                setFatal(err);
+                return;
+            }
+            SimResult res;
+            res.workload = cellWorkload(idx);
+            res.config = cellConfig(idx);
+            res.failed = true;
+            res.errCode = errCodeName(err.code());
+            res.errMessage = err.what();
+            res.attempts = opts.maxCellAttempts;
+            storeResult(idx, std::move(res));
+        }
+    }
+};
+
+/** Serve one worker connection until it finishes or is lost. */
+void
+serveWorker(Coord &C, WireConn conn)
+{
+    C.activeHandlers.fetch_add(1, std::memory_order_relaxed);
+    struct Depart
+    {
+        Coord &c;
+        ~Depart() { c.activeHandlers.fetch_sub(1, std::memory_order_relaxed); }
+    } depart{C};
+
+    std::string msg;
+    unsigned workerId = 0;
+    std::uint64_t currentLease = 0;
+
+    try {
+        if (conn.recv(msg, 15000) != RecvStatus::Ok)
+            return;
+        Tok hello(msg);
+        if (hello.raw() != "HELLO")
+            return;
+        const std::uint64_t proto = hello.u64();
+        const std::uint64_t jobs = hello.u64();
+        if (!hello.ok || proto != fabricProtocolVersion) {
+            conn.send("REJECT protocol-version");
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> lock(C.mtx);
+            workerId = ++C.workerIds;
+            C.workersSeen++;
+        }
+        conn.send("WELCOME " + std::to_string(workerId) + " " + C.specEnc);
+        if (C.opts.progress) {
+            inform("fabric: worker %u joined (%llu jobs)", workerId,
+                   static_cast<unsigned long long>(jobs));
+        }
+
+        const char *loss = nullptr;
+        std::vector<std::size_t> cells;
+        for (;;) {
+            const RecvStatus st =
+                conn.recv(msg, C.opts.leaseTimeoutMs);
+            if (st == RecvStatus::Timeout) {
+                loss = "lease timeout";
+                break;
+            }
+            if (st == RecvStatus::Eof) {
+                // EOF without an outstanding lease is a clean exit.
+                loss = currentLease != 0 ? "connection closed" : nullptr;
+                break;
+            }
+            Tok t(msg);
+            const std::string verb = t.raw();
+            if (verb == "LEASE?") {
+                std::lock_guard<std::mutex> lock(C.mtx);
+                if (C.abort || C.leases.allDone()) {
+                    conn.send("FIN");
+                } else {
+                    const std::uint64_t id = C.leases.take(cells);
+                    if (id == 0) {
+                        conn.send("WAIT");
+                    } else {
+                        currentLease = id;
+                        std::ostringstream os;
+                        os << "LEASE " << id << ' ' << cells.size();
+                        for (std::size_t idx : cells)
+                            os << ' ' << idx;
+                        conn.send(os.str());
+                    }
+                }
+            } else if (verb == "RESULT") {
+                const std::uint64_t lease = t.u64();
+                const std::uint64_t idx = t.u64();
+                const std::string line = t.rest();
+                (void)lease;
+                SimResult r;
+                bool stop;
+                {
+                    std::lock_guard<std::mutex> lock(C.mtx);
+                    if (t.ok && parseJournalLine(line, r)) {
+                        C.storeResult(static_cast<std::size_t>(idx),
+                                      std::move(r));
+                    } else {
+                        warn("fabric: worker %u sent a malformed "
+                             "result record",
+                             workerId);
+                    }
+                    stop = C.abort;
+                }
+                conn.send(stop ? "STOP" : "OK");
+            } else if (verb == "DONE") {
+                const std::uint64_t lease = t.u64();
+                bool stop;
+                {
+                    std::lock_guard<std::mutex> lock(C.mtx);
+                    C.leases.release(lease);
+                    if (lease == currentLease)
+                        currentLease = 0;
+                    stop = C.abort;
+                }
+                conn.send(stop ? "STOP" : "OK");
+            } else if (verb == "PING") {
+                std::lock_guard<std::mutex> lock(C.mtx);
+                conn.send(C.abort ? "STOP" : "OK");
+            } else if (verb == "ERROR") {
+                // A fail-fast cell failure on the worker: surface it
+                // from the coordinator exactly like the thread engine
+                // rethrows the first cell error.
+                const std::string codeName = t.str();
+                const std::string what = t.str();
+                ErrContext ctx;
+                ctx.workload = t.str();
+                ctx.config = t.str();
+                ErrCode code = ErrCode::InternalInvariant;
+                errCodeFromName(codeName, code);
+                {
+                    std::lock_guard<std::mutex> lock(C.mtx);
+                    C.setFatal(SimError(code, what, ctx));
+                }
+                conn.send("STOP");
+                loss = nullptr;
+                currentLease = 0;
+                break;
+            } else {
+                loss = "protocol violation";
+                break;
+            }
+        }
+
+        if (currentLease != 0) {
+            std::vector<std::size_t> poisoned;
+            std::lock_guard<std::mutex> lock(C.mtx);
+            const std::size_t requeued =
+                C.leases.reclaim(currentLease, poisoned);
+            if (C.opts.progress && (requeued > 0 || !poisoned.empty())) {
+                inform("fabric: worker %u lost (%s); reassigning %zu "
+                       "cell(s)%s",
+                       workerId, loss ? loss : "unknown", requeued,
+                       poisoned.empty() ? "" : ", poisoning the rest");
+            }
+            C.poisonCells(poisoned);
+        } else if (loss && C.opts.progress) {
+            inform("fabric: worker %u disconnected (%s)", workerId, loss);
+        }
+    } catch (const SimError &e) {
+        // Transport failure on this connection: reclaim and move on;
+        // the sweep only dies when cells exhaust their attempts.
+        std::vector<std::size_t> poisoned;
+        std::lock_guard<std::mutex> lock(C.mtx);
+        if (currentLease != 0) {
+            const std::size_t requeued =
+                C.leases.reclaim(currentLease, poisoned);
+            if (C.opts.progress) {
+                inform("fabric: worker %u lost (%s); reassigning %zu "
+                       "cell(s)",
+                       workerId, e.message().c_str(), requeued);
+            }
+            C.poisonCells(poisoned);
+        }
+    }
+}
+
+std::string
+workerBinaryPath(const FabricOptions &opts)
+{
+    if (!opts.workerBinary.empty())
+        return opts.workerBinary;
+    if (const char *env = std::getenv("SVRSIM_WORKER_BIN"))
+        return env;
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        const std::string self(buf);
+        const std::size_t slash = self.rfind('/');
+        if (slash != std::string::npos)
+            return self.substr(0, slash + 1) + "svrsim_worker";
+    }
+    return "svrsim_worker";
+}
+
+pid_t
+spawnWorker(const std::string &binary, const std::string &addr,
+            unsigned jobs)
+{
+    const std::string jobs_str = std::to_string(jobs);
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        throw simErrorf(ErrCode::IoError, {},
+                        "fabric: fork failed: %s", std::strerror(errno));
+    }
+    if (pid == 0) {
+        // Child: only async-signal-safe work between fork and exec.
+        ::execl(binary.c_str(), "svrsim_worker", "--connect",
+                addr.c_str(), "--jobs", jobs_str.c_str(),
+                static_cast<char *>(nullptr));
+        ::_exit(127);
+    }
+    return pid;
+}
+
+std::string
+autoSocketPath(const std::string &scratch_dir)
+{
+    std::string dir = scratch_dir;
+    if (dir.empty()) {
+        const char *tmp = std::getenv("TMPDIR");
+        dir = tmp && *tmp ? tmp : "/tmp";
+    }
+    std::string path = dir + "/.svrsim-fabric-" +
+                       std::to_string(::getpid()) + ".sock";
+    if (path.size() >= 100) {
+        // sockaddr_un caps the path around 107 bytes; deep build
+        // trees fall back to the system tmp dir.
+        path = std::string("/tmp/.svrsim-fabric-") +
+               std::to_string(::getpid()) + ".sock";
+    }
+    return path;
+}
+
+} // namespace
+
+std::vector<SimResult>
+runFabricSweep(const std::vector<WorkloadSpec> &workloads,
+               const std::vector<SimConfig> &configs,
+               const SweepSpec &spec, const FabricOptions &fopts,
+               const JournalCells &restored, SweepJournal *journal,
+               MatrixTiming *timing)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto t_start = Clock::now();
+
+    const std::size_t num_cells = workloads.size() * configs.size();
+    if (num_cells == 0)
+        return {};
+    if (fopts.spawnWorkers == 0 && fopts.listen.empty()) {
+        throw simErrorf(ErrCode::ConfigInvalid, {},
+                        "fabric: need --workers N and/or an explicit "
+                        "--coordinator endpoint");
+    }
+
+    // Map restored cells onto matrix indices (extra journal cells —
+    // e.g. a shard from a superset sweep — are simply ignored).
+    std::vector<std::size_t> already_done;
+    for (std::size_t idx = 0; idx < num_cells; idx++) {
+        const auto it =
+            restored.find({workloads[idx / configs.size()].name,
+                           configs[idx % configs.size()].label});
+        if (it != restored.end())
+            already_done.push_back(idx);
+    }
+
+    // Auto lease size: a few leases per worker wave so reassignment
+    // after a death stays cheap, floor 1, cap 64.
+    unsigned chunk = fopts.chunk;
+    if (chunk == 0) {
+        const unsigned workers_hint =
+            fopts.spawnWorkers > 0 ? fopts.spawnWorkers : 4;
+        const std::size_t open_cells = num_cells - already_done.size();
+        chunk = static_cast<unsigned>(
+            open_cells / (static_cast<std::size_t>(workers_hint) * 4));
+        if (chunk < 1)
+            chunk = 1;
+        if (chunk > 64)
+            chunk = 64;
+    }
+
+    Coord C(fopts, workloads, configs, spec, journal, chunk,
+            already_done);
+    for (std::size_t idx : already_done) {
+        C.results[idx] = restored.at({C.cellWorkload(idx),
+                                      C.cellConfig(idx)});
+        C.have[idx] = 1;
+    }
+
+    const std::string listen_spec =
+        !fopts.listen.empty() ? fopts.listen
+                              : "unix:" + autoSocketPath(fopts.scratchDir);
+    WireListener listener(WireAddr::parse(listen_spec));
+    if (fopts.progress)
+        inform("fabric: listening on %s", listener.addr().str().c_str());
+
+    // Spawn local workers before any handler thread exists, so fork()
+    // happens while this process is still single-threaded.
+    std::vector<pid_t> children;
+    const std::string worker_bin = workerBinaryPath(fopts);
+    const std::string connect_spec = listener.addr().str();
+    for (unsigned i = 0; i < fopts.spawnWorkers; i++)
+        children.push_back(
+            spawnWorker(worker_bin, connect_spec, fopts.workerJobs));
+
+    unsigned respawn_budget = fopts.respawnBudget > 0
+                                  ? fopts.respawnBudget
+                                  : 3 * fopts.spawnWorkers;
+    const bool expect_external = !fopts.listen.empty();
+
+    std::vector<std::thread> handlers;
+    std::size_t live_children = children.size();
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> lock(C.mtx);
+            if (C.abort || C.leases.allDone())
+                break;
+        }
+
+        // Reap dead local workers; respawn crashed ones while budget
+        // lasts (clean exit 0 means the worker saw FIN — no respawn).
+        for (pid_t &pid : children) {
+            if (pid <= 0)
+                continue;
+            int status = 0;
+            if (::waitpid(pid, &status, WNOHANG) != pid)
+                continue;
+            pid = -1;
+            live_children--;
+            const bool crashed =
+                WIFSIGNALED(status) ||
+                (WIFEXITED(status) && WEXITSTATUS(status) != 0);
+            bool want_respawn = false;
+            {
+                std::lock_guard<std::mutex> lock(C.mtx);
+                want_respawn = crashed && !C.abort &&
+                               !C.leases.allDone() && respawn_budget > 0;
+            }
+            if (want_respawn) {
+                respawn_budget--;
+                if (fopts.progress)
+                    inform("fabric: respawning a crashed local worker "
+                           "(%u respawn(s) left)",
+                           respawn_budget);
+                pid = spawnWorker(worker_bin, connect_spec,
+                                  fopts.workerJobs);
+                live_children++;
+            }
+        }
+
+        // All local workers dead, nothing to respawn, nobody
+        // connected, and no external workers expected: the sweep can
+        // never finish — fail instead of waiting forever.
+        if (!expect_external && fopts.spawnWorkers > 0 &&
+            live_children == 0 && respawn_budget == 0 &&
+            C.activeHandlers.load(std::memory_order_relaxed) == 0) {
+            std::lock_guard<std::mutex> lock(C.mtx);
+            C.setFatal(SimError(ErrCode::WorkerLost,
+                                "all local workers died and the "
+                                "respawn budget is exhausted"));
+            break;
+        }
+
+        WireConn conn = listener.accept(100);
+        if (conn.valid())
+            handlers.emplace_back(
+                [&C](WireConn c) { serveWorker(C, std::move(c)); },
+                std::move(conn));
+    }
+
+    bool aborted;
+    {
+        std::lock_guard<std::mutex> lock(C.mtx);
+        aborted = C.abort;
+    }
+    if (aborted) {
+        // Handler threads unblock when their peers die.
+        for (pid_t pid : children) {
+            if (pid > 0)
+                ::kill(pid, SIGKILL);
+        }
+    }
+    for (auto &h : handlers)
+        h.join();
+
+    // Graceful shutdown: every worker got FIN and exits on its own;
+    // insist with SIGKILL if one lingers past the grace window.
+    const auto grace_deadline =
+        Clock::now() + std::chrono::milliseconds(10000);
+    for (pid_t &pid : children) {
+        if (pid <= 0)
+            continue;
+        int status = 0;
+        while (::waitpid(pid, &status, WNOHANG) == 0) {
+            if (Clock::now() > grace_deadline) {
+                ::kill(pid, SIGKILL);
+                ::waitpid(pid, &status, 0);
+                break;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+        pid = -1;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(C.mtx);
+        if (C.fatal)
+            throw *C.fatal;
+        if (!C.leases.allDone()) {
+            throw simErrorf(ErrCode::InternalInvariant, {},
+                            "fabric: coordinator loop ended with "
+                            "incomplete cells");
+        }
+    }
+
+    const std::chrono::duration<double> elapsed = Clock::now() - t_start;
+    MatrixTiming t;
+    t.wallSeconds = elapsed.count();
+    t.cells = num_cells;
+    t.jobs = C.workersSeen > 0 ? C.workersSeen : 1;
+    t.restoredCells = already_done.size();
+    for (const SimResult &r : C.results) {
+        t.instructions += r.core.instructions;
+        if (r.failed)
+            t.failedCells++;
+    }
+    if (fopts.progress) {
+        inform("fabric: %zu cells in %.2fs (%.2f cells/sec, "
+               "%.2f Msimips, %u workers)",
+               t.cells, t.wallSeconds, t.cellsPerSec(), t.msimips(),
+               t.jobs);
+        if (t.failedCells > 0)
+            warn("fabric: %zu cell(s) failed (see failure records)",
+                 t.failedCells);
+        if (t.restoredCells > 0)
+            inform("fabric: %zu cell(s) restored from journal",
+                   t.restoredCells);
+    }
+    if (timing)
+        *timing = t;
+    return std::move(C.results);
+}
+
+// ---------------------------------------------------------------- //
+// Worker                                                           //
+// ---------------------------------------------------------------- //
+
+int
+runFabricWorker(const WorkerOptions &opts)
+{
+    std::mutex sock_mtx; // serializes request/response exchanges
+    WireConn conn;
+    std::atomic<bool> dead{false};
+    std::atomic<bool> stop{false};
+
+    // Heartbeat machinery (started after WELCOME).
+    std::mutex hb_mtx;
+    std::condition_variable hb_cv;
+    bool hb_stop = false;
+    std::thread hb;
+    const auto stopHeartbeat = [&]() {
+        {
+            std::lock_guard<std::mutex> lock(hb_mtx);
+            hb_stop = true;
+        }
+        hb_cv.notify_all();
+        if (hb.joinable())
+            hb.join();
+    };
+
+    // One request/response exchange; false when the coordinator is
+    // gone (also flags `dead` so concurrent cells stop early).
+    const auto exchange = [&](const std::string &req, std::string &rep) {
+        std::lock_guard<std::mutex> lock(sock_mtx);
+        try {
+            conn.send(req);
+            if (conn.recv(rep, opts.replyTimeoutMs) != RecvStatus::Ok) {
+                dead.store(true, std::memory_order_relaxed);
+                return false;
+            }
+        } catch (const SimError &) {
+            dead.store(true, std::memory_order_relaxed);
+            return false;
+        }
+        if (rep == "STOP")
+            stop.store(true, std::memory_order_relaxed);
+        return true;
+    };
+
+    try {
+        conn = wireConnect(WireAddr::parse(opts.connect),
+                           opts.connectTimeoutMs);
+
+        std::string msg;
+        conn.send("HELLO " + std::to_string(fabricProtocolVersion) + " " +
+                  std::to_string(opts.jobs));
+        if (conn.recv(msg, opts.replyTimeoutMs) != RecvStatus::Ok) {
+            warn("worker: coordinator vanished during handshake");
+            return 2;
+        }
+        Tok wt(msg);
+        if (wt.raw() != "WELCOME") {
+            warn("worker: rejected by coordinator: %s", msg.c_str());
+            return 2;
+        }
+        const std::uint64_t worker_id = wt.u64();
+        SweepSpec spec;
+        if (!wt.ok || !SweepSpec::decode(wt.rest(), spec)) {
+            warn("worker: malformed WELCOME");
+            return 2;
+        }
+
+        std::vector<WorkloadSpec> workloads;
+        std::vector<SimConfig> configs;
+        spec.materialize(workloads, configs);
+        const std::size_t num_cells = workloads.size() * configs.size();
+
+        MatrixOptions mopts;
+        mopts.baseSeed = spec.key.seed;
+        mopts.keepGoing = spec.keepGoing;
+        mopts.maxAttempts = spec.retries;
+        mopts.faultPlan = FaultPlan::fromEnv();
+        mopts.progress = false;
+        mopts.summary = false;
+
+        inform("worker %llu: connected to %s (%zu-cell matrix)",
+               static_cast<unsigned long long>(worker_id),
+               opts.connect.c_str(), num_cells);
+
+        hb = std::thread([&] {
+            std::unique_lock<std::mutex> lock(hb_mtx);
+            while (!hb_cv.wait_for(
+                lock, std::chrono::milliseconds(opts.heartbeatMs),
+                [&] { return hb_stop; })) {
+                lock.unlock();
+                std::string rep;
+                const bool alive = exchange("PING", rep);
+                lock.lock();
+                if (!alive)
+                    return;
+            }
+        });
+
+        ThreadPool pool(opts.jobs);
+        std::vector<std::size_t> cells;
+        for (;;) {
+            if (dead.load(std::memory_order_relaxed)) {
+                stopHeartbeat();
+                return 2;
+            }
+            if (stop.load(std::memory_order_relaxed))
+                break;
+
+            std::string reply;
+            if (!exchange("LEASE?", reply)) {
+                stopHeartbeat();
+                return 2;
+            }
+            Tok t(reply);
+            const std::string verb = t.raw();
+            if (verb == "FIN" || verb == "STOP")
+                break;
+            if (verb == "WAIT") {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(100));
+                continue;
+            }
+            if (verb != "LEASE") {
+                warn("worker %llu: unexpected reply '%s'",
+                     static_cast<unsigned long long>(worker_id),
+                     reply.c_str());
+                stopHeartbeat();
+                return 2;
+            }
+            const std::uint64_t lease_id = t.u64();
+            const std::uint64_t n = t.u64();
+            cells.clear();
+            for (std::uint64_t i = 0; i < n && t.ok; i++)
+                cells.push_back(static_cast<std::size_t>(t.u64()));
+            if (!t.ok || cells.size() != n) {
+                stopHeartbeat();
+                return 2;
+            }
+
+            // Simulate the lease's cells — in parallel when jobs > 1.
+            // The ThreadPool's capture-first-exception contract makes
+            // a fail-fast SimError surface from parallelFor() exactly
+            // like it surfaces from runMatrix().
+            pool.parallelFor(cells.size(), [&](std::size_t k) {
+                const std::size_t idx = cells[k];
+                if (idx >= num_cells) {
+                    throw simErrorf(ErrCode::InternalInvariant, {},
+                                    "fabric: leased cell %zu out of "
+                                    "range",
+                                    idx);
+                }
+                if (dead.load(std::memory_order_relaxed) ||
+                    stop.load(std::memory_order_relaxed)) {
+                    return;
+                }
+                const WorkloadSpec &w = workloads[idx / configs.size()];
+                const SimConfig &c = configs[idx % configs.size()];
+                SimResult res = runIsolatedCell(w, c, mopts);
+                res.workload = w.name;
+                res.config = c.label;
+                std::string rep;
+                if (!exchange("RESULT " + std::to_string(lease_id) +
+                                  " " + std::to_string(idx) + " " +
+                                  journalLine(res),
+                              rep)) {
+                    return;
+                }
+                if (mopts.faultPlan.shouldKill(res.workload,
+                                               res.config)) {
+                    // Crash-safety hook, mirroring the single-process
+                    // sweep: die like an external SIGKILL right after
+                    // the coordinator acknowledged this cell.
+                    warn("worker %llu: injected kill after cell %s/%s",
+                         static_cast<unsigned long long>(worker_id),
+                         res.workload.c_str(), res.config.c_str());
+                    std::raise(SIGKILL);
+                }
+            });
+
+            std::string rep;
+            if (!exchange("DONE " + std::to_string(lease_id), rep)) {
+                stopHeartbeat();
+                return 2;
+            }
+        }
+
+        stopHeartbeat();
+        inform("worker %llu: finished",
+               static_cast<unsigned long long>(worker_id));
+        return 0;
+    } catch (const SimError &e) {
+        // Fail-fast cell error (or setup failure): report it so the
+        // coordinator aborts the sweep with this exact error, then
+        // exit nonzero like the serial tool would.
+        stopHeartbeat();
+        try {
+            if (conn.valid()) {
+                std::lock_guard<std::mutex> lock(sock_mtx);
+                conn.send(std::string("ERROR ") +
+                          journalEscape(errCodeName(e.code())) + " " +
+                          journalEscape(e.message()) + " " +
+                          journalEscape(e.context().workload) + " " +
+                          journalEscape(e.context().config));
+                std::string rep;
+                conn.recv(rep, 2000);
+            }
+        } catch (const SimError &) {
+            // Coordinator already gone; nothing left to tell it.
+        }
+        warn("worker: fatal: %s", e.what());
+        return 1;
+    }
+}
+
+} // namespace svr

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Distributed sweep fabric: a coordinator process enumerates the
+ * (workload x config) cell matrix into leases and hands them to N
+ * worker processes over the length-prefixed wire protocol
+ * (common/wire.hh); workers simulate their cells with the exact
+ * per-cell fault-isolation path runMatrix() uses and stream each
+ * completed cell back as a journal record.
+ *
+ * Determinism contract: the merged artifact is byte-identical to a
+ * serial single-process run of the same sweep. Each cell's RNG stream
+ * is derived from (seed, workload, config) — never from scheduling —
+ * and the journal-record serialization round-trips every reported
+ * field exactly (integers verbatim, doubles as %.17g), so it does not
+ * matter which process simulated a cell or in what order results
+ * arrived: the coordinator reassembles them into workload-major order
+ * and emits the same bytes the serial loop would.
+ *
+ * Fault tolerance: a worker that dies (SIGKILL, crash, network loss)
+ * or goes silent past the lease timeout has the incomplete cells of
+ * its lease reassigned to surviving workers; locally spawned workers
+ * are respawned within a bounded budget. A cell whose workers die
+ * maxCellAttempts times is declared poisoned: under keep-going it
+ * becomes a deterministic SimError(WorkerLost) failure record, else
+ * the sweep aborts with that error — the same isolation semantics the
+ * thread-level engine gives a throwing cell.
+ *
+ * Wire grammar (text payloads inside frames; tokens are journal-
+ * escaped, rest-of-line fields come last):
+ *   worker -> coord:  HELLO <proto> <jobs>
+ *   coord  -> worker: WELCOME <workerId> <sweep-spec...>
+ *   worker -> coord:  LEASE?
+ *   coord  -> worker: LEASE <id> <n> <cell-idx>*n | WAIT | FIN
+ *   worker -> coord:  RESULT <leaseId> <cellIdx> <journal-line...>
+ *   worker -> coord:  DONE <leaseId>   |  PING
+ *   coord  -> worker: OK | STOP        (reply to RESULT/DONE/PING)
+ *   worker -> coord:  ERROR <errCode> <message> <workload> <config>
+ */
+
+#ifndef SVR_SIM_FABRIC_HH
+#define SVR_SIM_FABRIC_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/journal.hh"
+
+namespace svr
+{
+
+/** Bumped on any incompatible wire-grammar change. */
+constexpr unsigned fabricProtocolVersion = 1;
+
+/**
+ * Everything a worker needs to rebuild the coordinator's exact cell
+ * matrix: the sweep identity (suite, config list, window, seed,
+ * sampling) plus the fault-isolation knobs. Ships inside WELCOME, so
+ * an external worker needs nothing but the coordinator's address.
+ */
+struct SweepSpec
+{
+    SweepKey key;
+    bool keepGoing = false;
+    unsigned retries = 1;
+
+    /** Wire form: space-separated journal-escaped tokens. */
+    std::string encode() const;
+    /** Parse encode() output; false on a malformed spec. */
+    static bool decode(const std::string &text, SweepSpec &out);
+
+    /**
+     * Rebuild the cell matrix: suiteByName(key.suite) workloads and
+     * presets::byName() configs with window/sampling applied — the
+     * same construction the sweep tool performs, so coordinator and
+     * workers agree on every cell index.
+     */
+    void materialize(std::vector<WorkloadSpec> &workloads,
+                     std::vector<SimConfig> &configs) const;
+};
+
+/**
+ * Lease bookkeeping over cell indices 0..numCells-1 (workload-major,
+ * the flattenMatrix() order). Not thread-safe — the coordinator holds
+ * its own mutex; exposed here so the policy is unit-testable.
+ */
+class LeaseQueue
+{
+  public:
+    /**
+     * @p chunk cells max per lease; @p max_attempts worker deaths
+     * before a cell is poisoned. Cells in @p already_done (e.g.
+     * restored from a journal) are born completed and never leased.
+     */
+    LeaseQueue(std::size_t num_cells, unsigned chunk,
+               unsigned max_attempts,
+               const std::vector<std::size_t> &already_done = {});
+
+    /**
+     * Take up to chunk pending cells as a new lease. Returns the
+     * lease id (> 0) with the cells in @p out, or 0 when nothing is
+     * pending (either all leased out elsewhere or all complete).
+     */
+    std::uint64_t take(std::vector<std::size_t> &out);
+
+    /**
+     * Record one completed cell (results can arrive from a worker
+     * whose lease was already reclaimed). False = duplicate, ignored.
+     */
+    bool complete(std::size_t cell);
+
+    /**
+     * A worker died holding @p lease_id: its incomplete cells go back
+     * to the pending queue with one more attempt charged, except
+     * cells that exhausted max_attempts, which are returned in
+     * @p poisoned. Returns the number of requeued cells.
+     */
+    std::size_t reclaim(std::uint64_t lease_id,
+                        std::vector<std::size_t> &poisoned);
+
+    /** A lease finished cleanly (DONE): drop its bookkeeping. */
+    void release(std::uint64_t lease_id);
+
+    /** All cells completed or poisoned. */
+    bool allDone() const;
+    std::size_t completedCells() const { return numDone; }
+    std::size_t poisonedCells() const { return numPoisoned; }
+
+  private:
+    enum class CellState : std::uint8_t { Pending, Leased, Done, Poisoned };
+
+    struct Cell
+    {
+        CellState state = CellState::Pending;
+        unsigned attempts = 0; //!< lease assignments so far
+    };
+
+    std::vector<Cell> cells;
+    std::vector<std::size_t> pending; //!< LIFO of leasable cell indices
+    std::map<std::uint64_t, std::vector<std::size_t>> active;
+    std::uint64_t nextLease = 1;
+    unsigned chunkSize;
+    unsigned maxAttempts;
+    std::size_t numDone = 0;
+    std::size_t numPoisoned = 0;
+};
+
+/** Coordinator-side knobs. */
+struct FabricOptions
+{
+    /**
+     * Endpoint to listen on ("unix:PATH" or "tcp:HOST:PORT"); empty
+     * picks a private unix socket under @p scratchDir (or TMPDIR).
+     */
+    std::string listen;
+    /** Directory for the auto unix socket (e.g. the artifact's dir). */
+    std::string scratchDir;
+    /** Worker processes to spawn locally (0 = external workers only). */
+    unsigned spawnWorkers = 0;
+    /** --jobs forwarded to each spawned worker (intra-worker threads). */
+    unsigned workerJobs = 1;
+    /** Cells per lease; 0 = auto from matrix size and worker count. */
+    unsigned chunk = 0;
+    /** Silence window after which a worker is declared dead [ms]. */
+    int leaseTimeoutMs = 60000;
+    /** Worker deaths before a cell is poisoned (>= 1). */
+    unsigned maxCellAttempts = 3;
+    /** Total local respawns allowed across the sweep. */
+    unsigned respawnBudget = 0; //!< 0 = auto (3x spawnWorkers)
+    /** Path to the svrsim_worker binary; empty = next to this one. */
+    std::string workerBinary;
+    /** Emit progress lines (worker joins/losses, respawns). */
+    bool progress = true;
+};
+
+/**
+ * Run the sweep as fabric coordinator: lease cells to workers, merge
+ * streamed results, journal each newly completed cell to @p journal
+ * (may be null), and return the results in workload-major order —
+ * byte-for-byte what flattenMatrix(runMatrix(...)) would produce.
+ * @p restored cells are taken as already complete and never leased
+ * (lease-aware resume). Throws SimError on a fail-fast cell failure,
+ * a poisoned lease without keep-going, or a transport breakdown.
+ * @p timing receives the wall-clock summary (jobs = workers seen).
+ */
+std::vector<SimResult>
+runFabricSweep(const std::vector<WorkloadSpec> &workloads,
+               const std::vector<SimConfig> &configs,
+               const SweepSpec &spec, const FabricOptions &fopts,
+               const JournalCells &restored, SweepJournal *journal,
+               MatrixTiming *timing);
+
+/** Worker-side knobs. */
+struct WorkerOptions
+{
+    std::string connect;         //!< coordinator endpoint (required)
+    unsigned jobs = 1;           //!< threads over the cells of a lease
+    int heartbeatMs = 1000;      //!< PING period while simulating
+    int connectTimeoutMs = 15000;
+    int replyTimeoutMs = 30000;  //!< coordinator silence tolerance
+};
+
+/**
+ * Run as fabric worker: connect, receive the sweep spec, simulate
+ * leased cells (ThreadPool-parallel within the lease when jobs > 1),
+ * stream results, repeat until FIN. Returns a process exit code:
+ * 0 = completed/FIN, 1 = fatal SimError (also reported to the
+ * coordinator as ERROR), 2 = transport loss.
+ */
+int runFabricWorker(const WorkerOptions &opts);
+
+} // namespace svr
+
+#endif // SVR_SIM_FABRIC_HH

@@ -130,6 +130,18 @@ headerLine(const SweepKey &key)
 } // namespace
 
 std::string
+journalEscape(const std::string &s)
+{
+    return escapeField(s);
+}
+
+std::string
+journalUnescape(const std::string &s)
+{
+    return unescapeField(s);
+}
+
+std::string
 journalLine(const SimResult &r)
 {
     std::ostringstream os;
@@ -327,6 +339,26 @@ loadJournal(const std::string &path, const SweepKey &expect)
         cells[{r.workload, r.config}] = std::move(r);
     }
     return cells;
+}
+
+JournalCells
+loadJournalShards(const std::vector<std::string> &paths,
+                  const SweepKey &expect, std::size_t *duplicates)
+{
+    JournalCells merged;
+    std::size_t dups = 0;
+    for (const std::string &path : paths) {
+        JournalCells shard = loadJournal(path, expect);
+        for (auto &kv : shard) {
+            // Identical cells are interchangeable (deterministic per-
+            // cell streams), so only count the collision.
+            if (!merged.emplace(kv.first, std::move(kv.second)).second)
+                dups++;
+        }
+    }
+    if (duplicates)
+        *duplicates = dups;
+    return merged;
 }
 
 } // namespace svr

@@ -30,6 +30,7 @@
 #include <map>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "sim/simulator.hh"
 
@@ -66,6 +67,16 @@ using JournalCells =
 
 /** Serialize one cell as an "R1 ..." line (no trailing newline). */
 std::string journalLine(const SimResult &r);
+
+/**
+ * %-escape a value so it travels as one whitespace-free token ("-"
+ * encodes the empty string) — the token format shared by journal
+ * records and the fabric wire messages (sim/fabric.hh).
+ */
+std::string journalEscape(const std::string &s);
+
+/** Invert journalEscape(). */
+std::string journalUnescape(const std::string &s);
 
 /**
  * Parse one "R1 ..." line. Returns false on a torn/corrupt line
@@ -105,6 +116,20 @@ class SweepJournal
  * corrupt record lines are skipped with a warn().
  */
 JournalCells loadJournal(const std::string &path, const SweepKey &expect);
+
+/**
+ * Merge several journal shards (e.g. shipped from workers that
+ * journaled locally on other hosts) into one completed-cell map.
+ * Every shard must carry the same sweep identity @p expect; cells
+ * appearing in more than one shard are identical by the determinism
+ * contract (same cell => same seeded stream => same record), so the
+ * first occurrence wins and duplicates are counted, not compared.
+ * Returns the union; @p duplicates (optional) receives the number of
+ * duplicate records dropped.
+ */
+JournalCells loadJournalShards(const std::vector<std::string> &paths,
+                               const SweepKey &expect,
+                               std::size_t *duplicates = nullptr);
 
 } // namespace svr
 

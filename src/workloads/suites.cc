@@ -167,6 +167,23 @@ quickSuite()
     return v;
 }
 
+std::vector<WorkloadSpec>
+suiteByName(const std::string &name)
+{
+    if (name == "graph")
+        return graphSuite();
+    if (name == "hpcdb")
+        return hpcdbSuite();
+    if (name == "full")
+        return fullSuite();
+    if (name == "spec")
+        return specSuite();
+    if (name == "quick")
+        return quickSuite();
+    fatal("unknown suite '%s' (want graph|hpcdb|full|spec|quick)",
+          name.c_str());
+}
+
 WorkloadSpec
 findWorkload(const std::string &name)
 {

@@ -46,6 +46,14 @@ std::vector<WorkloadSpec> quickSuite();
 /** Find a workload by name across all suites; fatal if unknown. */
 WorkloadSpec findWorkload(const std::string &name);
 
+/**
+ * Resolve a suite by CLI name: graph, hpcdb, full, spec, or quick.
+ * Fatal on anything else. Both the sweep tool and fabric workers use
+ * this, so a worker handed a suite name over the wire reconstructs
+ * exactly the cell matrix the coordinator enumerated.
+ */
+std::vector<WorkloadSpec> suiteByName(const std::string &name);
+
 } // namespace svr
 
 #endif // SVR_WORKLOADS_SUITES_HH

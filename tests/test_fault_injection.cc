@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <unistd.h>
 #include <vector>
 
 #include "common/error.hh"
@@ -39,6 +40,7 @@ TEST(SimErrors, CodeNamesRoundTrip)
         ErrCode::ConfigInvalid,       ErrCode::WorkloadBuild,
         ErrCode::CycleBudgetExceeded, ErrCode::NoForwardProgress,
         ErrCode::IoError,             ErrCode::InternalInvariant,
+        ErrCode::WorkerLost,
     };
     for (ErrCode c : codes) {
         ErrCode parsed;
@@ -591,6 +593,71 @@ TEST(Journal, ResumedMatrixIsByteIdenticalToUninterruptedRun)
     const auto matrix = runMatrix(workloads, configs, resumed, &timing);
     EXPECT_EQ(timing.restoredCells, 2u);
     EXPECT_EQ(fresh, 2u);
+    EXPECT_EQ(toJson(flattenMatrix(matrix)), reference);
+    std::remove(path.c_str());
+}
+
+TEST(Journal, TruncatedFinalRecordReRunsOnlyThatCell)
+{
+    const auto workloads = tinySuite();
+    const auto configs = tinyConfigs();
+
+    MatrixOptions opts = quietOpts(2);
+    const std::string reference =
+        toJson(flattenMatrix(runMatrix(workloads, configs, opts)));
+
+    // A complete run journaled through the real writer...
+    const std::string path =
+        ::testing::TempDir() + "svrsim_truncated.journal";
+    const SweepKey key{"tiny", "ino,svr16", 5000, 42, {}};
+    std::string last_workload, last_config;
+    {
+        SweepJournal journal(path, key);
+        MatrixOptions full = quietOpts(1);
+        full.onCellDone = [&](const SimResult &r) {
+            journal.append(r);
+            last_workload = r.workload;
+            last_config = r.config;
+        };
+        runMatrix(workloads, configs, full);
+    }
+    // ...then cut the final record mid-write, as a crash or full disk
+    // would: drop the trailing newline plus a chunk of the line.
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 0, SEEK_END);
+        const long size = std::ftell(f);
+        std::fclose(f);
+        ASSERT_GT(size, 40);
+        ASSERT_EQ(::truncate(path.c_str(), size - 40), 0);
+    }
+
+    // The torn record must be dropped: every cell but the last one
+    // restores, and the resume re-simulates exactly that one cell.
+    JournalCells cells = loadJournal(path, key);
+    const std::size_t num_cells = workloads.size() * configs.size();
+    ASSERT_EQ(cells.size(), num_cells - 1);
+    EXPECT_FALSE(cells.count({last_workload, last_config}));
+
+    MatrixOptions resumed = quietOpts(2);
+    std::vector<std::string> rerun;
+    resumed.restoreCell = [&cells](const std::string &w,
+                                   const std::string &c, SimResult &out) {
+        const auto it = cells.find({w, c});
+        if (it == cells.end())
+            return false;
+        out = it->second;
+        return true;
+    };
+    resumed.onCellDone = [&rerun](const SimResult &r) {
+        rerun.push_back(r.workload + "/" + r.config);
+    };
+    MatrixTiming timing;
+    const auto matrix = runMatrix(workloads, configs, resumed, &timing);
+    EXPECT_EQ(timing.restoredCells, num_cells - 1);
+    ASSERT_EQ(rerun.size(), 1u);
+    EXPECT_EQ(rerun[0], last_workload + "/" + last_config);
     EXPECT_EQ(toJson(flattenMatrix(matrix)), reference);
     std::remove(path.c_str());
 }

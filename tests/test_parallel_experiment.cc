@@ -34,6 +34,7 @@
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hh"
@@ -151,6 +152,50 @@ TEST(ThreadPool, ThrowingJobsDoNotStarveLaterBatches)
     std::atomic<int> done{0};
     pool.parallelFor(32, [&](std::size_t) { done++; });
     EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks)
+{
+    // Shutdown contract: the destructor completes every task that was
+    // submitted, even ones still sitting in the queues when it runs.
+    // Two blockers pin both workers so the 200 counter tasks are
+    // guaranteed to be queued (not in flight) at destruction time.
+    std::atomic<int> done{0};
+    std::atomic<bool> gate{false};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 2; i++) {
+            pool.submit([&] {
+                while (!gate.load(std::memory_order_acquire))
+                    std::this_thread::yield();
+                done++;
+            });
+        }
+        for (int i = 0; i < 200; i++)
+            pool.submit([&] { done++; });
+        gate.store(true, std::memory_order_release);
+        // No wait(): the destructor must drain the queue itself.
+    }
+    EXPECT_EQ(done.load(), 202);
+}
+
+TEST(ThreadPool, DestructorIsCleanWhenQueuedTasksThrow)
+{
+    // Errors from tasks that only run during shutdown are captured the
+    // same way as in-flight ones; with no wait() to rethrow them the
+    // destructor must still complete every task and join quietly.
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; i++) {
+            pool.submit([&, i] {
+                done++;
+                if (i % 3 == 0)
+                    throw std::runtime_error("shutdown-time failure");
+            });
+        }
+    }
+    EXPECT_EQ(done.load(), 64);
 }
 
 TEST(ThreadPool, DefaultJobsHonorsEnv)

@@ -8,6 +8,7 @@
  * Usage:
  *   bench_report [--quick] [--sampling] [--out PATH]
  *   bench_report --regress [--baseline PATH] [--threshold PCT] [--quick]
+ *                [--out PATH]
  *
  *   --quick     small windows / single repetition (CI smoke)
  *   --sampling  measure sampled-vs-full accuracy and speedup instead,
@@ -22,7 +23,9 @@
  *               threshold (default 15%) below the committed
  *               BENCH_simspeed.json. Opt-in in CI (wall-clock
  *               measurements are load-sensitive):
- *               `ctest -C bench-regress`.
+ *               `ctest -C bench-regress`. With --out, the per-core
+ *               comparison (baseline/measured/delta Msimips) is also
+ *               written as machine-readable JSON for CI dashboards.
  *   --baseline  baseline JSON for --regress (default:
  *               BENCH_simspeed.json next to the current directory)
  *   --threshold allowed Msimips drop in percent for --regress
@@ -287,7 +290,7 @@ runSamplingBench(bool quick, const std::string &out_path)
     const WorkloadInstance w = makeCamel();
     const std::vector<SimConfig> configs = {
         presets::inorder(), presets::impCore(), presets::outOfOrder(),
-        presets::svrCore(16)};
+        presets::svrCore(16), presets::svrCore(64)};
 
     std::vector<SamplingRow> rows;
     for (const auto &config : configs) {
@@ -365,14 +368,27 @@ parseBaselineCores(const std::string &text)
     return rows;
 }
 
+/** One core's baseline-vs-fresh comparison (--regress). */
+struct RegressRow
+{
+    std::string label;
+    double baseline = 0.0; //!< committed Msimips (0 = no baseline row)
+    double measured = 0.0;
+    double deltaPct = 0.0; //!< (measured - baseline) / baseline * 100
+    double floor = 0.0;    //!< baseline scaled by the threshold
+    bool regressed = false;
+};
+
 /**
  * --regress mode: re-measure the timing cores and compare against the
  * committed baseline. Exit 0 if every core is within @p threshold_pct
  * of its baseline Msimips, 1 on a regression, 2 on a bad baseline.
+ * With @p out_path, the comparison is also written as machine-readable
+ * JSON (per-core baseline/measured/delta) for CI dashboards.
  */
 int
 runRegressCheck(bool quick, const std::string &baseline_path,
-                double threshold_pct)
+                double threshold_pct, const std::string &out_path)
 {
     const std::string text = readFile(baseline_path);
     const std::vector<CoreSpeed> baseline = parseBaselineCores(text);
@@ -400,6 +416,7 @@ runRegressCheck(bool quick, const std::string &baseline_path,
         presets::inorder(), presets::impCore(), presets::outOfOrder(),
         presets::svrCore(16), presets::svrCore(64)};
 
+    std::vector<RegressRow> rows;
     bool failed = false;
     for (const auto &config : configs) {
         const CoreSpeed fresh = measureCore(config, w, window, reps);
@@ -408,26 +425,67 @@ runRegressCheck(bool quick, const std::string &baseline_path,
             if (b.label == fresh.label)
                 base = &b;
         }
+        RegressRow row;
+        row.label = fresh.label;
+        row.measured = fresh.msimips;
         if (!base) {
             // A core model missing from the committed file is stale
             // tooling, not a perf regression; flag but keep comparing.
             std::fprintf(stderr, "  %-8s %8.2f Msimips  (no baseline)\n",
                          fresh.label.c_str(), fresh.msimips);
+            rows.push_back(std::move(row));
             continue;
         }
-        const double floor = base->msimips * (1.0 - threshold_pct / 100.0);
-        const bool bad = fresh.msimips < floor;
-        failed = failed || bad;
+        row.baseline = base->msimips;
+        row.floor = base->msimips * (1.0 - threshold_pct / 100.0);
+        row.deltaPct = base->msimips > 0.0
+                           ? 100.0 * (fresh.msimips - base->msimips) /
+                                 base->msimips
+                           : 0.0;
+        row.regressed = fresh.msimips < row.floor;
+        failed = failed || row.regressed;
         std::fprintf(stderr,
                      "  %-8s %8.2f Msimips  baseline %8.2f  "
                      "floor %8.2f  %s\n",
-                     fresh.label.c_str(), fresh.msimips, base->msimips,
-                     floor, bad ? "REGRESSED" : "ok");
+                     row.label.c_str(), row.measured, row.baseline,
+                     row.floor, row.regressed ? "REGRESSED" : "ok");
+        rows.push_back(std::move(row));
     }
     std::fprintf(stderr, "bench_report: regression check %s "
                  "(threshold %.0f%%, baseline %s)\n",
                  failed ? "FAILED" : "passed", threshold_pct,
                  baseline_path.c_str());
+
+    if (!out_path.empty()) {
+        std::string json;
+        appendf(json, "{\n");
+        appendf(json, "  \"schema\": \"svrsim-bench-regress-v1\",\n");
+        appendf(json, "  \"quick\": %s,\n", quick ? "true" : "false");
+        appendf(json, "  \"threshold_pct\": %.1f,\n", threshold_pct);
+        appendf(json, "  \"window_instructions\": %llu,\n",
+                static_cast<unsigned long long>(window));
+        appendf(json, "  \"status\": \"%s\",\n",
+                failed ? "regressed" : "ok");
+        appendf(json, "  \"cores\": [\n");
+        for (std::size_t i = 0; i < rows.size(); i++) {
+            const RegressRow &r = rows[i];
+            appendf(json,
+                    "    {\"label\": \"%s\", \"baseline_msimips\": %.3f, "
+                    "\"measured_msimips\": %.3f, \"delta_pct\": %.2f, "
+                    "\"floor_msimips\": %.3f, \"status\": \"%s\"}%s\n",
+                    r.label.c_str(), r.baseline, r.measured, r.deltaPct,
+                    r.floor,
+                    r.baseline == 0.0 ? "no-baseline"
+                    : r.regressed     ? "regressed"
+                                      : "ok",
+                    i + 1 < rows.size() ? "," : "");
+        }
+        appendf(json, "  ]\n");
+        appendf(json, "}\n");
+        writeFileAtomic(out_path, json, FaultPlan::fromEnv());
+        std::fprintf(stderr, "bench_report: wrote %s\n",
+                     out_path.c_str());
+    }
     return failed ? 1 : 0;
 }
 
@@ -465,13 +523,15 @@ try {
             return 1;
         }
     }
-    if (out_path.empty())
+    // --regress only writes JSON when --out is given explicitly.
+    if (out_path.empty() && !regress)
         out_path = sampling ? "BENCH_sampling.json" : "BENCH_simspeed.json";
 
     setInformEnabled(false);
 
     if (regress)
-        return runRegressCheck(quick, baseline_path, threshold_pct);
+        return runRegressCheck(quick, baseline_path, threshold_pct,
+                               out_path);
     if (sampling)
         return runSamplingBench(quick, out_path);
 

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Fabric throughput gate: on a >= 200-cell sweep, a coordinator with
+# N = nproc local workers must reach >= 3x the cells/sec of a
+# single-process --jobs-only run. Wall-clock ratios only mean something
+# when the host actually has parallel cores, so on hosts with < 4
+# CPUs the measurement is reported but not asserted.
+#
+# Opt-in (ctest -C distributed-perf): load-sensitive by nature, like
+# the bench-regress gate.
+#
+# Usage: distributed_perf_test.sh <svrsim_sweep-binary> <scratch-dir>
+set -eu
+
+SWEEP=$1
+DIR=$2
+# quick suite (8 workloads) x 25 svr widths + ino = 208 cells.
+CONFIGS="ino,svr2,svr3,svr4,svr5,svr6,svr7,svr8,svr9,svr10,svr11,svr12"
+CONFIGS="$CONFIGS,svr13,svr14,svr15,svr16,svr17,svr18,svr19,svr20"
+CONFIGS="$CONFIGS,svr21,svr22,svr23,svr24,svr25,svr26"
+ARGS="--suite quick --configs $CONFIGS --window 4000"
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+NPROC=$(nproc 2>/dev/null || echo 1)
+WORKERS=$NPROC
+[ "$WORKERS" -gt 8 ] && WORKERS=8
+
+cells_per_sec() {
+    # "fabric: 208 cells in 1.23s (169.11 cells/sec, ..." or
+    # "matrix: 208 cells in 1.23s (169.11 cells/sec, ..."
+    sed -n 's/.* (\([0-9.]*\) cells\/sec.*/\1/p' "$1" | tail -n 1
+}
+
+echo "== baseline: single process, --jobs 1"
+"$SWEEP" $ARGS --jobs 1 --out "$DIR/serial.csv" 2> "$DIR/serial.log"
+BASE=$(cells_per_sec "$DIR/serial.log")
+[ -n "$BASE" ] || fail "no cells/sec in the serial summary"
+
+echo "== fabric: --workers $WORKERS"
+"$SWEEP" $ARGS --workers "$WORKERS" --out "$DIR/fabric.csv" \
+    2> "$DIR/fabric.log"
+FAB=$(cells_per_sec "$DIR/fabric.log")
+[ -n "$FAB" ] || fail "no cells/sec in the fabric summary"
+
+cmp "$DIR/serial.csv" "$DIR/fabric.csv" ||
+    fail "fabric artifact differs from the serial run"
+
+RATIO=$(awk -v f="$FAB" -v b="$BASE" 'BEGIN { printf "%.2f", f / b }')
+echo "baseline $BASE cells/sec, fabric $FAB cells/sec => ${RATIO}x" \
+     "($WORKERS workers, $NPROC cpus)"
+
+if [ "$NPROC" -lt 4 ]; then
+    echo "SKIP: only $NPROC cpu(s); >= 3x needs >= 4 cores to be physical"
+    exit 0
+fi
+awk -v r="$RATIO" 'BEGIN { exit (r >= 3.0) ? 0 : 1 }' ||
+    fail "fabric speedup ${RATIO}x is below the 3x floor"
+echo "PASS: fabric reaches ${RATIO}x single-process throughput"

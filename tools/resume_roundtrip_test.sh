@@ -43,6 +43,21 @@ cmp "$DIR/clean.json" "$DIR/crash.json" ||
     fail "resumed artifact differs from the uninterrupted run"
 [ ! -f "$DIR/crash.json.journal" ] || fail "resume left its journal behind"
 
+echo "== step 3b: --resume from a journal truncated mid-record"
+rc=0
+SVRSIM_FAULT='kill@CC_TW/SVR16' \
+    "$SWEEP" $ARGS --out "$DIR/trunc.json" 2> /dev/null || rc=$?
+[ "$rc" -ne 0 ] || fail "killed run exited 0"
+SIZE=$(wc -c < "$DIR/trunc.json.journal")
+[ "$SIZE" -gt 40 ] || fail "journal too small to truncate"
+# Cut the final record mid-write (no trailing newline survives).
+truncate -s $((SIZE - 40)) "$DIR/trunc.json.journal"
+"$SWEEP" $ARGS --out "$DIR/trunc.json" --resume 2> "$DIR/trunc.log"
+grep -q "torn" "$DIR/trunc.log" ||
+    fail "resume did not report the torn final record"
+cmp "$DIR/clean.json" "$DIR/trunc.json" ||
+    fail "truncated-journal resume differs from the uninterrupted run"
+
 echo "== step 4: keep-going records the failure and exits 3"
 rc=0
 SVRSIM_FAULT='throw@CC_TW/SVR16' \

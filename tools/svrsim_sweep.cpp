@@ -8,6 +8,9 @@
  *                [--configs LIST] [--window INSTRS] [--jobs N] [--json]
  *                [--sample-every E] [--sample-window W] [--warmup U]
  *                [--out PATH] [--resume] [--keep-going] [--retries N]
+ *                [--workers N] [--coordinator ADDR] [--worker ADDR]
+ *                [--shards LIST] [--keep-journal] [--lease-timeout MS]
+ *                [--chunk N]
  *
  * LIST is comma-separated from: ino, imp, ooo, svrN (e.g. svr16).
  * Default: --suite quick --configs ino,imp,ooo,svr16,svr64
@@ -16,6 +19,26 @@
  * the SVRSIM_JOBS environment variable, default: all hardware
  * threads). Output is byte-identical for any job count; progress and
  * the cells/sec summary go to stderr.
+ *
+ * Distributed sweeps (the fabric, sim/fabric.hh):
+ *   --workers N       run as coordinator and spawn N local worker
+ *                     processes (svrsim_worker, found next to this
+ *                     binary or via SVRSIM_WORKER_BIN); cells are
+ *                     leased to workers and merged back into an
+ *                     artifact byte-identical to a serial run
+ *   --coordinator A   listen on an explicit endpoint ("unix:PATH" or
+ *                     "tcp:HOST:PORT") so external svrsim_worker
+ *                     processes can attach; combines with --workers
+ *   --worker A        run as a fabric worker attached to coordinator
+ *                     endpoint A (--jobs = threads per lease); all
+ *                     sweep parameters come from the coordinator
+ *   --shards LIST     merge comma-separated journal shard files
+ *                     (e.g. journals shipped from another host) as
+ *                     already-completed cells before sweeping
+ *   --lease-timeout   silence window [ms] after which the coordinator
+ *                     declares a worker dead (default 60000)
+ *   --chunk N         cells per lease (default: auto)
+ *   --keep-journal    keep PATH.journal after a successful sweep
  *
  * Fault tolerance:
  *   --out PATH      write the artifact atomically (tmp+rename) to PATH
@@ -41,12 +64,16 @@
  * Examples:
  *   svrsim_sweep --suite full --configs ino,svr16 > results.csv
  *   svrsim_sweep --suite quick --json --out results.json --resume
+ *   svrsim_sweep --suite full --workers 8 --out results.csv
+ *   svrsim_sweep --coordinator tcp:0.0.0.0:7707 --workers 2 --out r.csv
+ *   svrsim_worker --connect tcp:buildhost:7707 --jobs 16
  */
 
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -55,6 +82,7 @@
 #include "common/io.hh"
 #include "common/logging.hh"
 #include "sim/experiment.hh"
+#include "sim/fabric.hh"
 #include "sim/journal.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
@@ -92,6 +120,14 @@ fileExists(const std::string &path)
     return false;
 }
 
+std::string
+dirName(const std::string &path)
+{
+    const std::size_t slash = path.rfind('/');
+    return slash == std::string::npos ? std::string{}
+                                      : path.substr(0, slash);
+}
+
 int
 runSweep(int argc, char **argv)
 {
@@ -103,8 +139,15 @@ runSweep(int argc, char **argv)
     std::string out_path;
     bool resume = false;
     bool keep_going = false;
+    bool keep_journal = false;
     unsigned retries = 1;
     SamplingParams sampling;
+    unsigned workers = 0;
+    std::string coordinator_listen;
+    std::string worker_connect;
+    std::string shards_arg;
+    int lease_timeout_ms = 60000;
+    unsigned chunk = 0;
 
     for (int i = 1; i < argc; i++) {
         const std::string arg = argv[i];
@@ -135,32 +178,49 @@ runSweep(int argc, char **argv)
             resume = true;
         } else if (arg == "--keep-going") {
             keep_going = true;
+        } else if (arg == "--keep-journal") {
+            keep_journal = true;
         } else if (arg == "--retries") {
             retries = static_cast<unsigned>(std::stoul(next()));
             if (retries == 0)
                 fatal("--retries must be >= 1");
+        } else if (arg == "--workers") {
+            workers = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--coordinator") {
+            coordinator_listen = next();
+        } else if (arg == "--worker") {
+            worker_connect = next();
+        } else if (arg == "--shards") {
+            shards_arg = next();
+        } else if (arg == "--lease-timeout") {
+            lease_timeout_ms = std::stoi(next());
+            if (lease_timeout_ms <= 0)
+                fatal("--lease-timeout must be > 0 ms");
+        } else if (arg == "--chunk") {
+            chunk = static_cast<unsigned>(std::stoul(next()));
         } else {
             fatal("unknown argument '%s' (see header comment)",
                   arg.c_str());
         }
     }
+
+    if (!worker_connect.empty()) {
+        // Worker mode: everything about the sweep arrives over the
+        // wire in WELCOME; local sweep flags would be ignored lies.
+        if (workers > 0 || !coordinator_listen.empty())
+            fatal("--worker excludes --workers/--coordinator");
+        WorkerOptions wopts;
+        wopts.connect = worker_connect;
+        wopts.jobs = jobs > 0 ? jobs : 1;
+        return runFabricWorker(wopts);
+    }
+
+    const bool fabric = workers > 0 || !coordinator_listen.empty();
     if (resume && out_path.empty())
         fatal("--resume requires --out PATH (the journal lives at "
               "PATH.journal)");
 
-    std::vector<WorkloadSpec> workloads;
-    if (suite == "graph")
-        workloads = graphSuite();
-    else if (suite == "hpcdb")
-        workloads = hpcdbSuite();
-    else if (suite == "full")
-        workloads = fullSuite();
-    else if (suite == "spec")
-        workloads = specSuite();
-    else if (suite == "quick")
-        workloads = quickSuite();
-    else
-        fatal("unknown suite '%s'", suite.c_str());
+    std::vector<WorkloadSpec> workloads = suiteByName(suite);
 
     std::vector<SimConfig> configs;
     for (const std::string &name : split(configs_arg, ',')) {
@@ -189,12 +249,69 @@ runSweep(int argc, char **argv)
     const std::string journal_path = out_path + ".journal";
     std::unique_ptr<SweepJournal> journal;
     JournalCells completed;
+    std::set<std::pair<std::string, std::string>> in_primary;
+
+    if (!out_path.empty() && resume && fileExists(journal_path)) {
+        completed = loadJournal(journal_path, key);
+        for (const auto &kv : completed)
+            in_primary.insert(kv.first);
+        inform("resume: %zu cell(s) already journaled in '%s'",
+               completed.size(), journal_path.c_str());
+    } else if (resume) {
+        inform("resume: no journal at '%s'; starting fresh",
+               journal_path.c_str());
+    }
+
+    if (!shards_arg.empty()) {
+        std::vector<std::string> shard_paths;
+        for (const std::string &p : split(shards_arg, ','))
+            if (!p.empty())
+                shard_paths.push_back(p);
+        std::size_t dups = 0;
+        JournalCells shard_cells =
+            loadJournalShards(shard_paths, key, &dups);
+        std::size_t added = 0;
+        for (auto &kv : shard_cells) {
+            if (completed.emplace(kv.first, std::move(kv.second)).second)
+                added++;
+        }
+        inform("shards: %zu cell(s) restored from %zu shard(s) "
+               "(%zu duplicate record(s))",
+               added, shard_paths.size(), dups);
+    }
 
     if (!out_path.empty()) {
-        if (resume && fileExists(journal_path)) {
-            completed = loadJournal(journal_path, key);
-            inform("resume: %zu cell(s) already journaled in '%s'",
-                   completed.size(), journal_path.c_str());
+        journal = std::make_unique<SweepJournal>(journal_path, key);
+        // Cells restored from shards are not in the primary journal
+        // yet; append them so PATH.journal alone can resume the sweep.
+        for (const auto &kv : completed) {
+            if (in_primary.find(kv.first) == in_primary.end())
+                journal->append(kv.second);
+        }
+    }
+
+    MatrixTiming timing;
+    std::vector<SimResult> results;
+
+    if (fabric) {
+        SweepSpec spec;
+        spec.key = key;
+        spec.keepGoing = keep_going;
+        spec.retries = retries;
+
+        FabricOptions fopts;
+        fopts.listen = coordinator_listen;
+        fopts.scratchDir = dirName(out_path);
+        fopts.spawnWorkers = workers;
+        fopts.workerJobs = jobs > 0 ? jobs : 1;
+        fopts.chunk = chunk;
+        fopts.leaseTimeoutMs = lease_timeout_ms;
+        fopts.maxCellAttempts = retries > 3 ? retries : 3;
+
+        results = runFabricSweep(workloads, configs, spec, fopts,
+                                 completed, journal.get(), &timing);
+    } else {
+        if (!completed.empty()) {
             opts.restoreCell = [&completed](const std::string &w,
                                             const std::string &c,
                                             SimResult &out) {
@@ -204,27 +321,23 @@ runSweep(int argc, char **argv)
                 out = it->second;
                 return true;
             };
-        } else if (resume) {
-            inform("resume: no journal at '%s'; starting fresh",
-                   journal_path.c_str());
         }
-        journal = std::make_unique<SweepJournal>(journal_path, key);
-        opts.onCellDone = [&journal, &faults](const SimResult &r) {
-            journal->append(r);
-            if (faults.shouldKill(r.workload, r.config)) {
-                // Crash-safety test hook: die without any cleanup,
-                // exactly like an external SIGKILL, right after this
-                // cell hit the journal.
-                warn("injected kill after cell %s/%s",
-                     r.workload.c_str(), r.config.c_str());
-                std::raise(SIGKILL);
-            }
-        };
+        if (journal) {
+            opts.onCellDone = [&journal, &faults](const SimResult &r) {
+                journal->append(r);
+                if (faults.shouldKill(r.workload, r.config)) {
+                    // Crash-safety test hook: die without any cleanup,
+                    // exactly like an external SIGKILL, right after
+                    // this cell hit the journal.
+                    warn("injected kill after cell %s/%s",
+                         r.workload.c_str(), r.config.c_str());
+                    std::raise(SIGKILL);
+                }
+            };
+        }
+        const auto matrix = runMatrix(workloads, configs, opts, &timing);
+        results = flattenMatrix(matrix);
     }
-
-    MatrixTiming timing;
-    const auto matrix = runMatrix(workloads, configs, opts, &timing);
-    const std::vector<SimResult> results = flattenMatrix(matrix);
 
     std::string content;
     if (json) {
@@ -239,7 +352,8 @@ runSweep(int argc, char **argv)
         writeFileAtomic(out_path, content, faults);
         journal.reset();
         // The artifact is durable; the journal is now redundant.
-        std::remove(journal_path.c_str());
+        if (!keep_journal)
+            std::remove(journal_path.c_str());
     } else {
         std::fputs(content.c_str(), stdout);
     }

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * svrsim_worker — fabric worker process for distributed sweeps.
+ *
+ * Usage:
+ *   svrsim_worker --connect ADDR [--jobs N]
+ *
+ * ADDR is the coordinator endpoint, "unix:PATH" or "tcp:HOST:PORT"
+ * (what `svrsim_sweep --coordinator` printed, or what the coordinator
+ * passes when it spawns workers itself via --workers N). Everything
+ * about the sweep — suite, configs, window, seed, sampling, retry
+ * policy — arrives from the coordinator in the WELCOME message, so a
+ * worker needs no sweep flags and cannot disagree with the
+ * coordinator about what a cell means.
+ *
+ * --jobs N simulates the cells of one lease on N threads (default 1).
+ *
+ * Exit codes: 0 = sweep finished (FIN), 1 = fatal simulation error
+ * (also reported to the coordinator), 2 = lost the coordinator.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+#include "sim/fabric.hh"
+
+using namespace svr;
+
+int
+main(int argc, char **argv)
+{
+    try {
+        WorkerOptions opts;
+        for (int i = 1; i < argc; i++) {
+            const std::string arg = argv[i];
+            auto next = [&]() -> std::string {
+                if (i + 1 >= argc)
+                    fatal("missing value for %s", arg.c_str());
+                return argv[++i];
+            };
+            if (arg == "--connect") {
+                opts.connect = next();
+            } else if (arg == "--jobs") {
+                opts.jobs = static_cast<unsigned>(std::stoul(next()));
+                if (opts.jobs == 0)
+                    opts.jobs = 1;
+            } else if (arg == "--heartbeat") {
+                opts.heartbeatMs = std::stoi(next());
+            } else {
+                fatal("unknown argument '%s' (want --connect ADDR "
+                      "[--jobs N])",
+                      arg.c_str());
+            }
+        }
+        if (opts.connect.empty())
+            fatal("--connect ADDR is required");
+        return runFabricWorker(opts);
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
