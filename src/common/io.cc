@@ -3,6 +3,8 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "common/error.hh"
 
@@ -23,7 +25,7 @@ ioError(const char *op, const std::string &path, int err)
 
 void
 writeFileAtomic(const std::string &path, std::string_view content,
-                const FaultPlan &faults)
+                const FaultPlan &faults, bool durable)
 {
     if (faults.shouldFailIo(path)) {
         throw simErrorf(ErrCode::IoError, {},
@@ -42,15 +44,37 @@ writeFileAtomic(const std::string &path, std::string_view content,
         std::remove(tmp.c_str());
         ioError("write", tmp, err);
     }
-    if (std::fflush(f) != 0 || std::fclose(f) != 0) {
-        const int err = errno;
+    bool flush_failed = std::fflush(f) != 0 ||
+                        (durable && ::fsync(::fileno(f)) != 0);
+    int flush_err = errno;
+    if (std::fclose(f) != 0 && !flush_failed) {
+        flush_failed = true;
+        flush_err = errno;
+    }
+    if (flush_failed) {
         std::remove(tmp.c_str());
-        ioError("flush", tmp, err);
+        ioError("flush", tmp, flush_err);
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         const int err = errno;
         std::remove(tmp.c_str());
         ioError("rename", path, err);
+    }
+    if (durable) {
+        // The rename itself lives in the directory: fsync it, or a
+        // power cut can roll the whole replacement back.
+        const std::size_t slash = path.rfind('/');
+        const std::string dir =
+            slash == std::string::npos ? "." : path.substr(0, slash + 1);
+        const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+        if (dfd < 0)
+            ioError("open dir", dir, errno);
+        if (::fsync(dfd) != 0) {
+            const int err = errno;
+            ::close(dfd);
+            ioError("fsync dir", dir, err);
+        }
+        ::close(dfd);
     }
 }
 

@@ -22,10 +22,13 @@ namespace svr
 /**
  * Atomically replace @p path with @p content via tmp+rename.
  * Throws SimError(IoError) on any failure (including an injected
- * io@ fault in @p faults matching @p path).
+ * io@ fault in @p faults matching @p path). With @p durable the tmp
+ * file is fsync()ed before the rename and the containing directory is
+ * fsync()ed after it, so the replacement survives power loss, not
+ * just process death (--journal-fsync in the sweep tool).
  */
 void writeFileAtomic(const std::string &path, std::string_view content,
-                     const FaultPlan &faults = {});
+                     const FaultPlan &faults = {}, bool durable = false);
 
 /**
  * Read all of @p path into a string. Throws SimError(IoError) when

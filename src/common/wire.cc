@@ -1,9 +1,12 @@
 #include "common/wire.hh"
 
 #include <arpa/inet.h>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -14,12 +17,33 @@
 #include <unistd.h>
 
 #include "common/error.hh"
+#include "common/logging.hh"
 
 namespace svr
 {
 
+namespace detail
+{
+
+/** Process-wide injector state shared by every faulted connection. */
+struct NetFaultState
+{
+    NetFaultPlan plan;
+    std::chrono::steady_clock::time_point armedAt;
+    std::atomic<std::uint64_t> connCounter{0};
+    std::atomic<std::uint64_t> drops{0};
+    std::atomic<std::uint64_t> corruptions{0};
+    std::atomic<std::uint64_t> truncations{0};
+    std::atomic<std::uint64_t> delays{0};
+    std::atomic<std::uint64_t> partitionHits{0};
+};
+
+} // namespace detail
+
 namespace
 {
+
+using detail::NetFaultState;
 
 [[noreturn]] void
 wireError(const char *op, const std::string &what, int err)
@@ -90,6 +114,81 @@ tcpSockaddr(const std::string &host, std::uint16_t port)
     return sa;
 }
 
+// ---------------------------------------------------------------- //
+// Network fault injector                                           //
+// ---------------------------------------------------------------- //
+
+std::mutex g_faultMtx;
+std::shared_ptr<NetFaultState> g_faultState; // null = clean
+bool g_faultEnvChecked = false;
+
+void
+installNetFaults(const NetFaultPlan &plan)
+{
+    auto state = std::make_shared<NetFaultState>();
+    state->plan = plan;
+    state->armedAt = std::chrono::steady_clock::now();
+    g_faultState = plan.enabled() ? state : nullptr;
+    if (plan.enabled()) {
+        inform("wire: net-fault injector armed (seed=%llu drop=%.3g "
+               "corrupt=%.3g trunc=%.3g delay=%.3g/%dms partitions=%zu "
+               "after=%u)",
+               static_cast<unsigned long long>(plan.seed), plan.dropP,
+               plan.corruptP, plan.truncP, plan.delayP, plan.delayMs,
+               plan.partitions.size(), plan.skipFirst);
+    }
+}
+
+/** Current injector, arming lazily from SVRSIM_NET_FAULT once. */
+std::shared_ptr<NetFaultState>
+currentNetFaults()
+{
+    std::lock_guard<std::mutex> lock(g_faultMtx);
+    if (!g_faultEnvChecked) {
+        g_faultEnvChecked = true;
+        if (const char *env = std::getenv("SVRSIM_NET_FAULT")) {
+            if (*env != '\0')
+                installNetFaults(NetFaultPlan::parse(env));
+        }
+    }
+    return g_faultState;
+}
+
+/** SplitMix64 step: the injector's per-connection RNG stream. */
+std::uint64_t
+mix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+double
+mixDouble(std::uint64_t &state)
+{
+    return static_cast<double>(mix64(state) >> 11) * 0x1.0p-53;
+}
+
+[[noreturn]] void
+badNetFaultSpec(std::string_view item, const char *why)
+{
+    throw simErrorf(ErrCode::ConfigInvalid, {},
+                    "bad net-fault rule '%.*s': %s (see common/wire.hh)",
+                    static_cast<int>(item.size()), item.data(), why);
+}
+
+double
+parseProbability(std::string_view item, const std::string &value)
+{
+    char *end = nullptr;
+    const double p = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || p < 0.0 || p > 1.0)
+        badNetFaultSpec(item, "probability must be 0..1");
+    return p;
+}
+
 } // namespace
 
 WireAddr
@@ -140,11 +239,165 @@ WireAddr::str() const
     return "tcp:" + host + ":" + std::to_string(port);
 }
 
-WireConn::WireConn(int fd) : sock(fd) {}
+std::uint32_t
+wireCrc32(std::string_view payload)
+{
+    // IEEE 802.3 reflected polynomial, nibble-at-a-time table.
+    static const std::uint32_t table[16] = {
+        0x00000000, 0x1db71064, 0x3b6e20c8, 0x26d930ac,
+        0x76dc4190, 0x6b6b51f4, 0x4db26158, 0x5005713c,
+        0xedb88320, 0xf00f9344, 0xd6d6a3e8, 0xcb61b38c,
+        0x9b64c2b0, 0x86d3d2d4, 0xa00ae278, 0xbdbdf21c,
+    };
+    std::uint32_t crc = 0xffffffffu;
+    for (unsigned char c :
+         std::string_view(payload.data(), payload.size())) {
+        crc ^= c;
+        crc = table[crc & 0x0f] ^ (crc >> 4);
+        crc = table[crc & 0x0f] ^ (crc >> 4);
+    }
+    return crc ^ 0xffffffffu;
+}
+
+NetFaultPlan
+NetFaultPlan::parse(std::string_view spec)
+{
+    NetFaultPlan plan;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        std::size_t end = spec.find(';', start);
+        if (end == std::string_view::npos)
+            end = spec.size();
+        const std::string_view item = spec.substr(start, end - start);
+        start = end + 1;
+        if (item.empty())
+            continue;
+
+        const std::size_t eq = item.find('=');
+        if (eq == std::string_view::npos)
+            badNetFaultSpec(item, "missing '='");
+        const std::string_view key = item.substr(0, eq);
+        const std::string value(item.substr(eq + 1));
+        if (value.empty())
+            badNetFaultSpec(item, "empty value");
+
+        char *endp = nullptr;
+        if (key == "seed") {
+            plan.seed = std::strtoull(value.c_str(), &endp, 10);
+            if (*endp != '\0')
+                badNetFaultSpec(item, "seed must be an integer");
+        } else if (key == "drop") {
+            plan.dropP = parseProbability(item, value);
+        } else if (key == "corrupt") {
+            plan.corruptP = parseProbability(item, value);
+        } else if (key == "trunc") {
+            plan.truncP = parseProbability(item, value);
+        } else if (key == "delay") {
+            const std::size_t slash = value.find('/');
+            if (slash == std::string::npos)
+                badNetFaultSpec(item, "want delay=P/MS");
+            plan.delayP =
+                parseProbability(item, value.substr(0, slash));
+            const std::string ms = value.substr(slash + 1);
+            plan.delayMs =
+                static_cast<int>(std::strtol(ms.c_str(), &endp, 10));
+            if (ms.empty() || *endp != '\0' || plan.delayMs < 0)
+                badNetFaultSpec(item, "delay ms must be >= 0");
+        } else if (key == "part") {
+            std::size_t p = 0;
+            const std::string list = value;
+            while (p <= list.size()) {
+                std::size_t comma = list.find(',', p);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                const std::string win = list.substr(p, comma - p);
+                p = comma + 1;
+                if (win.empty())
+                    continue;
+                const std::size_t plus = win.find('+');
+                if (plus == std::string::npos)
+                    badNetFaultSpec(item, "want part=START+DUR[,..]");
+                Window w;
+                w.startMs = std::strtoull(win.c_str(), &endp, 10);
+                if (endp != win.c_str() + plus)
+                    badNetFaultSpec(item, "bad partition start");
+                w.durMs =
+                    std::strtoull(win.c_str() + plus + 1, &endp, 10);
+                if (*endp != '\0' || w.durMs == 0)
+                    badNetFaultSpec(item, "bad partition duration");
+                plan.partitions.push_back(w);
+            }
+        } else if (key == "after") {
+            plan.skipFirst = static_cast<unsigned>(
+                std::strtoul(value.c_str(), &endp, 10));
+            if (*endp != '\0')
+                badNetFaultSpec(item, "after must be an integer");
+        } else {
+            badNetFaultSpec(item, "unknown key (want seed, drop, "
+                                  "corrupt, trunc, delay, part, after)");
+        }
+    }
+    return plan;
+}
+
+NetFaultPlan
+NetFaultPlan::fromEnv()
+{
+    const char *env = std::getenv("SVRSIM_NET_FAULT");
+    return env && *env ? parse(env) : NetFaultPlan();
+}
+
+void
+armNetFaults(const NetFaultPlan &plan)
+{
+    std::lock_guard<std::mutex> lock(g_faultMtx);
+    g_faultEnvChecked = true; // explicit arm overrides the env
+    installNetFaults(plan);
+}
+
+void
+disarmNetFaults()
+{
+    std::lock_guard<std::mutex> lock(g_faultMtx);
+    g_faultEnvChecked = true;
+    g_faultState = nullptr;
+}
+
+NetFaultCounters
+netFaultCounters()
+{
+    std::lock_guard<std::mutex> lock(g_faultMtx);
+    NetFaultCounters c;
+    if (g_faultState) {
+        c.drops = g_faultState->drops.load();
+        c.corruptions = g_faultState->corruptions.load();
+        c.truncations = g_faultState->truncations.load();
+        c.delays = g_faultState->delays.load();
+        c.partitionHits = g_faultState->partitionHits.load();
+    }
+    return c;
+}
+
+WireConn::WireConn(int fd) : sock(fd), chaos(currentNetFaults())
+{
+    if (chaos) {
+        // Per-connection RNG substream: mix the plan seed with a
+        // process-wide connection ordinal so each connection replays
+        // its own deterministic schedule.
+        std::uint64_t s = chaos->plan.seed;
+        const std::uint64_t ordinal =
+            chaos->connCounter.fetch_add(1, std::memory_order_relaxed);
+        for (std::uint64_t i = 0; i <= ordinal % 17; i++)
+            mix64(s);
+        chaosStream = s ^ (0xa076bc9b00c5e511ULL * (ordinal + 1));
+    }
+}
 
 WireConn::~WireConn() { close(); }
 
-WireConn::WireConn(WireConn &&other) noexcept : sock(other.sock)
+WireConn::WireConn(WireConn &&other) noexcept
+    : sock(other.sock), chaos(std::move(other.chaos)),
+      chaosStream(other.chaosStream), framesSent(other.framesSent)
 {
     other.sock = -1;
 }
@@ -155,6 +408,9 @@ WireConn::operator=(WireConn &&other) noexcept
     if (this != &other) {
         close();
         sock = other.sock;
+        chaos = std::move(other.chaos);
+        chaosStream = other.chaosStream;
+        framesSent = other.framesSent;
         other.sock = -1;
     }
     return *this;
@@ -169,6 +425,81 @@ WireConn::close()
     }
 }
 
+bool
+WireConn::injectSendFaults(std::string &frame)
+{
+    const NetFaultPlan &plan = chaos->plan;
+
+    // The exemption covers every fault kind, so a freshly (re)opened
+    // connection can always complete its handshake — without it a
+    // partition window would starve reconnecting workers into
+    // exhausting the respawn budget instead of riding the window out.
+    const std::uint64_t frame_idx = framesSent++;
+    if (frame_idx < plan.skipFirst)
+        return true;
+
+    // Timed partition windows: every send inside one fails hard and
+    // drops the connection, like a mid-route cable pull.
+    if (!plan.partitions.empty()) {
+        const auto since_arm =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - chaos->armedAt)
+                .count();
+        for (const NetFaultPlan::Window &w : plan.partitions) {
+            if (since_arm >= 0 &&
+                static_cast<std::uint64_t>(since_arm) >= w.startMs &&
+                static_cast<std::uint64_t>(since_arm) <
+                    w.startMs + w.durMs) {
+                chaos->partitionHits.fetch_add(
+                    1, std::memory_order_relaxed);
+                close();
+                throw simErrorf(ErrCode::IoError, {},
+                                "wire: injected partition window "
+                                "(chaos)");
+            }
+        }
+    }
+
+    // Fixed draw order keeps the schedule deterministic per frame.
+    if (plan.dropP > 0.0 && mixDouble(chaosStream) < plan.dropP) {
+        chaos->drops.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    if (plan.truncP > 0.0 && mixDouble(chaosStream) < plan.truncP) {
+        chaos->truncations.fetch_add(1, std::memory_order_relaxed);
+        // Send a torn prefix (header plus half the payload), then
+        // hard-close: the peer sees EOF mid-frame.
+        const std::size_t keep = 8 + (frame.size() - 8) / 2;
+        std::size_t off = 0;
+        while (off < keep) {
+            const ssize_t n = ::send(sock, frame.data() + off,
+                                     keep - off, MSG_NOSIGNAL);
+            if (n <= 0) {
+                if (n < 0 && errno == EINTR)
+                    continue;
+                break; // peer already gone; the tear still happened
+            }
+            off += static_cast<std::size_t>(n);
+        }
+        close();
+        return false;
+    }
+    if (plan.corruptP > 0.0 && mixDouble(chaosStream) < plan.corruptP) {
+        chaos->corruptions.fetch_add(1, std::memory_order_relaxed);
+        // Flip one bit past the length field (CRC or payload): the
+        // receiver must reject the frame by checksum, never parse it.
+        const std::uint64_t span = (frame.size() - 4) * 8;
+        const std::uint64_t bit = mix64(chaosStream) % span;
+        frame[4 + bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    }
+    if (plan.delayP > 0.0 && mixDouble(chaosStream) < plan.delayP) {
+        chaos->delays.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(plan.delayMs));
+    }
+    return true;
+}
+
 void
 WireConn::send(std::string_view payload)
 {
@@ -179,15 +510,23 @@ WireConn::send(std::string_view payload)
                         "wire: frame payload %zu exceeds limit",
                         payload.size());
     }
-    // 4-byte little-endian length prefix, then the payload.
-    unsigned char hdr[4];
+    // 8-byte little-endian header (length, CRC32), then the payload.
     const auto len = static_cast<std::uint32_t>(payload.size());
+    const std::uint32_t crc = wireCrc32(payload);
+    unsigned char hdr[8];
     hdr[0] = len & 0xff;
     hdr[1] = (len >> 8) & 0xff;
     hdr[2] = (len >> 16) & 0xff;
     hdr[3] = (len >> 24) & 0xff;
-    std::string frame(reinterpret_cast<char *>(hdr), 4);
+    hdr[4] = crc & 0xff;
+    hdr[5] = (crc >> 8) & 0xff;
+    hdr[6] = (crc >> 16) & 0xff;
+    hdr[7] = (crc >> 24) & 0xff;
+    std::string frame(reinterpret_cast<char *>(hdr), 8);
     frame.append(payload);
+
+    if (chaos && chaos->plan.enabled() && !injectSendFaults(frame))
+        return; // frame dropped or torn by the injector
 
     std::size_t off = 0;
     while (off < frame.size()) {
@@ -248,17 +587,21 @@ WireConn::recv(std::string &out, int timeout_ms)
     if (sock < 0)
         wireError("recv", "closed connection", EBADF);
 
-    unsigned char hdr[4];
+    unsigned char hdr[8];
     // Distinguish timeout from EOF: peek readiness first. waitFd()
     // returning true with a zero-byte read is EOF; false is timeout.
     if (!waitFd(sock, POLLIN, timeout_ms))
         return RecvStatus::Timeout;
-    if (!readExact(hdr, 4, timeout_ms, /*eof_ok=*/true))
+    if (!readExact(hdr, 8, timeout_ms, /*eof_ok=*/true))
         return RecvStatus::Eof;
     const std::uint32_t len = static_cast<std::uint32_t>(hdr[0]) |
                               (static_cast<std::uint32_t>(hdr[1]) << 8) |
                               (static_cast<std::uint32_t>(hdr[2]) << 16) |
                               (static_cast<std::uint32_t>(hdr[3]) << 24);
+    const std::uint32_t crc = static_cast<std::uint32_t>(hdr[4]) |
+                              (static_cast<std::uint32_t>(hdr[5]) << 8) |
+                              (static_cast<std::uint32_t>(hdr[6]) << 16) |
+                              (static_cast<std::uint32_t>(hdr[7]) << 24);
     if (len > maxFramePayload) {
         throw simErrorf(ErrCode::IoError, {},
                         "wire: frame length %u exceeds limit (corrupt "
@@ -268,13 +611,22 @@ WireConn::recv(std::string &out, int timeout_ms)
     out.resize(len);
     if (len > 0)
         readExact(out.data(), len, timeout_ms, /*eof_ok=*/false);
+    if (wireCrc32(out) != crc) {
+        throw simErrorf(ErrCode::IoError, {},
+                        "wire: frame checksum mismatch (%u bytes; "
+                        "corrupt stream or pre-CRC peer)",
+                        len);
+    }
     return RecvStatus::Ok;
 }
 
 WireListener::WireListener(const WireAddr &addr) : bound(addr)
 {
     const int family = addr.isUnix ? AF_UNIX : AF_INET;
-    sock = ::socket(family, SOCK_STREAM, 0);
+    // CLOEXEC: spawned workers must not inherit the listening socket,
+    // or a SIGKILLed coordinator's port stays bound by its orphaned
+    // children and a crash-recovery restart cannot re-listen.
+    sock = ::socket(family, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (sock < 0)
         wireError("socket", addr.str(), errno);
 
@@ -331,7 +683,7 @@ WireListener::accept(int timeout_ms)
 {
     if (!waitFd(sock, POLLIN, timeout_ms))
         return WireConn{};
-    const int fd = ::accept(sock, nullptr, nullptr);
+    const int fd = ::accept4(sock, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) {
         if (errno == EINTR || errno == ECONNABORTED)
             return WireConn{};
@@ -353,7 +705,7 @@ wireConnect(const WireAddr &addr, int timeout_ms)
     int last_err = 0;
     do {
         const int family = addr.isUnix ? AF_UNIX : AF_INET;
-        const int fd = ::socket(family, SOCK_STREAM, 0);
+        const int fd = ::socket(family, SOCK_STREAM | SOCK_CLOEXEC, 0);
         if (fd < 0)
             wireError("socket", addr.str(), errno);
         int rc;

@@ -1,31 +1,53 @@
 /**
  * @file
- * Length-prefixed wire protocol for the distributed sweep fabric
- * (sim/fabric.hh). One frame is a 4-byte little-endian payload length
- * followed by the payload bytes; payloads are short text lines, so the
- * protocol stays greppable in a packet dump. Transports are Unix
+ * Length-prefixed, checksummed wire protocol for the distributed
+ * sweep fabric (sim/fabric.hh). One frame is an 8-byte little-endian
+ * header — 4 bytes payload length, 4 bytes CRC32 of the payload —
+ * followed by the payload bytes; payloads are short text lines, so
+ * the protocol stays greppable in a packet dump. Transports are Unix
  * domain sockets ("unix:/path/to.sock") and TCP ("tcp:host:port");
  * both sides speak through the same WireConn.
+ *
+ * The CRC turns silent corruption into a hard failure: a frame whose
+ * payload does not hash to its header CRC throws SimError(IoError)
+ * instead of being parsed, and the caller treats the connection as
+ * lost (the fabric's reconnect/lease-reclaim machinery takes over).
+ * It doubles as a framing-version guard — a pre-CRC peer's frames
+ * fail the checksum immediately instead of desynchronizing the
+ * stream.
  *
  * Error model: every transport failure throws SimError(IoError) with
  * errno detail, except the two conditions a caller must handle inline
  * — clean EOF at a frame boundary and a receive timeout — which recv()
  * reports as statuses. A frame larger than maxFramePayload is treated
  * as protocol corruption and throws.
+ *
+ * Chaos testing: the SVRSIM_NET_FAULT environment variable (or an
+ * explicit armNetFaults() call) installs a deterministic, seeded
+ * network fault injector that drops, delays, truncates, or bit-flips
+ * outgoing frames and simulates timed partition windows — see
+ * NetFaultPlan for the grammar. Every injected fault surfaces through
+ * the normal error model above, so chaos runs exercise exactly the
+ * recovery paths real faults would.
  */
 
 #ifndef SVR_COMMON_WIRE_HH
 #define SVR_COMMON_WIRE_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace svr
 {
 
 /** Largest accepted frame payload (journal lines are < 1 KiB). */
 constexpr std::uint32_t maxFramePayload = 1u << 20;
+
+/** CRC32 (IEEE 802.3 polynomial) of @p payload, as sent on the wire. */
+std::uint32_t wireCrc32(std::string_view payload);
 
 /** A parsed "unix:PATH" or "tcp:HOST:PORT" endpoint. */
 struct WireAddr
@@ -41,6 +63,102 @@ struct WireAddr
     /** Canonical "unix:..." / "tcp:..." form (reparseable). */
     std::string str() const;
 };
+
+/**
+ * A deterministic, seeded network fault schedule in the spirit of
+ * SVRSIM_FAULT (common/fault.hh). Grammar — rules separated by ';':
+ *
+ *   seed=N          RNG seed for the schedule (default 1). Each
+ *                   connection draws from its own substream keyed by
+ *                   a process-wide connection counter, so the same
+ *                   plan over the same connection/frame sequence
+ *                   injects the same faults.
+ *   drop=P          silently discard an outgoing frame with
+ *                   probability P (the peer sees only silence and
+ *                   must time out)
+ *   corrupt=P       flip one payload/CRC bit after the checksum is
+ *                   computed (the receiver must reject the frame)
+ *   trunc=P         send a torn frame — header plus a payload prefix
+ *                   — then hard-close the socket
+ *   delay=P/MS      sleep MS milliseconds before sending, with
+ *                   probability P (straggler/jitter injection)
+ *   part=S+D[,S+D]  partition windows: for D ms starting S ms after
+ *                   the plan was armed in this process, every send
+ *                   fails with SimError(IoError) and closes the
+ *                   connection
+ *   after=N         exempt the first N frames of each connection from
+ *                   every fault kind, partitions included (lets a
+ *                   (re)connecting peer complete its handshake, so
+ *                   chaos runs converge instead of starving)
+ *
+ * Example:
+ *   SVRSIM_NET_FAULT='seed=7;drop=0.05;corrupt=0.02;part=200+300'
+ */
+struct NetFaultPlan
+{
+    std::uint64_t seed = 1;
+    double dropP = 0.0;
+    double corruptP = 0.0;
+    double truncP = 0.0;
+    double delayP = 0.0;
+    int delayMs = 0;
+    unsigned skipFirst = 0;
+
+    struct Window
+    {
+        std::uint64_t startMs = 0;
+        std::uint64_t durMs = 0;
+    };
+    std::vector<Window> partitions;
+
+    bool
+    enabled() const
+    {
+        return dropP > 0.0 || corruptP > 0.0 || truncP > 0.0 ||
+               delayP > 0.0 || !partitions.empty();
+    }
+
+    /** Parse the grammar above; throws SimError(ConfigInvalid). */
+    static NetFaultPlan parse(std::string_view spec);
+
+    /** Plan from SVRSIM_NET_FAULT (disabled plan if unset). */
+    static NetFaultPlan fromEnv();
+};
+
+/** Running totals of injected faults (process-wide, for tests). */
+struct NetFaultCounters
+{
+    std::uint64_t drops = 0;
+    std::uint64_t corruptions = 0;
+    std::uint64_t truncations = 0;
+    std::uint64_t delays = 0;
+    std::uint64_t partitionHits = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return drops + corruptions + truncations + delays + partitionHits;
+    }
+};
+
+/**
+ * Install @p plan process-wide: connections adopted from now on draw
+ * their fault schedule from it (partition windows are measured from
+ * this call). Arming resets the connection counter and the fault
+ * counters, so the schedule replays identically after a re-arm.
+ */
+void armNetFaults(const NetFaultPlan &plan);
+
+/** Remove the injector; subsequent connections run clean. */
+void disarmNetFaults();
+
+/** Injected-fault totals since the last arm (zeros when disarmed). */
+NetFaultCounters netFaultCounters();
+
+namespace detail
+{
+struct NetFaultState;
+}
 
 /** One connected frame stream (either side). Move-only. */
 class WireConn
@@ -73,7 +191,8 @@ class WireConn
     /**
      * Read one frame into @p out. @p timeout_ms < 0 blocks forever.
      * EOF mid-frame (a torn frame) throws IoError; EOF between frames
-     * is the clean shutdown status.
+     * is the clean shutdown status. A checksum mismatch throws
+     * IoError — corruption is rejected, never parsed.
      */
     RecvStatus recv(std::string &out, int timeout_ms = -1);
 
@@ -82,7 +201,18 @@ class WireConn
     bool readExact(void *buf, std::size_t n, int timeout_ms,
                    bool eof_ok);
 
+    /**
+     * Consult the armed fault plan for this outgoing frame. Returns
+     * false when the frame must be silently dropped; may corrupt
+     * @p frame in place (headerBytes..end), send a truncated prefix
+     * and close, sleep, or throw IoError for a partition window.
+     */
+    bool injectSendFaults(std::string &frame);
+
     int sock = -1;
+    std::shared_ptr<detail::NetFaultState> chaos; //!< null = clean
+    std::uint64_t chaosStream = 0; //!< RNG substream for this conn
+    std::uint64_t framesSent = 0;
 };
 
 /** A listening endpoint accepting WireConns. Move-only. */

@@ -15,7 +15,9 @@
 #include <unistd.h>
 
 #include "common/error.hh"
+#include "common/fault.hh"
 #include "common/logging.hh"
+#include "common/rng.hh"
 #include "common/thread_pool.hh"
 #include "common/wire.hh"
 #include "sim/config.hh"
@@ -151,8 +153,10 @@ SweepSpec::materialize(std::vector<WorkloadSpec> &workloads,
 
 LeaseQueue::LeaseQueue(std::size_t num_cells, unsigned chunk,
                        unsigned max_attempts,
-                       const std::vector<std::size_t> &already_done)
-    : cells(num_cells), chunkSize(chunk > 0 ? chunk : 1),
+                       const std::vector<std::size_t> &already_done,
+                       std::uint64_t epoch_base)
+    : cells(num_cells), nextLease(epoch_base + 1),
+      chunkSize(chunk > 0 ? chunk : 1),
       maxAttempts(max_attempts > 0 ? max_attempts : 1)
 {
     for (std::size_t idx : already_done) {
@@ -172,7 +176,7 @@ LeaseQueue::LeaseQueue(std::size_t num_cells, unsigned chunk,
 }
 
 std::uint64_t
-LeaseQueue::take(std::vector<std::size_t> &out)
+LeaseQueue::take(std::vector<std::size_t> &out, std::uint64_t now_ms)
 {
     out.clear();
     while (out.size() < chunkSize && !pending.empty()) {
@@ -189,7 +193,44 @@ LeaseQueue::take(std::vector<std::size_t> &out)
     if (out.empty())
         return 0;
     const std::uint64_t id = nextLease++;
-    active[id] = out;
+    active[id] = LeaseInfo{out, now_ms, false};
+    return id;
+}
+
+std::uint64_t
+LeaseQueue::hedge(std::vector<std::size_t> &out, std::uint64_t now_ms,
+                  std::uint64_t overdue_ms)
+{
+    out.clear();
+    const LeaseInfo *victim = nullptr;
+    std::uint64_t victim_id = 0;
+    for (const auto &entry : active) {
+        const LeaseInfo &info = entry.second;
+        if (info.hedged || info.bornMs + overdue_ms > now_ms)
+            continue;
+        bool open = false;
+        for (std::size_t idx : info.cells)
+            open |= cells[idx].state == CellState::Leased;
+        if (!open)
+            continue;
+        if (!victim || info.bornMs < victim->bornMs) {
+            victim = &info;
+            victim_id = entry.first;
+        }
+    }
+    if (!victim)
+        return 0;
+    for (std::size_t idx : victim->cells) {
+        if (cells[idx].state == CellState::Leased) {
+            cells[idx].attempts++;
+            out.push_back(idx);
+        }
+    }
+    active[victim_id].hedged = true;
+    const std::uint64_t id = nextLease++;
+    // The hedge twin is born pre-hedged so a straggling hedge never
+    // spawns a third copy of the same cells.
+    active[id] = LeaseInfo{out, now_ms, true};
     return id;
 }
 
@@ -205,6 +246,20 @@ LeaseQueue::complete(std::size_t cell)
     return true;
 }
 
+bool
+LeaseQueue::leasedElsewhere(std::size_t idx, std::uint64_t lease_id) const
+{
+    for (const auto &entry : active) {
+        if (entry.first == lease_id)
+            continue;
+        for (std::size_t other : entry.second.cells) {
+            if (other == idx)
+                return true;
+        }
+    }
+    return false;
+}
+
 std::size_t
 LeaseQueue::reclaim(std::uint64_t lease_id,
                     std::vector<std::size_t> &poisoned)
@@ -214,9 +269,11 @@ LeaseQueue::reclaim(std::uint64_t lease_id,
     if (it == active.end())
         return 0;
     std::size_t requeued = 0;
-    for (std::size_t idx : it->second) {
+    for (std::size_t idx : it->second.cells) {
         if (cells[idx].state != CellState::Leased)
             continue; // already completed (result beat the death)
+        if (leasedElsewhere(idx, lease_id))
+            continue; // a hedge twin still works on it
         if (cells[idx].attempts >= maxAttempts) {
             cells[idx].state = CellState::Poisoned;
             numPoisoned++;
@@ -235,6 +292,12 @@ void
 LeaseQueue::release(std::uint64_t lease_id)
 {
     active.erase(lease_id);
+}
+
+bool
+LeaseQueue::leaseActive(std::uint64_t lease_id) const
+{
+    return active.find(lease_id) != active.end();
 }
 
 bool
@@ -259,6 +322,9 @@ struct Coord
     const SweepSpec &spec;
     std::string specEnc;
     SweepJournal *journal;
+    FaultPlan faults;       //!< coordinator-side (ckill@) injection
+    std::int64_t hedgeMs;   //!< overdue threshold; < 0 = disabled
+    std::chrono::steady_clock::time_point t0;
 
     std::mutex mtx;
     LeaseQueue leases;
@@ -275,14 +341,34 @@ struct Coord
           SweepJournal *j, unsigned chunk,
           const std::vector<std::size_t> &already_done)
         : opts(o), workloads(w), configs(c), spec(s), journal(j),
+          faults(FaultPlan::fromEnv()),
+          hedgeMs(o.hedgeMs < 0
+                      ? -1
+                      : (o.hedgeMs > 0 ? o.hedgeMs
+                                       : o.leaseTimeoutMs / 2)),
+          t0(std::chrono::steady_clock::now()),
+          // Lease ids carry a pid-derived epoch, so a restarted
+          // coordinator can never re-grant an id a previous
+          // incarnation handed out (lease fencing across restarts).
           leases(w.size() * c.size(), chunk, o.maxCellAttempts,
-                 already_done),
+                 already_done,
+                 static_cast<std::uint64_t>(::getpid()) << 32),
           results(w.size() * c.size()), have(w.size() * c.size(), 0)
     {
         specEnc = s.encode();
     }
 
     std::size_t numCells() const { return results.size(); }
+
+    /** Milliseconds since this coordinator started (lease clock). */
+    std::uint64_t
+    nowMs() const
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+    }
 
     const std::string &cellWorkload(std::size_t idx) const
     {
@@ -326,6 +412,15 @@ struct Coord
             } catch (const SimError &e) {
                 setFatal(e);
             }
+        }
+        if (faults.shouldCoordKill(cellWorkload(idx), cellConfig(idx))) {
+            // Crash-recovery hook: die like an external SIGKILL right
+            // after this cell's record hit the journal. A restarted
+            // coordinator must resume from the journal and finish the
+            // sweep byte-identically.
+            warn("fabric: injected coordinator kill after cell %s/%s",
+                 cellWorkload(idx).c_str(), cellConfig(idx).c_str());
+            std::raise(SIGKILL);
         }
         return true;
     }
@@ -385,19 +480,32 @@ serveWorker(Coord &C, WireConn conn)
             return;
         const std::uint64_t proto = hello.u64();
         const std::uint64_t jobs = hello.u64();
-        if (!hello.ok || proto != fabricProtocolVersion) {
+        const bool hello_ok = hello.ok;
+        // Optional rejoin token: the worker id a previous session (of
+        // this or an earlier coordinator incarnation) assigned.
+        const std::string rejoin = hello_ok ? hello.raw() : std::string();
+        if (!hello_ok || proto != fabricProtocolVersion) {
             conn.send("REJECT protocol-version");
             return;
         }
         {
             std::lock_guard<std::mutex> lock(C.mtx);
             workerId = ++C.workerIds;
-            C.workersSeen++;
+            // A rejoining worker is the same machine coming back, not
+            // new capacity: don't count it twice in the summary.
+            if (rejoin.empty())
+                C.workersSeen++;
         }
-        conn.send("WELCOME " + std::to_string(workerId) + " " + C.specEnc);
+        conn.send("WELCOME " + std::to_string(workerId) + " " +
+                  std::to_string(C.opts.leaseTimeoutMs) + " " + C.specEnc);
         if (C.opts.progress) {
-            inform("fabric: worker %u joined (%llu jobs)", workerId,
-                   static_cast<unsigned long long>(jobs));
+            if (rejoin.empty()) {
+                inform("fabric: worker %u joined (%llu jobs)", workerId,
+                       static_cast<unsigned long long>(jobs));
+            } else {
+                inform("fabric: worker %u rejoined (was worker %s)",
+                       workerId, rejoin.c_str());
+            }
         }
 
         const char *loss = nullptr;
@@ -421,7 +529,21 @@ serveWorker(Coord &C, WireConn conn)
                 if (C.abort || C.leases.allDone()) {
                     conn.send("FIN");
                 } else {
-                    const std::uint64_t id = C.leases.take(cells);
+                    const std::uint64_t now = C.nowMs();
+                    std::uint64_t id = C.leases.take(cells, now);
+                    if (id == 0 && C.hedgeMs >= 0) {
+                        id = C.leases.hedge(
+                            cells, now,
+                            static_cast<std::uint64_t>(C.hedgeMs));
+                        if (id != 0 && C.opts.progress) {
+                            inform("fabric: hedging %zu overdue "
+                                   "cell(s) as lease %llu for worker "
+                                   "%u",
+                                   cells.size(),
+                                   static_cast<unsigned long long>(id),
+                                   workerId);
+                        }
+                    }
                     if (id == 0) {
                         conn.send("WAIT");
                     } else {
@@ -437,12 +559,24 @@ serveWorker(Coord &C, WireConn conn)
                 const std::uint64_t lease = t.u64();
                 const std::uint64_t idx = t.u64();
                 const std::string line = t.rest();
-                (void)lease;
                 SimResult r;
                 bool stop;
+                bool stale;
                 {
                     std::lock_guard<std::mutex> lock(C.mtx);
-                    if (t.ok && parseJournalLine(line, r)) {
+                    // Lease fencing: a result under a lease that is no
+                    // longer live (reclaimed after a presumed death,
+                    // released, or granted by a previous coordinator
+                    // incarnation) is rejected — its cells are owned
+                    // by someone else now.
+                    stale = !C.leases.leaseActive(lease);
+                    if (stale) {
+                        warn("fabric: fencing stale result from "
+                             "worker %u (lease %llu, cell %llu)",
+                             workerId,
+                             static_cast<unsigned long long>(lease),
+                             static_cast<unsigned long long>(idx));
+                    } else if (t.ok && parseJournalLine(line, r)) {
                         C.storeResult(static_cast<std::size_t>(idx),
                                       std::move(r));
                     } else {
@@ -452,7 +586,7 @@ serveWorker(Coord &C, WireConn conn)
                     }
                     stop = C.abort;
                 }
-                conn.send(stop ? "STOP" : "OK");
+                conn.send(stop ? "STOP" : (stale ? "STALE" : "OK"));
             } else if (verb == "DONE") {
                 const std::uint64_t lease = t.u64();
                 bool stop;
@@ -546,9 +680,10 @@ workerBinaryPath(const FabricOptions &opts)
 
 pid_t
 spawnWorker(const std::string &binary, const std::string &addr,
-            unsigned jobs)
+            unsigned jobs, int heartbeat_ms)
 {
     const std::string jobs_str = std::to_string(jobs);
+    const std::string hb_str = std::to_string(heartbeat_ms);
     const pid_t pid = ::fork();
     if (pid < 0) {
         throw simErrorf(ErrCode::IoError, {},
@@ -558,6 +693,7 @@ spawnWorker(const std::string &binary, const std::string &addr,
         // Child: only async-signal-safe work between fork and exec.
         ::execl(binary.c_str(), "svrsim_worker", "--connect",
                 addr.c_str(), "--jobs", jobs_str.c_str(),
+                "--heartbeat", hb_str.c_str(),
                 static_cast<char *>(nullptr));
         ::_exit(127);
     }
@@ -602,6 +738,15 @@ runFabricSweep(const std::vector<WorkloadSpec> &workloads,
         throw simErrorf(ErrCode::ConfigInvalid, {},
                         "fabric: need --workers N and/or an explicit "
                         "--coordinator endpoint");
+    }
+    if (fopts.heartbeatMs <= 0 ||
+        fopts.heartbeatMs * 3 >= fopts.leaseTimeoutMs) {
+        // A worker must fit several heartbeats into one lease-timeout
+        // window, or a healthy-but-quiet worker gets declared dead.
+        throw simErrorf(ErrCode::ConfigInvalid, {},
+                        "fabric: heartbeat period %d ms must be "
+                        "positive and < leaseTimeout/3 (%d ms)",
+                        fopts.heartbeatMs, fopts.leaseTimeoutMs / 3);
     }
 
     // Map restored cells onto matrix indices (extra journal cells —
@@ -651,8 +796,9 @@ runFabricSweep(const std::vector<WorkloadSpec> &workloads,
     const std::string worker_bin = workerBinaryPath(fopts);
     const std::string connect_spec = listener.addr().str();
     for (unsigned i = 0; i < fopts.spawnWorkers; i++)
-        children.push_back(
-            spawnWorker(worker_bin, connect_spec, fopts.workerJobs));
+        children.push_back(spawnWorker(worker_bin, connect_spec,
+                                       fopts.workerJobs,
+                                       fopts.heartbeatMs));
 
     unsigned respawn_budget = fopts.respawnBudget > 0
                                   ? fopts.respawnBudget
@@ -694,7 +840,7 @@ runFabricSweep(const std::vector<WorkloadSpec> &workloads,
                            "(%u respawn(s) left)",
                            respawn_budget);
                 pid = spawnWorker(worker_bin, connect_spec,
-                                  fopts.workerJobs);
+                                  fopts.workerJobs, fopts.heartbeatMs);
                 live_children++;
             }
         }
@@ -799,12 +945,22 @@ runFabricSweep(const std::vector<WorkloadSpec> &workloads,
 int
 runFabricWorker(const WorkerOptions &opts)
 {
+    using Clock = std::chrono::steady_clock;
+
     std::mutex sock_mtx; // serializes request/response exchanges
     WireConn conn;
     std::atomic<bool> dead{false};
     std::atomic<bool> stop{false};
 
-    // Heartbeat machinery (started after WELCOME).
+    // Session identity, pinned across reconnects.
+    std::uint64_t worker_id = 0;
+    std::string rejoin_token;  //!< previous worker id; "" on first join
+    std::string pinned_spec;   //!< sweep spec from the first WELCOME
+    SweepSpec spec;
+    std::atomic<int> hb_period{opts.heartbeatMs > 0 ? opts.heartbeatMs
+                                                    : 1000};
+
+    // Heartbeat machinery (started after the first WELCOME).
     std::mutex hb_mtx;
     std::condition_variable hb_cv;
     bool hb_stop = false;
@@ -823,6 +979,8 @@ runFabricWorker(const WorkerOptions &opts)
     // gone (also flags `dead` so concurrent cells stop early).
     const auto exchange = [&](const std::string &req, std::string &rep) {
         std::lock_guard<std::mutex> lock(sock_mtx);
+        if (dead.load(std::memory_order_relaxed))
+            return false;
         try {
             conn.send(req);
             if (conn.recv(rep, opts.replyTimeoutMs) != RecvStatus::Ok) {
@@ -838,27 +996,152 @@ runFabricWorker(const WorkerOptions &opts)
         return true;
     };
 
-    try {
-        conn = wireConnect(WireAddr::parse(opts.connect),
-                           opts.connectTimeoutMs);
-
+    /**
+     * HELLO/WELCOME over an already-connected conn (caller owns the
+     * socket exclusively). 0 = welcomed, 1 = permanent rejection
+     * (wrong protocol or a different sweep), 2 = transport trouble
+     * (worth retrying).
+     */
+    const auto handshake = [&]() -> int {
         std::string msg;
-        conn.send("HELLO " + std::to_string(fabricProtocolVersion) + " " +
-                  std::to_string(opts.jobs));
-        if (conn.recv(msg, opts.replyTimeoutMs) != RecvStatus::Ok) {
-            warn("worker: coordinator vanished during handshake");
+        try {
+            conn.send("HELLO " + std::to_string(fabricProtocolVersion) +
+                      " " + std::to_string(opts.jobs) +
+                      (rejoin_token.empty() ? std::string()
+                                            : " " + rejoin_token));
+            if (conn.recv(msg, opts.replyTimeoutMs) != RecvStatus::Ok)
+                return 2;
+        } catch (const SimError &) {
             return 2;
         }
         Tok wt(msg);
         if (wt.raw() != "WELCOME") {
             warn("worker: rejected by coordinator: %s", msg.c_str());
-            return 2;
+            return 1;
         }
-        const std::uint64_t worker_id = wt.u64();
-        SweepSpec spec;
-        if (!wt.ok || !SweepSpec::decode(wt.rest(), spec)) {
+        const std::uint64_t id = wt.u64();
+        const std::uint64_t lease_timeout = wt.u64();
+        SweepSpec got;
+        if (!wt.ok || !SweepSpec::decode(wt.rest(), got)) {
             warn("worker: malformed WELCOME");
-            return 2;
+            return 1;
+        }
+        if (pinned_spec.empty()) {
+            pinned_spec = got.encode();
+            spec = got;
+        } else if (got.encode() != pinned_spec) {
+            // The endpoint answers, but with a different sweep — a
+            // new campaign reused the address. Joining it would mean
+            // simulating cells this process was never asked to run.
+            warn("worker: coordinator now runs a different sweep; "
+                 "not rejoining");
+            return 1;
+        }
+        worker_id = id;
+        rejoin_token = std::to_string(id);
+        // Heartbeat coherence: several heartbeats must fit into one
+        // lease-timeout window, or the coordinator declares a busy
+        // worker dead between PINGs.
+        const int requested =
+            opts.heartbeatMs > 0 ? opts.heartbeatMs : 1000;
+        int effective = requested;
+        if (lease_timeout > 0 &&
+            static_cast<std::uint64_t>(effective) * 3 >= lease_timeout) {
+            effective = static_cast<int>(lease_timeout / 4);
+            if (effective < 1)
+                effective = 1;
+            warn("worker: clamping heartbeat %d -> %d ms (lease "
+                 "timeout %llu ms)",
+                 requested, effective,
+                 static_cast<unsigned long long>(lease_timeout));
+        }
+        hb_period.store(effective, std::memory_order_relaxed);
+        return 0;
+    };
+
+    /**
+     * The connection died: retry with exponential backoff + jitter
+     * inside the opts.reconnectMs window, re-handshaking each time
+     * (the coordinator may itself be restarting and replaying its
+     * journal). Holds sock_mtx throughout, so lease tasks and the
+     * heartbeat queue up behind it instead of racing the new socket.
+     */
+    // Flap damping: a connection that dies shortly after a successful
+    // reconnect resumes the previous backoff instead of restarting at
+    // 50 ms — hammering a partitioned link with instant retries burns
+    // one lease attempt per cycle at the coordinator and can poison
+    // cells before the partition even lifts.
+    int backoff_carry = 50;
+    Clock::time_point last_reconnect{};
+
+    const auto reconnect = [&]() -> bool {
+        if (opts.reconnectMs <= 0)
+            return false;
+        std::lock_guard<std::mutex> lock(sock_mtx);
+        conn.close();
+        // Deterministic per-process jitter decorrelates a worker
+        // fleet's retry storms without nondeterministic seeds.
+        Rng jitter(0x7ec0417e00000000ULL +
+                   static_cast<std::uint64_t>(::getpid()));
+        const auto deadline =
+            Clock::now() + std::chrono::milliseconds(opts.reconnectMs);
+        // A flapping link (died again < 3 s after the last successful
+        // reconnect) resumes the grown backoff AND waits before the
+        // first retry — the handshake itself may succeed mid-partition
+        // (it is fault-exempt), so without the up-front wait the cycle
+        // time would collapse back to zero.
+        const bool flapping =
+            last_reconnect != Clock::time_point{} &&
+            Clock::now() - last_reconnect < std::chrono::seconds(3);
+        int backoff = flapping ? backoff_carry : 50;
+        bool retry = flapping;
+        while (Clock::now() < deadline) {
+            if (retry) {
+                const int wait =
+                    backoff / 2 +
+                    static_cast<int>(jitter.nextBounded(
+                        static_cast<std::uint64_t>(backoff / 2) + 1));
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(wait));
+                backoff = backoff >= 1000 ? 2000 : backoff * 2;
+            }
+            retry = true;
+            try {
+                conn = wireConnect(WireAddr::parse(opts.connect), 1000);
+                const int hs = handshake();
+                if (hs == 0) {
+                    dead.store(false, std::memory_order_relaxed);
+                    backoff_carry = backoff;
+                    last_reconnect = Clock::now();
+                    inform("worker %llu: reconnected to %s",
+                           static_cast<unsigned long long>(worker_id),
+                           opts.connect.c_str());
+                    return true;
+                }
+                if (hs == 1)
+                    return false;
+            } catch (const SimError &) {
+                // Endpoint not back yet; keep backing off.
+            }
+            conn.close();
+        }
+        warn("worker %llu: gave up reconnecting after %d ms",
+             static_cast<unsigned long long>(worker_id),
+             opts.reconnectMs);
+        return false;
+    };
+
+    try {
+        conn = wireConnect(WireAddr::parse(opts.connect),
+                           opts.connectTimeoutMs);
+        {
+            const int hs = handshake();
+            if (hs != 0) {
+                if (hs == 2)
+                    warn("worker: coordinator vanished during "
+                         "handshake");
+                return 2;
+            }
         }
 
         std::vector<WorkloadSpec> workloads;
@@ -881,14 +1164,18 @@ runFabricWorker(const WorkerOptions &opts)
         hb = std::thread([&] {
             std::unique_lock<std::mutex> lock(hb_mtx);
             while (!hb_cv.wait_for(
-                lock, std::chrono::milliseconds(opts.heartbeatMs),
+                lock,
+                std::chrono::milliseconds(
+                    hb_period.load(std::memory_order_relaxed)),
                 [&] { return hb_stop; })) {
+                // While the link is down the main loop owns recovery;
+                // pinging would only pile onto the reconnect mutex.
+                if (dead.load(std::memory_order_relaxed))
+                    continue;
                 lock.unlock();
                 std::string rep;
-                const bool alive = exchange("PING", rep);
+                exchange("PING", rep);
                 lock.lock();
-                if (!alive)
-                    return;
             }
         });
 
@@ -896,17 +1183,18 @@ runFabricWorker(const WorkerOptions &opts)
         std::vector<std::size_t> cells;
         for (;;) {
             if (dead.load(std::memory_order_relaxed)) {
-                stopHeartbeat();
-                return 2;
+                if (!reconnect()) {
+                    stopHeartbeat();
+                    return 2;
+                }
+                continue;
             }
             if (stop.load(std::memory_order_relaxed))
                 break;
 
             std::string reply;
-            if (!exchange("LEASE?", reply)) {
-                stopHeartbeat();
-                return 2;
-            }
+            if (!exchange("LEASE?", reply))
+                continue; // dead now; the loop head reconnects
             Tok t(reply);
             const std::string verb = t.raw();
             if (verb == "FIN" || verb == "STOP")
@@ -937,6 +1225,7 @@ runFabricWorker(const WorkerOptions &opts)
             // The ThreadPool's capture-first-exception contract makes
             // a fail-fast SimError surface from parallelFor() exactly
             // like it surfaces from runMatrix().
+            std::atomic<bool> lease_stale{false};
             pool.parallelFor(cells.size(), [&](std::size_t k) {
                 const std::size_t idx = cells[k];
                 if (idx >= num_cells) {
@@ -946,7 +1235,8 @@ runFabricWorker(const WorkerOptions &opts)
                                     idx);
                 }
                 if (dead.load(std::memory_order_relaxed) ||
-                    stop.load(std::memory_order_relaxed)) {
+                    stop.load(std::memory_order_relaxed) ||
+                    lease_stale.load(std::memory_order_relaxed)) {
                     return;
                 }
                 const WorkloadSpec &w = workloads[idx / configs.size()];
@@ -954,11 +1244,20 @@ runFabricWorker(const WorkerOptions &opts)
                 SimResult res = runIsolatedCell(w, c, mopts);
                 res.workload = w.name;
                 res.config = c.label;
+                if (lease_stale.load(std::memory_order_relaxed))
+                    return;
                 std::string rep;
                 if (!exchange("RESULT " + std::to_string(lease_id) +
                                   " " + std::to_string(idx) + " " +
                                   journalLine(res),
                               rep)) {
+                    return;
+                }
+                if (rep == "STALE") {
+                    // Lease fencing: the coordinator reassigned this
+                    // lease (or restarted). The remaining cells are
+                    // someone else's now — stop computing them.
+                    lease_stale.store(true, std::memory_order_relaxed);
                     return;
                 }
                 if (mopts.faultPlan.shouldKill(res.workload,
@@ -973,11 +1272,18 @@ runFabricWorker(const WorkerOptions &opts)
                 }
             });
 
-            std::string rep;
-            if (!exchange("DONE " + std::to_string(lease_id), rep)) {
-                stopHeartbeat();
-                return 2;
+            if (dead.load(std::memory_order_relaxed) ||
+                lease_stale.load(std::memory_order_relaxed)) {
+                // Abandon the lease: no DONE. The coordinator either
+                // reclaimed it already (stale) or will when it
+                // notices the dead link; the loop head handles the
+                // reconnect in the dead case.
+                continue;
             }
+
+            std::string rep;
+            if (!exchange("DONE " + std::to_string(lease_id), rep))
+                continue;
         }
 
         stopHeartbeat();

@@ -25,15 +25,38 @@
  * the sweep aborts with that error — the same isolation semantics the
  * thread-level engine gives a throwing cell.
  *
+ * Chaos hardening (protocol v2):
+ *  - Lease-epoch fencing: lease ids are monotonic and never reused
+ *    (after a coordinator restart they start from a fresh pid-derived
+ *    epoch), and a RESULT for a lease that is no longer active — the
+ *    worker was declared dead and its cells reassigned, or the lease
+ *    was granted by a previous coordinator incarnation — is answered
+ *    with STALE and never stored. First-result-wins therefore always
+ *    means "first result under a live lease".
+ *  - Worker reconnect: a worker that loses its connection retries
+ *    with exponential backoff + jitter inside a bounded window,
+ *    re-handshakes (carrying its previous worker id so the rejoin is
+ *    visible), verifies the sweep spec is unchanged, abandons any
+ *    in-flight lease, and resumes taking leases.
+ *  - Coordinator crash-recovery: the per-cell journal plus --resume
+ *    is the recovery protocol — a restarted coordinator replays the
+ *    journal, re-opens the same endpoint, and surviving workers
+ *    reconnect; old-epoch results are fenced as STALE.
+ *  - Straggler hedging: when the pending queue is empty, an idle
+ *    worker is speculatively handed the still-incomplete cells of the
+ *    oldest overdue lease (a hedge lease); whichever copy reports
+ *    first wins, the other is a fenced/duplicate no-op.
+ *
  * Wire grammar (text payloads inside frames; tokens are journal-
  * escaped, rest-of-line fields come last):
- *   worker -> coord:  HELLO <proto> <jobs>
- *   coord  -> worker: WELCOME <workerId> <sweep-spec...>
+ *   worker -> coord:  HELLO <proto> <jobs> [<prevWorkerId>]
+ *   coord  -> worker: WELCOME <workerId> <leaseTimeoutMs> <sweep-spec...>
  *   worker -> coord:  LEASE?
  *   coord  -> worker: LEASE <id> <n> <cell-idx>*n | WAIT | FIN
  *   worker -> coord:  RESULT <leaseId> <cellIdx> <journal-line...>
+ *   coord  -> worker: OK | STALE | STOP  (reply to RESULT)
  *   worker -> coord:  DONE <leaseId>   |  PING
- *   coord  -> worker: OK | STOP        (reply to RESULT/DONE/PING)
+ *   coord  -> worker: OK | STOP        (reply to DONE/PING)
  *   worker -> coord:  ERROR <errCode> <message> <workload> <config>
  */
 
@@ -51,8 +74,13 @@
 namespace svr
 {
 
-/** Bumped on any incompatible wire-grammar change. */
-constexpr unsigned fabricProtocolVersion = 1;
+/**
+ * Bumped on any incompatible wire-grammar change. v2: CRC32-framed
+ * transport (common/wire.hh), WELCOME carries the lease timeout,
+ * HELLO carries an optional rejoin token, RESULT can be answered
+ * STALE (lease fencing).
+ */
+constexpr unsigned fabricProtocolVersion = 2;
 
 /**
  * Everything a worker needs to rebuild the coordinator's exact cell
@@ -93,17 +121,33 @@ class LeaseQueue
      * @p chunk cells max per lease; @p max_attempts worker deaths
      * before a cell is poisoned. Cells in @p already_done (e.g.
      * restored from a journal) are born completed and never leased.
+     * @p epoch_base offsets every lease id — a restarted coordinator
+     * passes a fresh epoch so ids granted by a previous incarnation
+     * can never collide with (and thus never impersonate) live ones.
      */
     LeaseQueue(std::size_t num_cells, unsigned chunk,
                unsigned max_attempts,
-               const std::vector<std::size_t> &already_done = {});
+               const std::vector<std::size_t> &already_done = {},
+               std::uint64_t epoch_base = 0);
 
     /**
-     * Take up to chunk pending cells as a new lease. Returns the
+     * Take up to chunk pending cells as a new lease born at
+     * @p now_ms (coordinator clock, used for hedging). Returns the
      * lease id (> 0) with the cells in @p out, or 0 when nothing is
      * pending (either all leased out elsewhere or all complete).
      */
-    std::uint64_t take(std::vector<std::size_t> &out);
+    std::uint64_t take(std::vector<std::size_t> &out,
+                       std::uint64_t now_ms = 0);
+
+    /**
+     * Straggler hedging: when nothing is pending, speculatively
+     * re-lease the still-incomplete cells of the oldest overdue lease
+     * (born more than @p overdue_ms before @p now_ms) that has not
+     * been hedged yet. Returns the new (hedge) lease id, or 0 when no
+     * lease qualifies. The hedge lease itself is never hedged again.
+     */
+    std::uint64_t hedge(std::vector<std::size_t> &out,
+                        std::uint64_t now_ms, std::uint64_t overdue_ms);
 
     /**
      * Record one completed cell (results can arrive from a worker
@@ -115,13 +159,20 @@ class LeaseQueue
      * A worker died holding @p lease_id: its incomplete cells go back
      * to the pending queue with one more attempt charged, except
      * cells that exhausted max_attempts, which are returned in
-     * @p poisoned. Returns the number of requeued cells.
+     * @p poisoned, and cells also held by another active (hedge)
+     * lease, which stay leased there. Returns the requeued count.
      */
     std::size_t reclaim(std::uint64_t lease_id,
                         std::vector<std::size_t> &poisoned);
 
     /** A lease finished cleanly (DONE): drop its bookkeeping. */
     void release(std::uint64_t lease_id);
+
+    /**
+     * Lease fencing: is @p lease_id still live? A RESULT under a
+     * reclaimed, released, or previous-epoch lease must be rejected.
+     */
+    bool leaseActive(std::uint64_t lease_id) const;
 
     /** All cells completed or poisoned. */
     bool allDone() const;
@@ -137,9 +188,18 @@ class LeaseQueue
         unsigned attempts = 0; //!< lease assignments so far
     };
 
+    struct LeaseInfo
+    {
+        std::vector<std::size_t> cells;
+        std::uint64_t bornMs = 0;
+        bool hedged = false; //!< already hedged, or itself a hedge
+    };
+
+    bool leasedElsewhere(std::size_t idx, std::uint64_t lease_id) const;
+
     std::vector<Cell> cells;
     std::vector<std::size_t> pending; //!< LIFO of leasable cell indices
-    std::map<std::uint64_t, std::vector<std::size_t>> active;
+    std::map<std::uint64_t, LeaseInfo> active;
     std::uint64_t nextLease = 1;
     unsigned chunkSize;
     unsigned maxAttempts;
@@ -165,6 +225,20 @@ struct FabricOptions
     unsigned chunk = 0;
     /** Silence window after which a worker is declared dead [ms]. */
     int leaseTimeoutMs = 60000;
+    /**
+     * Heartbeat period forwarded to spawned workers and shipped to
+     * external ones via WELCOME. Validated against the lease timeout:
+     * a heartbeat period >= leaseTimeout/3 is rejected, because a
+     * healthy worker must fit several heartbeats into one timeout
+     * window before it can be declared dead.
+     */
+    int heartbeatMs = 1000;
+    /**
+     * Straggler hedging: a lease older than this with incomplete
+     * cells may be speculatively re-leased to an idle worker.
+     * 0 = auto (leaseTimeoutMs / 2), < 0 disables hedging.
+     */
+    int hedgeMs = 0;
     /** Worker deaths before a cell is poisoned (>= 1). */
     unsigned maxCellAttempts = 3;
     /** Total local respawns allowed across the sweep. */
@@ -200,6 +274,12 @@ struct WorkerOptions
     int heartbeatMs = 1000;      //!< PING period while simulating
     int connectTimeoutMs = 15000;
     int replyTimeoutMs = 30000;  //!< coordinator silence tolerance
+    /**
+     * Total window for reconnect attempts after a lost connection
+     * (exponential backoff + jitter inside it); the worker gives up
+     * with exit code 2 when it closes. 0 disables reconnecting.
+     */
+    int reconnectMs = 30000;
 };
 
 /**

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
+#include <unistd.h>
 #include <vector>
 
 #include "common/error.hh"
@@ -246,8 +247,9 @@ parseJournalLine(const std::string &line, SimResult &out)
     return true;
 }
 
-SweepJournal::SweepJournal(const std::string &path, const SweepKey &key)
-    : journalPath(path)
+SweepJournal::SweepJournal(const std::string &path, const SweepKey &key,
+                           bool fsync_each)
+    : journalPath(path), fsyncEach(fsync_each)
 {
     // Append mode keeps existing records when resuming; the header is
     // only written when the file is new or empty.
@@ -268,6 +270,12 @@ SweepJournal::SweepJournal(const std::string &path, const SweepKey &key)
             file = nullptr;
             ioError("write header", path, err);
         }
+        if (fsyncEach && ::fsync(::fileno(file)) != 0) {
+            const int err = errno;
+            std::fclose(file);
+            file = nullptr;
+            ioError("fsync header", path, err);
+        }
     }
 }
 
@@ -283,8 +291,12 @@ SweepJournal::append(const SimResult &r)
     const std::string line = journalLine(r) + "\n";
     if (std::fwrite(line.data(), 1, line.size(), file) != line.size() ||
         std::fflush(file) != 0) {
+        // A short write here is ENOSPC (or a dying disk) surfacing
+        // through stdio — either way the record cannot be trusted.
         ioError("append", journalPath, errno);
     }
+    if (fsyncEach && ::fsync(::fileno(file)) != 0)
+        ioError("fsync", journalPath, errno);
 }
 
 JournalCells

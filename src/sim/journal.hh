@@ -87,13 +87,18 @@ bool parseJournalLine(const std::string &line, SimResult &out);
 /**
  * Append-only journal writer: opens @p path (creating it with a "J1"
  * header when new or empty), then append() writes one record and
- * flushes so a SIGKILL loses at most the in-flight line. All IO
- * failures throw SimError(IoError).
+ * flushes so a SIGKILL loses at most the in-flight line. With
+ * @p fsync_each the record is also fsync()ed to the device before
+ * append() returns, extending the guarantee from "survives process
+ * death" to "survives power loss" at a per-record latency cost
+ * (--journal-fsync in the sweep tool). All IO failures — short
+ * writes, ENOSPC, a failed fsync — throw SimError(IoError).
  */
 class SweepJournal
 {
   public:
-    SweepJournal(const std::string &path, const SweepKey &key);
+    SweepJournal(const std::string &path, const SweepKey &key,
+                 bool fsync_each = false);
     ~SweepJournal();
 
     SweepJournal(const SweepJournal &) = delete;
@@ -106,6 +111,7 @@ class SweepJournal
   private:
     std::string journalPath;
     std::FILE *file = nullptr;
+    bool fsyncEach = false;
 };
 
 /**

@@ -51,6 +51,25 @@ testSocketPath(const char *tag)
            std::to_string(::getpid()) + ".sock";
 }
 
+/** Raw 8-byte wire header (4B LE length + 4B LE CRC32). */
+std::string
+rawHeader(std::uint32_t len, std::uint32_t crc)
+{
+    std::string hdr(8, '\0');
+    for (int i = 0; i < 4; i++) {
+        hdr[i] = static_cast<char>((len >> (8 * i)) & 0xff);
+        hdr[4 + i] = static_cast<char>((crc >> (8 * i)) & 0xff);
+    }
+    return hdr;
+}
+
+void
+writeRaw(const WireConn &c, const std::string &bytes)
+{
+    ASSERT_EQ(::write(c.fd(), bytes.data(), bytes.size()),
+              static_cast<ssize_t>(bytes.size()));
+}
+
 } // namespace
 
 // ------------------------------------------------------------------ //
@@ -115,8 +134,7 @@ TEST(WireFraming, CleanCloseIsEofTornFrameThrows)
     {
         ConnPair p;
         // Header promising 100 bytes, then close with none sent.
-        const unsigned char hdr[4] = {100, 0, 0, 0};
-        ASSERT_EQ(::write(p.a.fd(), hdr, 4), 4);
+        writeRaw(p.a, rawHeader(100, 0));
         p.a.close();
         std::string msg;
         EXPECT_THROW(p.b.recv(msg, 1000), SimError);
@@ -130,15 +148,81 @@ TEST(WireFraming, TimesOutWithoutDataAndRejectsOversizeFrames)
     EXPECT_EQ(p.b.recv(msg, 50), RecvStatus::Timeout);
 
     // A length prefix beyond maxFramePayload is protocol corruption.
-    const std::uint32_t huge = maxFramePayload + 1;
-    unsigned char hdr[4] = {
-        static_cast<unsigned char>(huge & 0xff),
-        static_cast<unsigned char>((huge >> 8) & 0xff),
-        static_cast<unsigned char>((huge >> 16) & 0xff),
-        static_cast<unsigned char>((huge >> 24) & 0xff),
-    };
-    ASSERT_EQ(::write(p.a.fd(), hdr, 4), 4);
+    writeRaw(p.a, rawHeader(maxFramePayload + 1, 0));
     EXPECT_THROW(p.b.recv(msg, 1000), SimError);
+}
+
+TEST(WireFraming, ZeroLengthPayloadCarriesAValidCrc)
+{
+    // A hand-built empty frame with the right CRC parses; the same
+    // frame with a wrong CRC is rejected, not treated as empty.
+    {
+        ConnPair p;
+        writeRaw(p.a, rawHeader(0, wireCrc32("")));
+        std::string msg = "sentinel";
+        ASSERT_EQ(p.b.recv(msg, 1000), RecvStatus::Ok);
+        EXPECT_EQ(msg, "");
+    }
+    {
+        ConnPair p;
+        writeRaw(p.a, rawHeader(0, wireCrc32("") ^ 1u));
+        std::string msg;
+        EXPECT_THROW(p.b.recv(msg, 1000), SimError);
+    }
+}
+
+TEST(WireFraming, ExactlyMaxPayloadRoundTrips)
+{
+    // The 1 MiB boundary is legal; it exceeds any socket buffer, so
+    // the sender must run concurrently with the receiver.
+    ConnPair p;
+    std::string big(maxFramePayload, 'm');
+    big[0] = 'a';
+    big[maxFramePayload - 1] = 'z';
+    std::thread sender([&] { p.a.send(big); });
+    std::string msg;
+    EXPECT_EQ(p.b.recv(msg, 10000), RecvStatus::Ok);
+    sender.join();
+    EXPECT_EQ(msg, big);
+}
+
+TEST(WireFraming, DeadlineExpiryMidFrameThrows)
+{
+    {
+        // Half a header, then silence: the deadline passes mid-frame,
+        // which is a hard error, not a clean Timeout status.
+        ConnPair p;
+        writeRaw(p.a, rawHeader(4, 0).substr(0, 4));
+        std::string msg;
+        EXPECT_THROW(p.b.recv(msg, 100), SimError);
+    }
+    {
+        // Whole header promising bytes that never come.
+        ConnPair p;
+        writeRaw(p.a, rawHeader(64, wireCrc32("x")));
+        std::string msg;
+        EXPECT_THROW(p.b.recv(msg, 100), SimError);
+    }
+}
+
+TEST(WireFraming, ChecksumCorruptFrameIsRejected)
+{
+    // A full frame whose payload was flipped in flight must throw,
+    // never be delivered.
+    ConnPair p;
+    const std::string payload = "RESULT 7 3 tampered";
+    std::string tampered = payload;
+    tampered[0] ^= 0x20;
+    writeRaw(p.a, rawHeader(static_cast<std::uint32_t>(payload.size()),
+                            wireCrc32(payload)) +
+                      tampered);
+    std::string msg;
+    EXPECT_THROW(p.b.recv(msg, 1000), SimError);
+
+    // CRC values are the standard IEEE ones, pinned so both ends of a
+    // mixed-version fabric agree.
+    EXPECT_EQ(wireCrc32(""), 0u);
+    EXPECT_EQ(wireCrc32("123456789"), 0xCBF43926u);
 }
 
 TEST(WireListener, AcceptTimesOutThenDeliversUnixConnection)

@@ -14,6 +14,12 @@
 #   6. tcp loopback              -> same result over the TCP transport
 #   7. fail-fast worker error    -> coordinator aborts with exit 1 and
 #                                   the worker's error code, no artifact
+#   8. coordinator SIGKILL + restart -> SVRSIM_FAULT=ckill@.. kills the
+#                                   coordinator right after it journals
+#                                   a cell; a restarted coordinator on
+#                                   the same endpoint resumes from the
+#                                   journal and the artifact still
+#                                   matches byte for byte
 #
 # Usage: distributed_sweep_test.sh <svrsim_sweep-binary> <scratch-dir>
 set -eu
@@ -93,6 +99,28 @@ SVRSIM_FAULT='throw@CC_TW/SVR16' \
 [ ! -f "$DIR/ff.json" ] || fail "fail-fast fabric run wrote an artifact"
 grep -q "InternalInvariant" "$DIR/ff.log" ||
     fail "coordinator lost the worker's error code"
+
+echo "== step 8: coordinator SIGKILLed mid-sweep, restart resumes"
+PORT=$((20000 + $$ % 20000))
+rc=0
+SVRSIM_FAULT='ckill@Camel/SVR16' \
+    "$SWEEP" $ARGS --json --workers 2 \
+    --coordinator "tcp:127.0.0.1:$PORT" --out "$DIR/ck.json" \
+    2> "$DIR/ck1.log" || rc=$?
+[ "$rc" -ne 0 ] || fail "ckill'd coordinator run exited 0"
+grep -q "injected coordinator kill" "$DIR/ck1.log" ||
+    fail "coordinator kill did not fire"
+[ -f "$DIR/ck.json.journal" ] || fail "killed coordinator left no journal"
+# Restart on the same endpoint: the journal is replayed, orphaned
+# workers from run 1 may rejoin (their old-epoch leases are fenced),
+# and the sweep finishes byte-identically.
+"$SWEEP" $ARGS --json --workers 2 \
+    --coordinator "tcp:127.0.0.1:$PORT" --resume --out "$DIR/ck.json" \
+    2> "$DIR/ck2.log"
+grep -q "restored from journal" "$DIR/ck2.log" ||
+    fail "restarted coordinator restored nothing"
+cmp "$DIR/ref.json" "$DIR/ck.json" ||
+    fail "artifact differs after a coordinator crash + restart"
 
 rm -rf "$DIR"
 echo "PASS: distributed sweep fabric is byte-identical to serial"

@@ -10,7 +10,8 @@
  *                [--out PATH] [--resume] [--keep-going] [--retries N]
  *                [--workers N] [--coordinator ADDR] [--worker ADDR]
  *                [--shards LIST] [--keep-journal] [--lease-timeout MS]
- *                [--chunk N]
+ *                [--chunk N] [--heartbeat-ms MS] [--hedge-ms MS]
+ *                [--reconnect-ms MS] [--journal-fsync]
  *
  * LIST is comma-separated from: ino, imp, ooo, svrN (e.g. svr16).
  * Default: --suite quick --configs ino,imp,ooo,svr16,svr64
@@ -37,8 +38,25 @@
  *                     already-completed cells before sweeping
  *   --lease-timeout   silence window [ms] after which the coordinator
  *                     declares a worker dead (default 60000)
+ *   --heartbeat-ms    worker PING period [ms] (default 1000); must be
+ *                     < leaseTimeout/3 so a busy worker fits several
+ *                     heartbeats into one timeout window. Forwarded
+ *                     to spawned workers; shipped to external ones
+ *                     via WELCOME. In --worker mode, sets this
+ *                     worker's own heartbeat.
+ *   --hedge-ms MS     straggler hedging: speculatively re-lease the
+ *                     cells of a lease older than MS ms to an idle
+ *                     worker (0 = auto leaseTimeout/2, the default;
+ *                     negative disables hedging)
+ *   --reconnect-ms    (--worker mode) keep retrying a lost
+ *                     coordinator connection for MS ms (default
+ *                     30000; 0 disables) — rides out coordinator
+ *                     restarts and partitions
  *   --chunk N         cells per lease (default: auto)
  *   --keep-journal    keep PATH.journal after a successful sweep
+ *   --journal-fsync   fsync every journal record (and the artifact
+ *                     rename) so the sweep survives power loss, not
+ *                     just process death; slower per cell
  *
  * Fault tolerance:
  *   --out PATH      write the artifact atomically (tmp+rename) to PATH
@@ -147,7 +165,11 @@ runSweep(int argc, char **argv)
     std::string worker_connect;
     std::string shards_arg;
     int lease_timeout_ms = 60000;
+    int heartbeat_ms = 1000;
+    int hedge_ms = 0;
+    int reconnect_ms = 30000;
     unsigned chunk = 0;
+    bool journal_fsync = false;
 
     for (int i = 1; i < argc; i++) {
         const std::string arg = argv[i];
@@ -196,6 +218,18 @@ runSweep(int argc, char **argv)
             lease_timeout_ms = std::stoi(next());
             if (lease_timeout_ms <= 0)
                 fatal("--lease-timeout must be > 0 ms");
+        } else if (arg == "--heartbeat-ms") {
+            heartbeat_ms = std::stoi(next());
+            if (heartbeat_ms <= 0)
+                fatal("--heartbeat-ms must be > 0");
+        } else if (arg == "--hedge-ms") {
+            hedge_ms = std::stoi(next());
+        } else if (arg == "--reconnect-ms") {
+            reconnect_ms = std::stoi(next());
+            if (reconnect_ms < 0)
+                fatal("--reconnect-ms must be >= 0");
+        } else if (arg == "--journal-fsync") {
+            journal_fsync = true;
         } else if (arg == "--chunk") {
             chunk = static_cast<unsigned>(std::stoul(next()));
         } else {
@@ -212,6 +246,8 @@ runSweep(int argc, char **argv)
         WorkerOptions wopts;
         wopts.connect = worker_connect;
         wopts.jobs = jobs > 0 ? jobs : 1;
+        wopts.heartbeatMs = heartbeat_ms;
+        wopts.reconnectMs = reconnect_ms;
         return runFabricWorker(wopts);
     }
 
@@ -219,6 +255,11 @@ runSweep(int argc, char **argv)
     if (resume && out_path.empty())
         fatal("--resume requires --out PATH (the journal lives at "
               "PATH.journal)");
+    if (fabric && heartbeat_ms * 3 >= lease_timeout_ms)
+        fatal("--heartbeat-ms %d is too slow for --lease-timeout %d: "
+              "a busy worker must fit several heartbeats into one "
+              "timeout window (need heartbeat < leaseTimeout/3)",
+              heartbeat_ms, lease_timeout_ms);
 
     std::vector<WorkloadSpec> workloads = suiteByName(suite);
 
@@ -281,7 +322,8 @@ runSweep(int argc, char **argv)
     }
 
     if (!out_path.empty()) {
-        journal = std::make_unique<SweepJournal>(journal_path, key);
+        journal = std::make_unique<SweepJournal>(journal_path, key,
+                                                 journal_fsync);
         // Cells restored from shards are not in the primary journal
         // yet; append them so PATH.journal alone can resume the sweep.
         for (const auto &kv : completed) {
@@ -306,6 +348,8 @@ runSweep(int argc, char **argv)
         fopts.workerJobs = jobs > 0 ? jobs : 1;
         fopts.chunk = chunk;
         fopts.leaseTimeoutMs = lease_timeout_ms;
+        fopts.heartbeatMs = heartbeat_ms;
+        fopts.hedgeMs = hedge_ms;
         fopts.maxCellAttempts = retries > 3 ? retries : 3;
 
         results = runFabricSweep(workloads, configs, spec, fopts,
@@ -349,7 +393,7 @@ runSweep(int argc, char **argv)
     }
 
     if (!out_path.empty()) {
-        writeFileAtomic(out_path, content, faults);
+        writeFileAtomic(out_path, content, faults, journal_fsync);
         journal.reset();
         // The artifact is durable; the journal is now redundant.
         if (!keep_journal)

@@ -3,7 +3,8 @@
  * svrsim_worker — fabric worker process for distributed sweeps.
  *
  * Usage:
- *   svrsim_worker --connect ADDR [--jobs N]
+ *   svrsim_worker --connect ADDR [--jobs N] [--heartbeat-ms MS]
+ *                 [--reconnect-ms MS]
  *
  * ADDR is the coordinator endpoint, "unix:PATH" or "tcp:HOST:PORT"
  * (what `svrsim_sweep --coordinator` printed, or what the coordinator
@@ -14,9 +15,18 @@
  * coordinator about what a cell means.
  *
  * --jobs N simulates the cells of one lease on N threads (default 1).
+ * --heartbeat-ms MS pings the coordinator every MS ms while busy
+ *   (default 1000; --heartbeat is an accepted alias). Clamped below
+ *   leaseTimeout/3 from the WELCOME so a busy worker is never
+ *   mistaken for a dead one.
+ * --reconnect-ms MS keeps retrying a lost coordinator connection with
+ *   exponential backoff + jitter for MS ms before giving up (default
+ *   30000; 0 disables reconnecting) — rides out coordinator restarts
+ *   and network partitions.
  *
  * Exit codes: 0 = sweep finished (FIN), 1 = fatal simulation error
- * (also reported to the coordinator), 2 = lost the coordinator.
+ * (also reported to the coordinator), 2 = lost the coordinator for
+ * longer than the reconnect window.
  */
 
 #include <cstdio>
@@ -46,11 +56,18 @@ main(int argc, char **argv)
                 opts.jobs = static_cast<unsigned>(std::stoul(next()));
                 if (opts.jobs == 0)
                     opts.jobs = 1;
-            } else if (arg == "--heartbeat") {
+            } else if (arg == "--heartbeat" || arg == "--heartbeat-ms") {
                 opts.heartbeatMs = std::stoi(next());
+                if (opts.heartbeatMs <= 0)
+                    fatal("--heartbeat-ms must be > 0");
+            } else if (arg == "--reconnect-ms") {
+                opts.reconnectMs = std::stoi(next());
+                if (opts.reconnectMs < 0)
+                    fatal("--reconnect-ms must be >= 0");
             } else {
                 fatal("unknown argument '%s' (want --connect ADDR "
-                      "[--jobs N])",
+                      "[--jobs N] [--heartbeat-ms MS] "
+                      "[--reconnect-ms MS])",
                       arg.c_str());
             }
         }
