@@ -1,0 +1,185 @@
+#include "analysis/chain_xcheck.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/simulator.hh"
+
+namespace svr
+{
+
+bool
+chainRecordingEnabled()
+{
+#ifdef SVR_ARCHCHECK_ENABLED
+    return true;
+#else
+    return false;
+#endif
+}
+
+namespace
+{
+
+std::string
+describePc(const Program &prog, Addr pc)
+{
+    const std::size_t idx = Program::indexOf(pc);
+    std::ostringstream os;
+    os << "index " << idx;
+    if (idx >= prog.size())
+        os << " (outside " << prog.name() << ")";
+    return os.str();
+}
+
+} // namespace
+
+std::vector<std::string>
+chainViolations(const Program &prog, const ChainReport &report,
+                const std::map<Addr, DynChainRecord> &log)
+{
+    std::vector<std::string> violations;
+    const auto complain = [&](Addr pc, const std::string &what) {
+        violations.push_back(describePc(prog, pc) + ": " + what);
+    };
+
+    // Closures are computed lazily per root and cached; member checks
+    // reuse them across records.
+    std::map<std::size_t, std::vector<std::size_t>> closures;
+    const auto closureOf =
+        [&](std::size_t idx) -> const std::vector<std::size_t> & {
+        auto it = closures.find(idx);
+        if (it == closures.end()) {
+            it = closures.emplace(idx, forwardTaintClosure(prog, idx))
+                     .first;
+        }
+        return it->second;
+    };
+
+    for (const auto &[pc, rec] : log) {
+        if (rec.rounds + rec.extraRounds == 0)
+            continue; // trained but never triggered; nothing to check
+        const std::size_t idx = Program::indexOf(pc);
+        const MemOpInfo *m =
+            idx < prog.size() ? report.memOpAt(idx) : nullptr;
+        if (!m || !m->isLoad) {
+            complain(pc, "dynamic trigger PC is not a load the static "
+                         "analysis knows about");
+            continue;
+        }
+        switch (m->cls) {
+          case MemOpClass::LoopInvariant:
+            // The detector only fires on a nonzero constant stride, so
+            // a loop-invariant address can never be a dynamic root.
+            complain(pc, "dynamic root is classified loop-invariant");
+            break;
+          case MemOpClass::NotInLoop:
+            // Repetition requires a CFG cycle; with a reducible CFG
+            // every cycle is a natural loop, so this is a static miss.
+            if (report.irreducibleEdgeCount == 0) {
+                complain(pc, "dynamic root is outside every natural "
+                             "loop in a reducible CFG");
+            }
+            break;
+          case MemOpClass::StrideRooted:
+            if (m->strideKnown && m->stride != rec.stride) {
+                std::ostringstream os;
+                os << "static stride " << m->stride
+                   << " != dynamic stride " << rec.stride;
+                complain(pc, os.str());
+            }
+            break;
+          default:
+            // ChainDependent and Irregular roots are legitimate:
+            // chains can nest (a dependent load may itself stride) and
+            // the static analysis is deliberately conservative about
+            // value cycles. Reported via the coverage counters.
+            break;
+        }
+
+        // Every tainted member the engine replicated in rounds headed
+        // here must lie in the kill-free closure of this root or of an
+        // extra-chain root that joined those rounds (kill-freedom
+        // makes the static closure a superset of dynamic taint).
+        if (rec.memberPcs.empty())
+            continue;
+        std::vector<std::size_t> rootIdxs;
+        if (idx < prog.size())
+            rootIdxs.push_back(idx);
+        for (Addr extra : rec.extraRootPcs) {
+            const std::size_t ei = Program::indexOf(extra);
+            if (ei < prog.size())
+                rootIdxs.push_back(ei);
+        }
+        for (Addr member : rec.memberPcs) {
+            const std::size_t mi = Program::indexOf(member);
+            bool inside = false;
+            for (std::size_t r : rootIdxs) {
+                const auto &cl = closureOf(r);
+                if (std::binary_search(cl.begin(), cl.end(), mi)) {
+                    inside = true;
+                    break;
+                }
+            }
+            if (!inside) {
+                complain(member,
+                         "dynamic chain member is outside the static "
+                         "forward closure of root " + describePc(prog, pc));
+            }
+        }
+    }
+    return violations;
+}
+
+ChainCrossCheck
+crossValidateChains(SimConfig config, const WorkloadSpec &spec)
+{
+    ChainCrossCheck result;
+    result.workload = spec.name;
+    result.config = config.label;
+    result.available = chainRecordingEnabled();
+
+    const WorkloadInstance inst = spec.make();
+    const ChainReport report = analyzeChains(*inst.program);
+    result.staticChains = report.chains.size();
+    if (!result.available)
+        return result;
+
+    config.core = CoreType::Svr;
+    config.svr.recordChains = true;
+    std::map<Addr, DynChainRecord> log;
+    SimHooks hooks;
+    hooks.onSvrEngineDone = [&log](const SvrEngine &engine) {
+        // Merge across timing segments (sampled runs have several).
+        for (const auto &[pc, rec] : engine.chainLog()) {
+            DynChainRecord &dst = log[pc];
+            dst.stride = rec.stride;
+            dst.rounds += rec.rounds;
+            dst.extraRounds += rec.extraRounds;
+            dst.memberPcs.insert(rec.memberPcs.begin(),
+                                 rec.memberPcs.end());
+            dst.extraRootPcs.insert(rec.extraRootPcs.begin(),
+                                    rec.extraRootPcs.end());
+        }
+    };
+    simulate(config, inst, hooks);
+
+    for (const auto &[pc, rec] : log) {
+        if (rec.rounds + rec.extraRounds == 0)
+            continue;
+        result.dynRoots++;
+        const std::size_t idx = Program::indexOf(pc);
+        const MemOpInfo *m =
+            idx < inst.program->size() ? report.memOpAt(idx) : nullptr;
+        if (m && m->cls == MemOpClass::StrideRooted)
+            result.coveredStrideRooted++;
+        if (m && m->cls == MemOpClass::Irregular)
+            result.irregularRoots++;
+        if (report.chainAt(idx) != nullptr)
+            result.staticChainsTriggered++;
+    }
+    result.violations = chainViolations(*inst.program, report, log);
+    return result;
+}
+
+} // namespace svr

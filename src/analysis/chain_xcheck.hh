@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Static-vs-dynamic chain cross-validation.
+ *
+ * Runs a workload under an SVR configuration with the engine's chain
+ * log enabled (SvrParams::recordChains) and checks every chain the
+ * hardware model actually identified against the static ChainReport:
+ *
+ *  - every dynamic trigger PC must be a memory op the analysis knows,
+ *  - a dynamic root must never be classified loop-invariant (the
+ *    detector only fires on a nonzero stride) nor not-in-loop when the
+ *    CFG is reducible (repetition requires a natural loop),
+ *  - a statically stride-rooted root with a compile-time stride must
+ *    agree with the detector's observed stride,
+ *  - every tainted chain member the engine replicated must lie inside
+ *    the kill-free forward closure of the round's root (or of one of
+ *    the extra-chain roots that joined the round).
+ *
+ * Statically-irregular roots that dynamically stride are *reported*
+ * (irregularRoots), not treated as violations: the static analysis is
+ * deliberately conservative about value cycles, and the acceptance
+ * contract is "irregular roots reported, not misclassified".
+ *
+ * Recording only exists in SVR_ARCHCHECK builds; in Release,
+ * chainRecordingEnabled() is false and crossValidateChains() returns
+ * available=false so callers (the ctest) can skip.
+ */
+
+#ifndef SVR_ANALYSIS_CHAIN_XCHECK_HH
+#define SVR_ANALYSIS_CHAIN_XCHECK_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/chains.hh"
+#include "sim/config.hh"
+#include "svr/svr_engine.hh"
+#include "workloads/workload.hh"
+
+namespace svr
+{
+
+/** Result of cross-validating one (workload, config) cell. */
+struct ChainCrossCheck
+{
+    std::string workload;
+    std::string config;
+
+    /** False when chain recording is compiled out (Release). */
+    bool available = false;
+
+    std::size_t dynRoots = 0; //!< trigger PCs with >= 1 (extra-)round
+    std::size_t coveredStrideRooted = 0; //!< dyn roots static=stride-rooted
+    std::size_t irregularRoots = 0;      //!< dyn roots static=irregular
+    std::size_t staticChains = 0;        //!< chains in the ChainReport
+    std::size_t staticChainsTriggered = 0; //!< of those, seen dynamically
+
+    /** Hard contract breaches (empty = pass). */
+    std::vector<std::string> violations;
+
+    /** Dynamic-root coverage: covered / dynRoots (1.0 when no roots). */
+    double coverage() const
+    {
+        return dynRoots == 0
+                   ? 1.0
+                   : static_cast<double>(coveredStrideRooted) /
+                         static_cast<double>(dynRoots);
+    }
+
+    /** Static-chain precision: triggered / staticChains (1.0 if none). */
+    double precision() const
+    {
+        return staticChains == 0
+                   ? 1.0
+                   : static_cast<double>(staticChainsTriggered) /
+                         static_cast<double>(staticChains);
+    }
+};
+
+/** True when the engine's chain log is compiled in (SVR_ARCHCHECK). */
+bool chainRecordingEnabled();
+
+/**
+ * Check one dynamic chain log against a static report. Exposed
+ * separately so negative self-tests can feed synthetic logs.
+ * Returns human-readable violation strings (empty = consistent).
+ */
+std::vector<std::string>
+chainViolations(const Program &prog, const ChainReport &report,
+                const std::map<Addr, DynChainRecord> &log);
+
+/**
+ * Run @p spec under @p config (forced CoreType::Svr with recording
+ * on), then cross-validate the engine's chain log against
+ * analyzeChains() on the same program.
+ */
+ChainCrossCheck crossValidateChains(SimConfig config,
+                                    const WorkloadSpec &spec);
+
+} // namespace svr
+
+#endif // SVR_ANALYSIS_CHAIN_XCHECK_HH

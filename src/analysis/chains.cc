@@ -1,0 +1,823 @@
+#include "analysis/chains.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <sstream>
+
+#include "analysis/cfg.hh"
+#include "analysis/dataflow.hh"
+#include "isa/disassembler.hh"
+
+namespace svr
+{
+
+namespace
+{
+
+/** Chain depths saturate here; anything past it is already warned on. */
+constexpr unsigned depthCap = 15;
+
+/** Depth beyond which ChainTooDeep fires (SVR serializes each level). */
+constexpr unsigned chainDepthWarn = 3;
+
+/** Detector stride field is a signed byte (SvrParams::maxStride). */
+constexpr std::int64_t maxDetectorStride = 127;
+
+/**
+ * Abstract value of a register within one loop, ordered
+ * Unknown < {Invariant, Affine, Chain} < Varying.
+ */
+enum class ValKind : std::uint8_t
+{
+    Unknown,   //!< no non-cyclic definition seen yet (bottom)
+    Invariant, //!< same value every iteration
+    Affine,    //!< base + k * iteration (stride k may be unknown)
+    Chain,     //!< derived from a stride-rooted load's value
+    Varying,   //!< anything else (top)
+};
+
+struct AbsVal
+{
+    ValKind kind = ValKind::Unknown;
+    bool strideKnown = false;
+    std::int64_t stride = 0; //!< meaningful when kind==Affine && strideKnown
+    unsigned depth = 0;      //!< meaningful when kind==Chain
+
+    bool operator==(const AbsVal &) const = default;
+};
+
+constexpr AbsVal absUnknown{ValKind::Unknown, false, 0, 0};
+constexpr AbsVal absInvariant{ValKind::Invariant, false, 0, 0};
+constexpr AbsVal absVarying{ValKind::Varying, false, 0, 0};
+
+AbsVal
+affine(bool strideKnown, std::int64_t stride)
+{
+    return {ValKind::Affine, strideKnown, stride, 0};
+}
+
+AbsVal
+chain(unsigned depth)
+{
+    return {ValKind::Chain, false, 0, std::min(depth, depthCap)};
+}
+
+AbsVal
+join(const AbsVal &a, const AbsVal &b)
+{
+    if (a.kind == ValKind::Unknown)
+        return b;
+    if (b.kind == ValKind::Unknown || a == b)
+        return a;
+    if (a.kind == ValKind::Chain || b.kind == ValKind::Chain) {
+        const unsigned da = a.kind == ValKind::Chain ? a.depth : 0;
+        const unsigned db = b.kind == ValKind::Chain ? b.depth : 0;
+        return chain(std::max(da, db));
+    }
+    // Two affine values with different strides are not jointly affine.
+    return absVarying;
+}
+
+using State = std::array<AbsVal, numTrackedRegs>;
+
+/**
+ * Per-loop flow-sensitive abstract interpretation over one iteration
+ * of the loop body.
+ *
+ * Loop-carried values are summarized once at the header: registers
+ * with no definition in the loop are Invariant, recognized induction
+ * variables are Affine, and every other loop-defined register enters
+ * the header as Varying — the kind-preserving transfer functions are
+ * not sound across an unmodelled loop-carried cycle (a conditional
+ * reset plus an accumulate would otherwise read as Invariant). From
+ * that seed, one pass in reverse postorder over the body with back
+ * edges cut yields the state before every instruction: strong updates
+ * inside a block model same-iteration kills (so `slli x7,x6,3; add
+ * x7,x4,x7` reads the slli value, not a phantom loop-carried cycle),
+ * and joins at block entries model in-iteration control flow.
+ */
+class LoopAbstract
+{
+  public:
+    LoopAbstract(const Program &prog, const Cfg &cfg,
+                 const LoopForest &forest, std::size_t loopIdx)
+        : prog(prog), cfg(cfg), forest(forest),
+          loop(forest.loops()[loopIdx]), loopIdx(loopIdx)
+    {
+        findInvariants();
+        findInductionVars();
+        findRegisterCycles();
+        propagate();
+    }
+
+    /** Abstract value of source @p r just before instruction @p idx. */
+    AbsVal
+    regStateAt(std::size_t idx, RegId r) const
+    {
+        if (r == 0)
+            return absInvariant;
+        if (r >= numTrackedRegs)
+            return absVarying; // malformed operand; be conservative
+        const auto it =
+            std::lower_bound(loop.instrs.begin(), loop.instrs.end(), idx);
+        if (it == loop.instrs.end() || *it != idx)
+            return absVarying; // not in this loop; be conservative
+        return pre[static_cast<std::size_t>(it - loop.instrs.begin())][r];
+    }
+
+    /** @p r sits on a register-level def-use cycle through a load. */
+    bool
+    pointerChase(RegId r) const
+    {
+        return r < numTrackedRegs && chasing[r];
+    }
+
+  private:
+    /** True when @p r has no definition inside the loop. */
+    bool
+    invariantReg(RegId r) const
+    {
+        return r == 0 || (r < numTrackedRegs && defs[r].empty());
+    }
+
+    void
+    findInvariants()
+    {
+        for (std::size_t idx : loop.instrs) {
+            const Instruction &inst = prog.at(idx);
+            const RegId d = inst.dest();
+            if (d != invalidReg && d < numTrackedRegs && d != 0)
+                defs[d].push_back(idx);
+        }
+    }
+
+    /** Is @p idx a recognized induction self-update of register @p r? */
+    bool
+    selfUpdate(std::size_t idx, RegId r) const
+    {
+        const Instruction &inst = prog.at(idx);
+        if (inst.rd != r)
+            return false;
+        switch (inst.op) {
+          case Opcode::Addi:
+            return inst.rs1 == r;
+          case Opcode::Add:
+            return (inst.rs1 == r && invariantReg(inst.rs2)) ||
+                   (inst.rs2 == r && invariantReg(inst.rs1));
+          case Opcode::Sub:
+            return inst.rs1 == r && invariantReg(inst.rs2);
+          default:
+            return false;
+        }
+    }
+
+    void
+    findInductionVars()
+    {
+        for (RegId r = 1; r < numTrackedRegs; r++) {
+            if (r == flagsReg || defs[r].empty())
+                continue;
+            bool allSelf = true;
+            for (std::size_t idx : defs[r]) {
+                if (!selfUpdate(idx, r)) {
+                    allSelf = false;
+                    break;
+                }
+            }
+            if (!allSelf)
+                continue;
+            isIv[r] = true;
+            // The stride is a compile-time constant only for a single
+            // immediate-step update sitting directly in *this* loop;
+            // register steps, multi-path updates, and updates buried
+            // in a nested loop (which repeat per inner trip) stay
+            // affine with an unknown stride.
+            if (defs[r].size() == 1 &&
+                forest.innermostAt(defs[r][0]) ==
+                    static_cast<int>(loopIdx)) {
+                const Instruction &upd = prog.at(defs[r][0]);
+                if (upd.op == Opcode::Addi) {
+                    ivStrideKnown[r] = true;
+                    ivStride[r] = upd.imm;
+                }
+            }
+        }
+    }
+
+    /**
+     * Register-level (flow-insensitive) def-use cycles through a
+     * load, for diagnostic labeling only: classification itself uses
+     * the flow-sensitive states, so the over-approximation here can
+     * never misclassify — it only picks the "pointer chase" wording
+     * for loads that are already Irregular.
+     */
+    void
+    findRegisterCycles()
+    {
+        std::array<RegMask, numTrackedRegs> dependsOn{};
+        for (RegId r = 1; r < numTrackedRegs; r++) {
+            if (isIv[r])
+                continue;
+            for (std::size_t idx : defs[r]) {
+                for (RegId s : prog.at(idx).sources()) {
+                    if (s != invalidReg && s != 0 && s < numTrackedRegs &&
+                        !defs[s].empty()) {
+                        dependsOn[r] |= regBit(s);
+                    }
+                }
+            }
+        }
+        // Transitive closure; 33 registers make the cubic loop cheap.
+        for (bool changed = true; changed;) {
+            changed = false;
+            for (RegId r = 1; r < numTrackedRegs; r++) {
+                RegMask m = dependsOn[r];
+                for (RegId s = 1; s < numTrackedRegs; s++) {
+                    if (m & regBit(s))
+                        m |= dependsOn[s];
+                }
+                if (m != dependsOn[r]) {
+                    dependsOn[r] = m;
+                    changed = true;
+                }
+            }
+        }
+        // A chase is a cycle that passes through a load's destination.
+        for (std::size_t idx : loop.instrs) {
+            const Instruction &inst = prog.at(idx);
+            if (!inst.isLoad())
+                continue;
+            const RegId d = inst.dest();
+            if (d == invalidReg || d == 0 || d >= numTrackedRegs || isIv[d])
+                continue;
+            for (RegId r = 1; r < numTrackedRegs; r++) {
+                const bool onCycle =
+                    r == d ? (dependsOn[d] & regBit(d)) != 0
+                           : (dependsOn[r] & regBit(d)) != 0 &&
+                                 (dependsOn[d] & regBit(r)) != 0;
+                if (onCycle)
+                    chasing[r] = true;
+            }
+        }
+    }
+
+    /** Abstract value of source @p r under state @p s. */
+    static AbsVal
+    get(const State &s, RegId r)
+    {
+        if (r == 0)
+            return absInvariant;
+        if (r >= numTrackedRegs)
+            return absVarying; // malformed operand; be conservative
+        return s[r];
+    }
+
+    /** Transfer function: abstract result of @p inst's destination. */
+    AbsVal
+    eval(const Instruction &inst, const State &s) const
+    {
+        if (inst.op == Opcode::Li)
+            return absInvariant;
+        if (inst.isLoad()) {
+            const AbsVal addr = get(s, inst.rs1);
+            switch (addr.kind) {
+              case ValKind::Affine:
+                return chain(1);
+              case ValKind::Chain:
+                return chain(addr.depth + 1);
+              case ValKind::Invariant:
+                // The address is invariant; the loaded value need not
+                // be (stores may hit it), so only invariance of the
+                // *address* is claimed, at classification time.
+                return absVarying;
+              default:
+                return addr; // Unknown stays bottom, Varying stays top
+            }
+        }
+
+        const AbsVal a = get(s, inst.rs1);
+        const bool regReg = inst.sources()[1] != invalidReg &&
+                            !inst.isCondBranch();
+        const AbsVal b = regReg ? get(s, inst.rs2) : absInvariant;
+        if (a.kind == ValKind::Unknown || b.kind == ValKind::Unknown)
+            return absUnknown;
+        if (a.kind == ValKind::Chain || b.kind == ValKind::Chain) {
+            const unsigned da = a.kind == ValKind::Chain ? a.depth : 0;
+            const unsigned db = b.kind == ValKind::Chain ? b.depth : 0;
+            return chain(std::max(da, db));
+        }
+        if (a.kind == ValKind::Varying || b.kind == ValKind::Varying)
+            return absVarying;
+        // All inputs Invariant/Affine from here.
+        if (a.kind == ValKind::Invariant && b.kind == ValKind::Invariant)
+            return absInvariant;
+        const auto known = [](const AbsVal &v) {
+            return v.kind == ValKind::Invariant || v.strideKnown;
+        };
+        const auto strideOf = [](const AbsVal &v) {
+            return v.kind == ValKind::Affine ? v.stride : 0;
+        };
+        switch (inst.op) {
+          case Opcode::Add:
+            return affine(known(a) && known(b), strideOf(a) + strideOf(b));
+          case Opcode::Sub:
+            return affine(known(a) && known(b), strideOf(a) - strideOf(b));
+          case Opcode::Addi:
+            return a; // affine input, same stride
+          case Opcode::Slli: {
+            const std::uint64_t s =
+                static_cast<std::uint64_t>(strideOf(a))
+                << (static_cast<std::uint64_t>(inst.imm) & 63);
+            return affine(known(a), static_cast<std::int64_t>(s));
+          }
+          case Opcode::Mul:
+            // affine * invariant stays affine, but the multiplier's
+            // runtime value (hence the stride) is not known statically.
+            if (a.kind == ValKind::Affine && b.kind == ValKind::Affine)
+                return absVarying;
+            return affine(false, 0);
+          case Opcode::Sll:
+            // affine << invariant stays affine with unknown stride;
+            // invariant << affine is exponential in the IV.
+            if (a.kind == ValKind::Affine && b.kind == ValKind::Invariant)
+                return affine(false, 0);
+            return absVarying;
+          default:
+            // Masks, shifts right, division, FP, compares: not affine.
+            return absVarying;
+        }
+    }
+
+    void
+    propagate()
+    {
+        // Instructions default to an all-Varying pre-state; blocks the
+        // forward walk below never reaches (irreducible shapes) stay
+        // there, which is the conservative answer.
+        State varyingState;
+        varyingState.fill(absVarying);
+        pre.assign(loop.instrs.size(), varyingState);
+
+        State seed;
+        for (RegId r = 0; r < numTrackedRegs; r++) {
+            if (invariantReg(r))
+                seed[r] = absInvariant;
+            else if (isIv[r])
+                seed[r] = affine(ivStrideKnown[r], ivStride[r]);
+            else
+                seed[r] = absVarying;
+        }
+
+        // Reverse postorder over the body with this loop's back edges
+        // cut (the DFS never re-enters the header). Retreating edges
+        // of nested loops are skipped during propagation, so a single
+        // pass over the acyclic remainder reaches the fixpoint.
+        const auto &blocks = cfg.blocks();
+        std::vector<BlockId> post;
+        std::vector<bool> visited(blocks.size(), false);
+        std::vector<std::pair<BlockId, std::size_t>> stack;
+        visited[loop.header] = true;
+        stack.push_back({loop.header, 0});
+        while (!stack.empty()) {
+            auto &[b, nextSucc] = stack.back();
+            const auto &succs = blocks[b].succs;
+            if (nextSucc < succs.size()) {
+                const BlockId s = succs[nextSucc++];
+                if (s != loop.header && s < blocks.size() && !visited[s] &&
+                    loop.containsBlock(s)) {
+                    visited[s] = true;
+                    stack.push_back({s, 0});
+                }
+                continue;
+            }
+            post.push_back(b);
+            stack.pop_back();
+        }
+
+        constexpr std::size_t unordered = ~std::size_t{0};
+        std::vector<std::size_t> rpoNum(blocks.size(), unordered);
+        std::vector<BlockId> order(post.rbegin(), post.rend());
+        for (std::size_t i = 0; i < order.size(); i++)
+            rpoNum[order[i]] = i;
+
+        State unknownState;
+        unknownState.fill(absUnknown);
+        std::vector<State> entry(order.size(), unknownState);
+        entry[0] = seed; // the DFS root (header) leads the RPO
+
+        for (std::size_t i = 0; i < order.size(); i++) {
+            const BasicBlock &bb = blocks[order[i]];
+            State st = entry[i];
+            for (std::size_t idx = bb.first; idx <= bb.last; idx++) {
+                const auto it = std::lower_bound(loop.instrs.begin(),
+                                                 loop.instrs.end(), idx);
+                if (it != loop.instrs.end() && *it == idx) {
+                    pre[static_cast<std::size_t>(
+                        it - loop.instrs.begin())] = st;
+                }
+                const Instruction &inst = prog.at(idx);
+                const RegId d = inst.dest();
+                if (d != invalidReg && d != 0 && d < numTrackedRegs)
+                    st[d] = eval(inst, st); // strong update: kills
+            }
+            for (BlockId s : bb.succs) {
+                if (s >= rpoNum.size() || rpoNum[s] == unordered ||
+                    rpoNum[s] <= i) {
+                    continue; // out of loop or retreating: cut
+                }
+                State &es = entry[rpoNum[s]];
+                for (RegId r = 0; r < numTrackedRegs; r++)
+                    es[r] = join(es[r], st[r]);
+            }
+        }
+    }
+
+    const Program &prog;
+    const Cfg &cfg;
+    const LoopForest &forest;
+    const NaturalLoop &loop;
+    const std::size_t loopIdx;
+    std::array<std::vector<std::size_t>, numTrackedRegs> defs;
+    std::array<bool, numTrackedRegs> isIv{};
+    std::array<bool, numTrackedRegs> ivStrideKnown{};
+    std::array<std::int64_t, numTrackedRegs> ivStride{};
+    std::array<bool, numTrackedRegs> chasing{};
+    std::vector<State> pre; //!< pre-state per entry of loop.instrs
+};
+
+std::string
+fmtStride(bool known, std::int64_t stride)
+{
+    if (!known)
+        return "reg-step";
+    std::ostringstream os;
+    os << (stride >= 0 ? "+" : "") << stride;
+    return os.str();
+}
+
+} // namespace
+
+const char *
+memOpClassName(MemOpClass cls)
+{
+    switch (cls) {
+      case MemOpClass::NotInLoop: return "not-in-loop";
+      case MemOpClass::LoopInvariant: return "loop-invariant";
+      case MemOpClass::StrideRooted: return "stride-rooted";
+      case MemOpClass::ChainDependent: return "chain-dependent";
+      case MemOpClass::Irregular: return "irregular";
+    }
+    return "<bad-mem-op-class>";
+}
+
+std::vector<std::size_t>
+forwardTaintClosure(const Program &prog, std::size_t rootIndex)
+{
+    std::vector<std::size_t> closure;
+    if (rootIndex >= prog.size())
+        return closure;
+    RegMask tainted = 0;
+    {
+        const RegId d = prog.at(rootIndex).dest();
+        if (d != invalidReg)
+            tainted |= regBit(d);
+    }
+    std::vector<bool> in(prog.size(), false);
+    in[rootIndex] = true;
+    // Kill-free: a tainted register stays tainted, so the set only
+    // grows and a whole-program sweep to fixpoint terminates.
+    for (bool changed = true; changed;) {
+        changed = false;
+        for (std::size_t i = 0; i < prog.size(); i++) {
+            if (in[i])
+                continue;
+            const Instruction &inst = prog.at(i);
+            if ((useMask(inst) & tainted) == 0)
+                continue;
+            in[i] = true;
+            changed = true;
+            const RegId d = inst.dest();
+            if (d != invalidReg && d != 0)
+                tainted |= regBit(d);
+        }
+    }
+    for (std::size_t i = 0; i < prog.size(); i++) {
+        if (in[i])
+            closure.push_back(i);
+    }
+    return closure;
+}
+
+const ChainInfo *
+ChainReport::chainAt(std::size_t idx) const
+{
+    for (const ChainInfo &c : chains) {
+        if (c.rootIndex == idx)
+            return &c;
+    }
+    return nullptr;
+}
+
+const MemOpInfo *
+ChainReport::memOpAt(std::size_t idx) const
+{
+    for (const MemOpInfo &m : memOps) {
+        if (m.index == idx)
+            return &m;
+    }
+    return nullptr;
+}
+
+std::size_t
+ChainReport::errorCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(diags.begin(), diags.end(), [](const LintDiag &d) {
+            return lintCodeIsError(d.code);
+        }));
+}
+
+std::size_t
+ChainReport::warningCount() const
+{
+    return diags.size() - errorCount();
+}
+
+ChainReport
+analyzeChains(const Program &prog)
+{
+    ChainReport report;
+    report.program = prog.name();
+
+    const Cfg cfg(prog);
+    const LoopForest forest(prog, cfg);
+    const auto &loops = forest.loops();
+    report.loopCount = loops.size();
+    report.irreducibleEdgeCount = forest.irreducibleEdges().size();
+
+    std::vector<LoopAbstract> states;
+    states.reserve(loops.size());
+    for (std::size_t l = 0; l < loops.size(); l++)
+        states.emplace_back(prog, cfg, forest, l);
+
+    // Classify every memory op, walking its loop nest innermost-out:
+    // the innermost loop in which the address is not invariant claims
+    // the access.
+    for (std::size_t idx = 0; idx < prog.size(); idx++) {
+        const Instruction &inst = prog.at(idx);
+        if (!inst.isMem())
+            continue;
+        MemOpInfo info;
+        info.index = idx;
+        info.isLoad = inst.isLoad();
+        info.disasm = disassemble(inst);
+        const int innermost = forest.innermostAt(idx);
+        if (innermost < 0) {
+            info.cls = MemOpClass::NotInLoop;
+            info.reason = "outside every natural loop";
+            report.memOps.push_back(std::move(info));
+            continue;
+        }
+        info.cls = MemOpClass::LoopInvariant;
+        info.loop = innermost;
+        info.reason = "address is loop-invariant at every nesting level";
+        for (int l = innermost; l >= 0;
+             l = loops[static_cast<std::size_t>(l)].parent) {
+            const AbsVal a = states[static_cast<std::size_t>(l)]
+                                 .regStateAt(idx, inst.rs1);
+            if (a.kind == ValKind::Invariant ||
+                (a.kind == ValKind::Affine && a.strideKnown &&
+                 a.stride == 0)) {
+                continue; // invariant here; try the enclosing loop
+            }
+            info.loop = l;
+            if (a.kind == ValKind::Affine) {
+                info.cls = MemOpClass::StrideRooted;
+                info.strideKnown = a.strideKnown;
+                info.stride = a.stride;
+                info.reason = "address is affine in loop " +
+                              std::to_string(l) + " (stride " +
+                              fmtStride(a.strideKnown, a.stride) + ")";
+            } else if (a.kind == ValKind::Chain) {
+                info.cls = MemOpClass::ChainDependent;
+                info.depth = a.depth;
+                info.reason = "address derives from a stride-rooted load "
+                              "(depth " +
+                              std::to_string(a.depth) + ")";
+            } else {
+                info.cls = MemOpClass::Irregular;
+                if (states[static_cast<std::size_t>(l)].pointerChase(
+                        inst.rs1)) {
+                    info.reason =
+                        "address cycles through memory (pointer chase)";
+                } else if (a.kind == ValKind::Unknown) {
+                    info.reason = "address is undefined on every forward "
+                                  "path (irreducible region)";
+                } else {
+                    info.reason =
+                        "address is data-dependent with no affine root";
+                }
+            }
+            break;
+        }
+        report.memOps.push_back(std::move(info));
+    }
+
+    // Chains: one per stride-rooted load, with its kill-free forward
+    // closure; chain-dependent ops are attributed to the lowest-index
+    // root whose closure contains them.
+    for (const MemOpInfo &m : report.memOps) {
+        if (!m.isLoad || m.cls != MemOpClass::StrideRooted)
+            continue;
+        ChainInfo c;
+        c.rootIndex = m.index;
+        c.loop = m.loop;
+        c.strideKnown = m.strideKnown;
+        c.stride = m.stride;
+        c.members = forwardTaintClosure(prog, m.index);
+        c.chainLoads.push_back(m.index);
+        report.chains.push_back(std::move(c));
+    }
+    for (MemOpInfo &m : report.memOps) {
+        if (m.cls != MemOpClass::ChainDependent)
+            continue;
+        for (ChainInfo &c : report.chains) {
+            if (std::binary_search(c.members.begin(), c.members.end(),
+                                   m.index)) {
+                m.rootIndex = static_cast<int>(c.rootIndex);
+                m.reason += ", root " + std::to_string(c.rootIndex);
+                if (m.isLoad) {
+                    c.chainLoads.push_back(m.index);
+                    c.depth = std::max(c.depth, m.depth);
+                }
+                break;
+            }
+        }
+    }
+
+    // Slices and verdicts.
+    for (ChainInfo &c : report.chains) {
+        std::sort(c.chainLoads.begin(), c.chainLoads.end());
+        const NaturalLoop &loop = loops[static_cast<std::size_t>(c.loop)];
+        // Backward loop-local slice from every chain-load address: the
+        // scalar work SVR replicates across lanes.
+        RegMask interested = 0;
+        std::vector<bool> inSlice(prog.size(), false);
+        for (std::size_t ld : c.chainLoads) {
+            inSlice[ld] = true;
+            interested |= regBit(prog.at(ld).rs1) & ~regBit(0);
+        }
+        for (bool changed = true; changed;) {
+            changed = false;
+            for (auto it = loop.instrs.rbegin(); it != loop.instrs.rend();
+                 ++it) {
+                const std::size_t idx = *it;
+                if (inSlice[idx])
+                    continue;
+                const Instruction &inst = prog.at(idx);
+                const RegId d = inst.dest();
+                if (d == invalidReg || (regBit(d) & interested) == 0)
+                    continue;
+                inSlice[idx] = true;
+                changed = true;
+                interested |= useMask(inst) & ~regBit(0);
+            }
+        }
+        for (std::size_t idx : loop.instrs) {
+            if (inSlice[idx])
+                c.slice.push_back(idx);
+        }
+
+        const std::string mlp =
+            "MLP window ~= lanes x " + std::to_string(c.chainLoads.size()) +
+            " load(s)";
+        if (c.strideKnown && std::abs(c.stride) > maxDetectorStride) {
+            c.vectorizable = false;
+            c.verdict = "not vectorizable: stride " +
+                        fmtStride(true, c.stride) +
+                        " exceeds the detector's signed 8-bit field";
+        } else if (c.depth == 0) {
+            c.vectorizable = true;
+            c.verdict = "vectorizable but chain-free: bare striding load; "
+                        "the chain utility gate favors the stride "
+                        "prefetcher";
+        } else if (c.strideKnown) {
+            c.vectorizable = true;
+            c.verdict = "vectorizable: depth-" + std::to_string(c.depth) +
+                        " slice of " + std::to_string(c.slice.size()) +
+                        " instr(s); " + mlp;
+        } else {
+            c.vectorizable = true;
+            c.verdict = "vectorizable if the register step fits the "
+                        "detector's 8-bit field at runtime; depth-" +
+                        std::to_string(c.depth) + " slice of " +
+                        std::to_string(c.slice.size()) + " instr(s); " +
+                        mlp;
+        }
+    }
+
+    // Diagnostics, in lint style with the offending disassembly.
+    auto diag = [&](LintCode code, std::size_t idx, std::string what) {
+        report.diags.push_back(
+            {code, idx, what + " | " + disassemble(prog.at(idx))});
+    };
+    for (const MemOpInfo &m : report.memOps) {
+        if (!m.isLoad || m.loop < 0)
+            continue;
+        if (m.cls == MemOpClass::Irregular) {
+            diag(LintCode::IrregularRootInLoop, m.index,
+                 "load in loop " + std::to_string(m.loop) +
+                     " has no affine address root (" + m.reason +
+                     "); SVR cannot vectorize iterations from here");
+        } else if (m.cls == MemOpClass::LoopInvariant) {
+            diag(LintCode::InvariantAddressReload, m.index,
+                 "load address is loop-invariant at every nesting level; "
+                 "the same location is re-fetched each iteration");
+        }
+    }
+    for (const ChainInfo &c : report.chains) {
+        if (c.depth > chainDepthWarn) {
+            diag(LintCode::ChainTooDeep, c.rootIndex,
+                 "dependence chain reaches depth " +
+                     std::to_string(c.depth) + " (> " +
+                     std::to_string(chainDepthWarn) +
+                     "); each SVR round serializes every level");
+        }
+    }
+    std::sort(report.diags.begin(), report.diags.end(),
+              [](const LintDiag &a, const LintDiag &b) {
+                  if (a.index != b.index)
+                      return a.index < b.index;
+                  return static_cast<int>(a.code) < static_cast<int>(b.code);
+              });
+    return report;
+}
+
+namespace
+{
+
+void
+printIndexList(std::ostringstream &os, const std::vector<std::size_t> &v)
+{
+    os << "[";
+    for (std::size_t i = 0; i < v.size(); i++)
+        os << (i ? " " : "") << v[i];
+    os << "]";
+}
+
+} // namespace
+
+std::string
+ChainReport::format() const
+{
+    std::ostringstream os;
+    os << "== chains: " << program << " ==\n";
+    os << "loops: " << loopCount
+       << "  irreducible-edges: " << irreducibleEdgeCount
+       << "  mem-ops: " << memOps.size() << "  chains: " << chains.size()
+       << "\n";
+    if (!memOps.empty()) {
+        os << "mem ops:\n";
+        for (const MemOpInfo &m : memOps) {
+            os << "  " << m.index << ": " << memOpClassName(m.cls);
+            if (m.loop >= 0)
+                os << " (loop " << m.loop;
+            if (m.cls == MemOpClass::StrideRooted)
+                os << ", stride " << fmtStride(m.strideKnown, m.stride);
+            if (m.cls == MemOpClass::ChainDependent) {
+                os << ", depth " << m.depth << ", root ";
+                if (m.rootIndex >= 0)
+                    os << m.rootIndex;
+                else
+                    os << "?";
+            }
+            if (m.loop >= 0)
+                os << ")";
+            os << " | " << m.disasm << "\n";
+        }
+    }
+    if (!chains.empty()) {
+        os << "chains:\n";
+        for (const ChainInfo &c : chains) {
+            os << "  root " << c.rootIndex << ": loop " << c.loop
+               << ", stride " << fmtStride(c.strideKnown, c.stride)
+               << ", depth " << c.depth << ", loads ";
+            printIndexList(os, c.chainLoads);
+            os << ", slice ";
+            printIndexList(os, c.slice);
+            os << ", members " << c.members.size() << " instr(s)\n";
+            os << "    verdict: " << c.verdict << "\n";
+        }
+    }
+    if (!diags.empty()) {
+        os << "diagnostics:\n";
+        for (const LintDiag &d : diags) {
+            os << "  " << program << ":" << d.index << ": " << d.severity()
+               << "[" << lintCodeName(d.code) << "]: " << d.message << "\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace svr

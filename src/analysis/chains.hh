@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Static dependence-chain analysis: the offline oracle for SVR.
+ *
+ * For every memory instruction the analyzer answers the question the
+ * hardware stride detector + taint tracker answer at runtime — is this
+ * load the *root* of a stride-rooted address-generation dependence
+ * chain, a *member* of one (and at which indirection depth), a
+ * loop-invariant reload, or irregular (pointer-chase / data-dependent
+ * address with no affine root)?
+ *
+ * The analysis is built from three classic pieces over the existing
+ * Cfg/LoopForest:
+ *
+ *  1. per-loop induction-variable recognition (def-use self-cycles
+ *     through Addi/Add/Sub with loop-invariant steps; immediate steps
+ *     give a known compile-time stride, register steps an affine value
+ *     with unknown stride),
+ *  2. an abstract interpretation of each loop body over the lattice
+ *     Unknown < {Invariant, Affine(stride), Chain(depth)} < Varying,
+ *     run to a fixpoint so values that cycle through memory (x <-
+ *     mem[x]) stay Unknown and are reported as irregular, and
+ *  3. backward address slices + a whole-program forward taint closure
+ *     per chain root — the closure is deliberately kill-free so it is
+ *     a superset of anything the dynamic TaintTracker can mark, which
+ *     is what makes static-vs-dynamic cross-validation sound
+ *     (analysis/chain_xcheck.hh).
+ *
+ * Classification walks loops innermost-out: the innermost loop in
+ * which the address is not invariant claims the access. A load whose
+ * address is invariant at every nesting level is a reload; a load
+ * outside any loop is left unclassified (NotInLoop).
+ *
+ * The ChainReport also carries lint-style diagnostics (chain-too-deep,
+ * irregular-root-in-loop, invariant-address-reload) reusing the
+ * verifier's LintDiag so svrsim_lint can merge them into one stream.
+ *
+ * Everything here is deterministic and address-free (static indices
+ * only), so report dumps are byte-stable golden-test material.
+ */
+
+#ifndef SVR_ANALYSIS_CHAINS_HH
+#define SVR_ANALYSIS_CHAINS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/loops.hh"
+#include "analysis/verifier.hh"
+#include "isa/program.hh"
+
+namespace svr
+{
+
+/** Static classification of one memory instruction. */
+enum class MemOpClass
+{
+    NotInLoop,     //!< outside every natural loop; SVR never sees it repeat
+    LoopInvariant, //!< address invariant at every enclosing nesting level
+    StrideRooted,  //!< address is an affine function of an induction var
+    ChainDependent, //!< address derives from a stride-rooted load's value
+    Irregular,     //!< data-dependent address with no affine root
+};
+
+/** Stable mnemonic for a MemOpClass ("stride-rooted", ...). */
+const char *memOpClassName(MemOpClass cls);
+
+/** Per-memory-instruction analysis result. */
+struct MemOpInfo
+{
+    std::size_t index = 0; //!< static instruction index
+    bool isLoad = false;
+    MemOpClass cls = MemOpClass::NotInLoop;
+
+    /** Loop (LoopForest index) that classified the access, or -1. */
+    int loop = -1;
+
+    /** Compile-time stride, when the access is affine with an
+     *  immediate-step induction variable. */
+    bool strideKnown = false;
+    std::int64_t stride = 0;
+
+    /** Indirection depth for ChainDependent (1 = address built from a
+     *  root load's value, 2 = from a depth-1 load's value, ...). */
+    unsigned depth = 0;
+
+    /** Static index of the owning chain root for ChainDependent. */
+    int rootIndex = -1;
+
+    /** One-line classification rationale. */
+    std::string reason;
+
+    /** Disassembly of the instruction (for self-contained reports). */
+    std::string disasm;
+};
+
+/** One stride-rooted dependence chain, keyed by its root load. */
+struct ChainInfo
+{
+    std::size_t rootIndex = 0; //!< static index of the root load
+    int loop = -1;             //!< classifying loop
+
+    bool strideKnown = false;
+    std::int64_t stride = 0;
+
+    /** Max indirection depth across dependent loads (0 = bare stride). */
+    unsigned depth = 0;
+
+    /** Root + every dependent load attributed to this root, sorted. */
+    std::vector<std::size_t> chainLoads;
+
+    /**
+     * Loop-local backward address-generation slice: the scalar
+     * instructions SVR would replicate across lanes to materialize
+     * every chain-load address. Sorted, includes the chain loads.
+     */
+    std::vector<std::size_t> slice;
+
+    /**
+     * Whole-program kill-free forward taint closure of the root's
+     * destination (see forwardTaintClosure()). Superset of any set of
+     * instructions the dynamic taint tracker can mark for this chain.
+     */
+    std::vector<std::size_t> members;
+
+    bool vectorizable = false;
+    std::string verdict; //!< vectorizability rationale
+};
+
+/** Whole-program chain analysis result. */
+struct ChainReport
+{
+    std::string program;
+
+    std::vector<MemOpInfo> memOps; //!< every load/store, by static index
+    std::vector<ChainInfo> chains; //!< by root index
+
+    /** Chain diagnostics (warning codes only), sorted by (index, code). */
+    std::vector<LintDiag> diags;
+
+    std::size_t loopCount = 0;
+    std::size_t irreducibleEdgeCount = 0;
+
+    /** The chain record for root @p idx, or nullptr. */
+    const ChainInfo *chainAt(std::size_t idx) const;
+
+    /** The mem-op record for instruction @p idx, or nullptr. */
+    const MemOpInfo *memOpAt(std::size_t idx) const;
+
+    std::size_t errorCount() const;
+    std::size_t warningCount() const;
+
+    /** Human-readable dump (deterministic; golden-test stable). */
+    std::string format() const;
+};
+
+/** Run the full static chain analysis. Never throws on any Program. */
+ChainReport analyzeChains(const Program &prog);
+
+/**
+ * Kill-free may-taint forward closure from instruction @p rootIndex:
+ * every instruction that can read a value derived from the root's
+ * destination register on *some* path, ignoring redefinitions. Flags
+ * are modelled as a register, so compares with tainted inputs taint
+ * the flags and branches reading tainted flags join the closure. The
+ * result is sorted and includes @p rootIndex itself.
+ *
+ * Kill-freedom makes this a superset of the dynamic taint tracker's
+ * per-round marking for a chain rooted here — the containment the
+ * cross-validation harness checks against.
+ */
+std::vector<std::size_t> forwardTaintClosure(const Program &prog,
+                                             std::size_t rootIndex);
+
+} // namespace svr
+
+#endif // SVR_ANALYSIS_CHAINS_HH

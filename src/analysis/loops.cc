@@ -1,0 +1,162 @@
+#include "analysis/loops.hh"
+
+#include <algorithm>
+
+namespace svr
+{
+
+bool
+NaturalLoop::containsBlock(BlockId b) const
+{
+    return std::binary_search(blocks.begin(), blocks.end(), b);
+}
+
+bool
+NaturalLoop::containsInstr(std::size_t idx) const
+{
+    return std::binary_search(instrs.begin(), instrs.end(), idx);
+}
+
+LoopForest::LoopForest(const Program &prog, const Cfg &cfg)
+{
+    const auto &blocks = cfg.blocks();
+    const std::size_t nb = blocks.size();
+    instrLoop.assign(prog.size(), -1);
+    if (nb == 0)
+        return;
+
+    // Reverse-postorder numbers of the reachable subgraph, for telling
+    // retreating edges (rpo[target] <= rpo[source]) apart from forward
+    // and cross edges.
+    std::vector<std::size_t> rpo(nb, 0);
+    {
+        std::vector<BlockId> postorder;
+        postorder.reserve(nb);
+        std::vector<std::uint8_t> state(nb, 0);
+        std::vector<std::pair<BlockId, std::size_t>> stack;
+        stack.emplace_back(0, 0);
+        state[0] = 1;
+        while (!stack.empty()) {
+            auto &[b, next] = stack.back();
+            if (next < blocks[b].succs.size()) {
+                const BlockId s = blocks[b].succs[next++];
+                if (state[s] == 0) {
+                    state[s] = 1;
+                    stack.emplace_back(s, 0);
+                }
+            } else {
+                postorder.push_back(b);
+                stack.pop_back();
+            }
+        }
+        for (std::size_t i = 0; i < postorder.size(); i++)
+            rpo[postorder[i]] = postorder.size() - 1 - i;
+    }
+
+    // Back edges, grouped by header; retreating non-back edges are the
+    // irreducible ones.
+    std::vector<std::vector<BlockId>> latchesOf(nb);
+    for (BlockId a = 0; a < nb; a++) {
+        if (!blocks[a].reachable)
+            continue;
+        for (BlockId b : blocks[a].succs) {
+            if (!blocks[b].reachable)
+                continue;
+            if (cfg.dominates(b, a))
+                latchesOf[b].push_back(a);
+            else if (rpo[b] <= rpo[a])
+                irreducible.emplace_back(a, b);
+        }
+    }
+    std::sort(irreducible.begin(), irreducible.end());
+
+    // One loop per header: header + reverse flood from every latch.
+    for (BlockId h = 0; h < nb; h++) {
+        if (latchesOf[h].empty())
+            continue;
+        NaturalLoop loop;
+        loop.header = h;
+        loop.latches = latchesOf[h];
+        std::sort(loop.latches.begin(), loop.latches.end());
+        loop.latches.erase(
+            std::unique(loop.latches.begin(), loop.latches.end()),
+            loop.latches.end());
+
+        std::vector<bool> in(nb, false);
+        in[h] = true;
+        std::vector<BlockId> stack;
+        for (BlockId l : loop.latches) {
+            if (!in[l]) {
+                in[l] = true;
+                stack.push_back(l);
+            }
+        }
+        while (!stack.empty()) {
+            const BlockId b = stack.back();
+            stack.pop_back();
+            for (BlockId p : blocks[b].preds) {
+                if (!blocks[p].reachable || in[p])
+                    continue;
+                in[p] = true;
+                stack.push_back(p);
+            }
+        }
+        for (BlockId b = 0; b < nb; b++) {
+            if (!in[b])
+                continue;
+            loop.blocks.push_back(b);
+            for (std::size_t i = blocks[b].first; i <= blocks[b].last; i++)
+                loop.instrs.push_back(i);
+        }
+        std::sort(loop.instrs.begin(), loop.instrs.end());
+        loopList.push_back(std::move(loop));
+    }
+
+    // Nesting forest: the parent of L is the smallest loop properly
+    // containing all of L's blocks. Distinct headers guarantee strict
+    // containment is antisymmetric here.
+    for (std::size_t i = 0; i < loopList.size(); i++) {
+        std::size_t best = loopList.size();
+        for (std::size_t j = 0; j < loopList.size(); j++) {
+            if (i == j)
+                continue;
+            const NaturalLoop &outer = loopList[j];
+            if (outer.blocks.size() <= loopList[i].blocks.size())
+                continue;
+            const bool contains = std::includes(
+                outer.blocks.begin(), outer.blocks.end(),
+                loopList[i].blocks.begin(), loopList[i].blocks.end());
+            if (!contains)
+                continue;
+            if (best == loopList.size() ||
+                outer.blocks.size() < loopList[best].blocks.size()) {
+                best = j;
+            }
+        }
+        if (best != loopList.size())
+            loopList[i].parent = static_cast<int>(best);
+    }
+    // Depths: walk parent chains (forest is acyclic by size ordering).
+    for (std::size_t i = 0; i < loopList.size(); i++) {
+        unsigned depth = 1;
+        for (int p = loopList[i].parent; p >= 0;
+             p = loopList[static_cast<std::size_t>(p)].parent) {
+            depth++;
+        }
+        loopList[i].depth = depth;
+    }
+
+    // Innermost loop per instruction: deepest (smallest) loop wins.
+    for (std::size_t i = 0; i < loopList.size(); i++) {
+        for (std::size_t idx : loopList[i].instrs) {
+            const int cur = instrLoop[idx];
+            if (cur < 0 ||
+                loopList[static_cast<std::size_t>(cur)].blocks.size() >
+                    loopList[i].blocks.size()) {
+                instrLoop[idx] = static_cast<int>(i);
+            }
+        }
+    }
+}
+
+} // namespace svr

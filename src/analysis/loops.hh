@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Natural-loop detection over a Program's CFG.
+ *
+ * Built directly on the dominator tree from analysis/cfg.hh: a back
+ * edge is an edge whose target dominates its source, and the natural
+ * loop of a header is the header plus every block that reaches one of
+ * its latches without passing through the header. Loops sharing a
+ * header are merged; containment between the merged loops forms the
+ * loop nesting forest.
+ *
+ * Like the Cfg, this is defensive by design: it must be constructible
+ * for arbitrary (even malformed) programs. Retreating edges whose
+ * target does *not* dominate the source — the signature of an
+ * irreducible region — produce no loop; they are recorded in
+ * irreducibleEdges() so clients (the chain analyzer, the verifier
+ * tooling) can report rather than misclassify them.
+ */
+
+#ifndef SVR_ANALYSIS_LOOPS_HH
+#define SVR_ANALYSIS_LOOPS_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "analysis/cfg.hh"
+
+namespace svr
+{
+
+/** One natural loop (all same-header loops merged). */
+struct NaturalLoop
+{
+    BlockId header = 0;
+
+    /** Sources of the back edges into the header, sorted. */
+    std::vector<BlockId> latches;
+
+    /** Every block in the loop, including the header, sorted. */
+    std::vector<BlockId> blocks;
+
+    /** Instruction indices covered by the loop's blocks, sorted. */
+    std::vector<std::size_t> instrs;
+
+    /** Index of the innermost enclosing loop, or -1 at forest roots. */
+    int parent = -1;
+
+    /** Nesting depth: 1 for outermost loops. */
+    unsigned depth = 1;
+
+    /** True when block @p b belongs to this loop. */
+    bool containsBlock(BlockId b) const;
+
+    /** True when instruction @p idx belongs to this loop. */
+    bool containsInstr(std::size_t idx) const;
+};
+
+/**
+ * The loop nesting forest of one Program. Loop indices are stable and
+ * ordered by header block id (outer loops before the inner loops they
+ * contain share no header, so this is also a topological order of the
+ * forest when headers appear in program order, as structured builder
+ * programs do).
+ */
+class LoopForest
+{
+  public:
+    LoopForest(const Program &prog, const Cfg &cfg);
+
+    const std::vector<NaturalLoop> &loops() const { return loopList; }
+
+    /** Innermost loop containing instruction @p idx, or -1. */
+    int innermostAt(std::size_t idx) const
+    {
+        return idx < instrLoop.size() ? instrLoop[idx] : -1;
+    }
+
+    /**
+     * Retreating edges whose target does not dominate their source:
+     * the CFG is irreducible around these (multiple-entry region), so
+     * no natural loop models them.
+     */
+    const std::vector<std::pair<BlockId, BlockId>> &irreducibleEdges() const
+    {
+        return irreducible;
+    }
+
+  private:
+    std::vector<NaturalLoop> loopList;
+    std::vector<int> instrLoop; //!< instruction index -> innermost loop
+    std::vector<std::pair<BlockId, BlockId>> irreducible;
+};
+
+} // namespace svr
+
+#endif // SVR_ANALYSIS_LOOPS_HH

@@ -26,6 +26,10 @@ lintCodeName(LintCode code)
       case LintCode::DeadWrite: return "dead-write";
       case LintCode::DeadCompare: return "dead-compare";
       case LintCode::RedundantBranch: return "redundant-branch";
+      case LintCode::ChainTooDeep: return "chain-too-deep";
+      case LintCode::IrregularRootInLoop: return "irregular-root-in-loop";
+      case LintCode::InvariantAddressReload:
+        return "invariant-address-reload";
     }
     return "<bad-lint-code>";
 }
@@ -38,6 +42,9 @@ lintCodeIsError(LintCode code)
       case LintCode::DeadWrite:
       case LintCode::DeadCompare:
       case LintCode::RedundantBranch:
+      case LintCode::ChainTooDeep:
+      case LintCode::IrregularRootInLoop:
+      case LintCode::InvariantAddressReload:
         return false;
       default:
         return true;

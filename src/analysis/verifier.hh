@@ -47,6 +47,12 @@ enum class LintCode
     DeadWrite,       //!< register write no instruction ever reads
     DeadCompare,     //!< compare whose flags are never read
     RedundantBranch, //!< branch to the fall-through instruction
+    // Chain-analysis warnings (produced by analyzeChains(), not
+    // verifyProgram(); they share the LintCode space so svrsim_lint
+    // can merge both streams into one report).
+    ChainTooDeep,          //!< dependence chain deeper than SVR rounds like
+    IrregularRootInLoop,   //!< in-loop load with no affine address root
+    InvariantAddressReload, //!< in-loop load from a loop-invariant address
 };
 
 /** Short stable mnemonic for a code ("uninit-read", ...). */

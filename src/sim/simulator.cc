@@ -81,6 +81,8 @@ runTimingWindow(const SimConfig &config, MemorySystem &mem, Executor &exec,
         core.setRunaheadEngine(&engine);
         core.setCommitHook(hooks.commit);
         stats = core.run(exec, window.maxInstructions, wd, window.measure);
+        if (hooks.onSvrEngineDone)
+            hooks.onSvrEngineDone(engine);
         if (window.svrOut)
             *window.svrOut = engine.exportState();
         break;

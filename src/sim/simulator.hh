@@ -42,6 +42,12 @@ struct SimHooks
     std::function<void(const Executor &)> onExecutor;
     /** Called once with the SVR engine (CoreType::Svr runs only). */
     std::function<void(const SvrEngine &)> onSvrEngine;
+    /**
+     * Called with the SVR engine after each timing segment completes,
+     * before the engine is torn down (CoreType::Svr runs only) — the
+     * hook for run-end observations like the chain log.
+     */
+    std::function<void(const SvrEngine &)> onSvrEngineDone;
 };
 
 /** Everything measured in one simulation run. */

@@ -21,6 +21,19 @@ SvrEngine::SvrEngine(const SvrParams &params, MemorySystem &memory,
         fatal("SvrEngine: vectorLength and svuWidth must be nonzero");
     mask.assign(p.vectorLength, false);
     laneFlags.assign(p.vectorLength, Flags{});
+    for (const OracleSeed &seed : p.oracleSeeds)
+        sd.seed(seed.pc, seed.stride);
+}
+
+void
+SvrEngine::recordChainMember(Addr pc)
+{
+#ifdef SVR_ARCHCHECK_ENABLED
+    if (p.recordChains && hslrValid)
+        chains[hslrPc].memberPcs.insert(pc);
+#else
+    (void)pc;
+#endif
 }
 
 void
@@ -47,7 +60,10 @@ SvrEngine::reset()
     governorUnusedBase = 0;
     st = SvrEngineStats{};
     events.clear();
+    chains.clear();
     std::fill(mask.begin(), mask.end(), false);
+    for (const OracleSeed &seed : p.oracleSeeds)
+        sd.seed(seed.pc, seed.stride);
 }
 
 SvrEngineSnapshot
@@ -212,6 +228,13 @@ SvrEngine::triggerRound(const DynInst &dyn, const StrideEntry &entry,
     }
     st.rounds++;
     st.roundsByPc[dyn.pc]++;
+#ifdef SVR_ARCHCHECK_ENABLED
+    if (p.recordChains) {
+        DynChainRecord &rec = chains[dyn.pc];
+        rec.stride = entry.stride;
+        rec.rounds++;
+    }
+#endif
     logEvent(SvrEventKind::Trigger, dyn.pc, issue_cycle, lanes);
     prmActive = true;
     hslrValid = true;
@@ -260,6 +283,8 @@ SvrEngine::generateDependentCopies(const DynInst &dyn, Cycle issue_cycle)
     const bool t1 = has_rs1 && taint.tainted(inst.rs1);
     const bool t2 = rs2_is_source && taint.tainted(inst.rs2);
     const RegId dest = inst.writesIntReg() ? inst.rd : invalidReg;
+    if (t1 || t2)
+        recordChainMember(dyn.pc);
 
     if (!t1 && !t2) {
         // Not part of the indirect chain. If it overwrites a mapped
@@ -389,6 +414,8 @@ SvrEngine::observeControl(const DynInst &dyn)
                             taint.tainted(inst.rs2);
             const bool m1 = !t1 || taint.taintedAndMapped(inst.rs1);
             const bool m2 = !t2 || taint.taintedAndMapped(inst.rs2);
+            if (t1 || t2)
+                recordChainMember(dyn.pc);
             if ((t1 || t2) && m1 && m2 && !lilStopped) {
                 // Lane compares feed lane branch outcomes for masking.
                 const unsigned id1 = t1 ? taint.srfId(inst.rs1)
@@ -428,6 +455,7 @@ SvrEngine::observeControl(const DynInst &dyn)
         // Divergence masking: lanes whose outcome differs from the real
         // path are masked off (SVR cannot follow other paths).
         if (prmActive && flagsLaneValid && !lilStopped) {
+            recordChainMember(dyn.pc);
             for (unsigned k = 0; k < roundLanes; k++) {
                 if (!mask[k])
                     continue;
@@ -507,6 +535,14 @@ SvrEngine::onIssue(const DynInst &dyn, Cycle issue_cycle)
                     // Unrolled loop: vectorize this second chain too,
                     // sharing the round's mask.
                     st.extraChains++;
+#ifdef SVR_ARCHCHECK_ENABLED
+                    if (p.recordChains) {
+                        DynChainRecord &rec = chains[dyn.pc];
+                        rec.stride = e->stride;
+                        rec.extraRounds++;
+                        chains[hslrPc].extraRootPcs.insert(dyn.pc);
+                    }
+#endif
                     logEvent(SvrEventKind::ExtraChain, dyn.pc,
                              issue_cycle, roundLanes);
                     e->lastPrefetch = static_cast<Addr>(

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "common/types.hh"
@@ -80,6 +81,37 @@ struct SvrParams
     /** Record an event log (tests/debugging; off for bench runs). */
     bool enableEventLog = false;
     std::size_t eventLogCapacity = 4096;
+
+    /**
+     * Static-oracle mode: pre-train the stride detector from these
+     * compile-time chains (analysis/chains.hh) before the first
+     * instruction issues, giving the variant lab an upper-bound
+     * comparison point against purely dynamic discovery.
+     */
+    std::vector<OracleSeed> oracleSeeds;
+
+    /**
+     * Record the per-PC chain log (SvrEngine::chainLog()) for
+     * static-vs-dynamic cross-validation. Only honored in
+     * SVR_ARCHCHECK builds; Release compiles the recording out
+     * entirely so bench runs stay untouched.
+     */
+    bool recordChains = false;
+};
+
+/**
+ * What the hardware actually identified for one trigger PC across a
+ * run (SvrParams::recordChains). The cross-validation harness
+ * (analysis/chain_xcheck.hh) checks each record against the static
+ * ChainReport.
+ */
+struct DynChainRecord
+{
+    std::int64_t stride = 0;        //!< detector stride at the last round
+    std::uint64_t rounds = 0;       //!< PRM rounds triggered here
+    std::uint64_t extraRounds = 0;  //!< extra-chain activations here
+    std::set<Addr> memberPcs;       //!< tainted chain-member PCs observed
+    std::set<Addr> extraRootPcs;    //!< extra-chain roots inside rounds
 };
 
 /** Engine event kinds for the optional event log (tests/debugging). */
@@ -188,6 +220,15 @@ class SvrEngine : public RunaheadEngine
     /** Event log (empty unless SvrParams::enableEventLog). */
     const std::vector<SvrEvent> &eventLog() const { return events; }
 
+    /**
+     * Per-trigger-PC chain log (empty unless SvrParams::recordChains
+     * and SVR_ARCHCHECK_ENABLED). Deterministically ordered by PC.
+     */
+    const std::map<Addr, DynChainRecord> &chainLog() const
+    {
+        return chains;
+    }
+
     /** Snapshot the persistent predictor state (see SvrEngineSnapshot). */
     SvrEngineSnapshot exportState() const;
 
@@ -257,6 +298,10 @@ class SvrEngine : public RunaheadEngine
 
     SvrEngineStats st;
     std::vector<SvrEvent> events;
+    std::map<Addr, DynChainRecord> chains;
+
+    /** Record a chain member observed inside the current round. */
+    void recordChainMember(Addr pc);
 };
 
 } // namespace svr

@@ -9,6 +9,7 @@
  *   bench_report [--quick] [--sampling] [--out PATH]
  *   bench_report --regress [--baseline PATH] [--threshold PCT] [--quick]
  *                [--out PATH]
+ *   bench_report --chains [--quick] [--out PATH]
  *
  *   --quick     small windows / single repetition (CI smoke)
  *   --sampling  measure sampled-vs-full accuracy and speedup instead,
@@ -29,6 +30,14 @@
  *   --baseline  baseline JSON for --regress (default:
  *               BENCH_simspeed.json next to the current directory)
  *   --threshold allowed Msimips drop in percent for --regress
+ *   --chains    static-vs-dynamic chain coverage matrix: cross-validate
+ *               the static dependence-chain oracle against the SVR
+ *               engine's recorded chain log for every quick-suite
+ *               workload under SVR16 and SVR64, printing the coverage
+ *               table (and writing it as JSON with --out). Dynamic
+ *               columns need an SVR_ARCHCHECK build; in Release the
+ *               static columns still print. Exits nonzero on any
+ *               cross-validation violation.
  *
  * The committed artifacts are regenerated with the SVR_BENCH_JSON and
  * SVR_BENCH_SAMPLING_JSON targets, e.g.
@@ -44,6 +53,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/chain_xcheck.hh"
 #include "common/error.hh"
 #include "common/io.hh"
 #include "common/logging.hh"
@@ -53,6 +63,7 @@
 #include "sim/config.hh"
 #include "sim/simulator.hh"
 #include "workloads/hpcdb_kernels.hh"
+#include "workloads/suites.hh"
 #include "workloads/workload.hh"
 
 using namespace svr;
@@ -489,6 +500,120 @@ runRegressCheck(bool quick, const std::string &baseline_path,
     return failed ? 1 : 0;
 }
 
+/**
+ * --chains: the static-vs-dynamic chain coverage matrix. Every
+ * quick-suite workload is analyzed statically and (in SVR_ARCHCHECK
+ * builds) replayed under SVR16 and SVR64 with the engine's chain log
+ * enabled; the table reports how many dynamic chain roots the static
+ * oracle predicted as stride-rooted and how many predicted chains
+ * actually fired. This is the table quoted in README/ARCHITECTURE.
+ */
+int
+runChainsCoverage(bool quick, const std::string &out_path)
+{
+    const std::uint64_t window = quick ? 20000 : 100000;
+    const bool dynamic = chainRecordingEnabled();
+
+    if (!dynamic)
+        std::fprintf(stderr,
+                     "bench_report: chain recording compiled out "
+                     "(Release); dynamic columns are static-only — "
+                     "use the fastsim-check preset for the full "
+                     "matrix\n");
+
+    struct Cell
+    {
+        std::string workload;
+        std::string config;
+        std::size_t staticChains;
+        std::size_t staticTriggered;
+        std::size_t dynRoots;
+        std::size_t covered;
+        std::size_t irregular;
+        double coverage;
+        double precision;
+        std::size_t violations;
+    };
+    std::vector<Cell> cells;
+    bool failed = false;
+
+    std::printf("%-10s %-6s %7s %8s %8s %9s %9s %9s\n", "workload",
+                "config", "chains", "dynroots", "covered", "irreg",
+                "coverage", "precision");
+    for (unsigned n : {16u, 64u}) {
+        SimConfig config = presets::svrCore(n);
+        config.maxInstructions = window;
+        for (const WorkloadSpec &spec : quickSuite()) {
+            Cell c{};
+            c.workload = spec.name;
+            c.config = config.label;
+            if (dynamic) {
+                const ChainCrossCheck res =
+                    crossValidateChains(config, spec);
+                c.staticChains = res.staticChains;
+                c.staticTriggered = res.staticChainsTriggered;
+                c.dynRoots = res.dynRoots;
+                c.covered = res.coveredStrideRooted;
+                c.irregular = res.irregularRoots;
+                c.coverage = res.coverage();
+                c.precision = res.precision();
+                c.violations = res.violations.size();
+                for (const std::string &v : res.violations)
+                    std::fprintf(stderr, "  violation: %s/%s: %s\n",
+                                 spec.name.c_str(),
+                                 config.label.c_str(), v.c_str());
+                failed = failed || !res.violations.empty();
+            } else {
+                const WorkloadInstance inst = spec.make();
+                const ChainReport report =
+                    analyzeChains(*inst.program);
+                c.staticChains = report.chains.size();
+                c.coverage = 1.0;
+                c.precision = 0.0;
+            }
+            std::printf("%-10s %-6s %7zu %8zu %8zu %9zu %8.0f%% "
+                        "%8.0f%%\n",
+                        c.workload.c_str(), c.config.c_str(),
+                        c.staticChains, c.dynRoots, c.covered,
+                        c.irregular, c.coverage * 100.0,
+                        c.precision * 100.0);
+            cells.push_back(c);
+        }
+    }
+
+    if (!out_path.empty()) {
+        std::string json;
+        appendf(json, "{\n");
+        appendf(json, "  \"schema\": \"svrsim-bench-chains-v1\",\n");
+        appendf(json, "  \"quick\": %s,\n", quick ? "true" : "false");
+        appendf(json, "  \"dynamic\": %s,\n", dynamic ? "true" : "false");
+        appendf(json, "  \"window_instructions\": %llu,\n",
+                static_cast<unsigned long long>(window));
+        appendf(json, "  \"cells\": [\n");
+        for (std::size_t i = 0; i < cells.size(); i++) {
+            const Cell &c = cells[i];
+            appendf(json,
+                    "    {\"workload\": \"%s\", \"config\": \"%s\", "
+                    "\"static_chains\": %zu, "
+                    "\"static_triggered\": %zu, \"dyn_roots\": %zu, "
+                    "\"covered_stride_rooted\": %zu, "
+                    "\"irregular_roots\": %zu, \"coverage\": %.4f, "
+                    "\"precision\": %.4f, \"violations\": %zu}%s\n",
+                    c.workload.c_str(), c.config.c_str(),
+                    c.staticChains,
+                    c.staticTriggered, c.dynRoots, c.covered,
+                    c.irregular, c.coverage, c.precision, c.violations,
+                    i + 1 < cells.size() ? "," : "");
+        }
+        appendf(json, "  ]\n");
+        appendf(json, "}\n");
+        writeFileAtomic(out_path, json, FaultPlan::fromEnv());
+        std::fprintf(stderr, "bench_report: wrote %s\n",
+                     out_path.c_str());
+    }
+    return failed ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -497,6 +622,7 @@ try {
     bool quick = false;
     bool sampling = false;
     bool regress = false;
+    bool chains = false;
     std::string out_path;
     std::string baseline_path = "BENCH_simspeed.json";
     double threshold_pct = 15.0;
@@ -507,6 +633,8 @@ try {
             sampling = true;
         } else if (std::strcmp(argv[i], "--regress") == 0) {
             regress = true;
+        } else if (std::strcmp(argv[i], "--chains") == 0) {
+            chains = true;
         } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             out_path = argv[++i];
         } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
@@ -519,16 +647,20 @@ try {
                          "usage: bench_report [--quick] [--sampling] "
                          "[--out PATH]\n"
                          "       bench_report --regress [--baseline PATH] "
-                         "[--threshold PCT] [--quick]\n");
+                         "[--threshold PCT] [--quick]\n"
+                         "       bench_report --chains [--quick] "
+                         "[--out PATH]\n");
             return 1;
         }
     }
-    // --regress only writes JSON when --out is given explicitly.
-    if (out_path.empty() && !regress)
+    // --regress/--chains only write JSON when --out is given explicitly.
+    if (out_path.empty() && !regress && !chains)
         out_path = sampling ? "BENCH_sampling.json" : "BENCH_simspeed.json";
 
     setInformEnabled(false);
 
+    if (chains)
+        return runChainsCoverage(quick, out_path);
     if (regress)
         return runRegressCheck(quick, baseline_path, threshold_pct,
                                out_path);

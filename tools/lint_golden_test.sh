@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Golden-bytes test for svrsim_lint output.
+#
+# Two artifacts are pinned byte-for-byte so lint/chain classification
+# changes are always reviewable in a diff:
+#   chain_reports.txt — `svrsim_lint --all --chains` (human format,
+#                       every registered program incl. SPEC suite)
+#   lint_quick.json   — `svrsim_lint --suite quick --chains --json`
+#                       (the machine-readable schema CI diffs)
+#
+# Refresh after an intentional analysis change with:
+#   UPDATE_GOLDEN=1 tools/lint_golden_test.sh <lint-binary> tests/golden
+#
+# Usage: lint_golden_test.sh <svrsim_lint-binary> <golden-dir> [tmp-dir]
+
+set -eu
+lint="$1"
+golden="$2"
+tmp="${3:-$(mktemp -d)}"
+mkdir -p "$tmp" "$golden"
+
+"$lint" --all --chains >"$tmp/chain_reports.txt"
+"$lint" --suite quick --chains --json >"$tmp/lint_quick.json"
+
+if [ "${UPDATE_GOLDEN:-0}" = "1" ]; then
+    cp "$tmp/chain_reports.txt" "$golden/chain_reports.txt"
+    cp "$tmp/lint_quick.json" "$golden/lint_quick.json"
+    echo "lint-golden: refreshed $golden"
+    exit 0
+fi
+
+status=0
+for f in chain_reports.txt lint_quick.json; do
+    if [ ! -f "$golden/$f" ]; then
+        echo "lint-golden: missing $golden/$f (run with UPDATE_GOLDEN=1)" >&2
+        status=1
+        continue
+    fi
+    if ! cmp -s "$golden/$f" "$tmp/$f"; then
+        echo "lint-golden: $f diverged from golden:" >&2
+        diff -u "$golden/$f" "$tmp/$f" | head -40 >&2
+        echo "lint-golden: refresh with UPDATE_GOLDEN=1 if intended" >&2
+        status=1
+    fi
+done
+
+[ "$status" -eq 0 ] && echo "lint-golden: 2 artifacts byte-identical"
+exit "$status"

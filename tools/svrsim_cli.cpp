@@ -24,6 +24,7 @@
 #include <cstring>
 #include <string>
 
+#include "analysis/chains.hh"
 #include "common/error.hh"
 #include "common/logging.hh"
 #include "sim/experiment.hh"
@@ -55,6 +56,8 @@ usage()
         "  --svu-width W          SVU scalars per cycle (default 1)\n"
         "  --srf K                speculative registers (default 8)\n"
         "  --dvr-recycling        DVR-style stop-when-full SRF policy\n"
+        "  --oracle               seed the stride detector from the\n"
+        "                         static chain analysis (svr core only)\n"
         "  --sample-every E       sampled simulation: one timing sample\n"
         "                         per E instrs (0 = full detail)\n"
         "  --sample-window W      measured instrs per sample\n"
@@ -93,6 +96,7 @@ try {
     std::string core = "svr";
     bool json = false;
     bool compare = false;
+    bool oracle = false;
     unsigned jobs = 0;
     unsigned n = 16;
     SimConfig config = presets::svrCore(16);
@@ -144,6 +148,8 @@ try {
                 static_cast<unsigned>(std::stoul(next()));
         } else if (arg == "--dvr-recycling") {
             config.svr.recycle = SrfRecycle::StopWhenFull;
+        } else if (arg == "--oracle") {
+            oracle = true;
         } else if (arg == "--sample-every") {
             config.sampling.sampleEvery = std::stoull(next());
         } else if (arg == "--sample-window") {
@@ -216,7 +222,24 @@ try {
         return 0;
     }
 
-    const SimResult r = simulate(config, findWorkload(workload));
+    const WorkloadInstance inst = findWorkload(workload).make();
+    if (oracle) {
+        if (config.core != CoreType::Svr)
+            fatal("--oracle requires --core svr");
+        // Seed the detector with every compile-time chain root; seeds
+        // whose stride exceeds the detector's field are dropped by
+        // StrideDetector::seed() itself.
+        const ChainReport chains = analyzeChains(*inst.program);
+        for (const ChainInfo &c : chains.chains) {
+            if (c.strideKnown && c.stride != 0) {
+                config.svr.oracleSeeds.push_back(
+                    {Program::pcOf(c.rootIndex), c.stride});
+            }
+        }
+        config.label += "-oracle";
+    }
+
+    const SimResult r = simulate(config, inst);
 
     if (json) {
         std::fputs(toJson(r).c_str(), stdout);
@@ -285,6 +308,9 @@ try {
         std::printf("  prefetches    %llu\n",
                     static_cast<unsigned long long>(r.core.svrPrefetches));
         std::printf("  LLC accuracy  %.2f%%\n", 100.0 * r.svrAccuracyLlc);
+        if (oracle)
+            std::printf("  oracle seeds  %zu\n",
+                        config.svr.oracleSeeds.size());
     }
     if (config.core == CoreType::InOrderImp)
         std::printf("\nIMP LLC accuracy %.2f%%\n",
